@@ -1,0 +1,78 @@
+// Command dart-sim reproduces the prefetching evaluation of Figs. 12-14:
+// for each benchmark it trains DART, then simulates the trace under every
+// prefetcher (none, BO, ISB, DART, the NN student as a TransFetch-class
+// prefetcher, and its zero-latency ideal variant) and prints prefetch
+// accuracy, coverage, and IPC improvement.
+//
+// Usage:
+//
+//	dart-sim [-app mcf | -all] [-n accesses] [-degree d]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dart/internal/config"
+	"dart/internal/core"
+	"dart/internal/kd"
+	"dart/internal/prefetch"
+	"dart/internal/sim"
+	"dart/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "462.libquantum", "application (suffix match)")
+	all := flag.Bool("all", false, "run every benchmark application")
+	n := flag.Int("n", 12000, "trace accesses")
+	degree := flag.Int("degree", 4, "prefetch degree")
+	flag.Parse()
+
+	specs := trace.Apps()
+	if !*all {
+		spec, ok := trace.AppByName(*app)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown application %q\n", *app)
+			os.Exit(1)
+		}
+		specs = []trace.AppSpec{spec}
+	}
+
+	fmt.Printf("%-16s %-14s %9s %9s %9s %9s\n",
+		"Application", "Prefetcher", "Acc", "Cov", "IPCimp", "Lat(cyc)")
+	for _, spec := range specs {
+		runApp(spec, *n, *degree)
+	}
+}
+
+func runApp(spec trace.AppSpec, n, degree int) {
+	recs := trace.Generate(spec, n)
+	art, err := core.BuildDART(recs, core.Options{
+		Constraints:   config.Constraints{LatencyCycles: 100, StorageBytes: 1 << 20},
+		TeacherEpochs: 6,
+		KD:            kd.Config{Epochs: 6},
+		FineTune:      true,
+		Seed:          1,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", spec.Name, err)
+		return
+	}
+	cfg := sim.DefaultConfig()
+	base := sim.Run(recs, sim.NoPrefetcher{}, cfg)
+	pfs := []sim.Prefetcher{
+		prefetch.NewBestOffset(degree),
+		prefetch.NewISB(degree),
+		art.Prefetcher("DART", degree),
+		art.StudentPrefetcher("TransFetch", degree, false),
+		art.StudentPrefetcher("TransFetch-I", degree, true),
+	}
+	for _, pf := range pfs {
+		res := sim.Run(recs, pf, cfg)
+		fmt.Printf("%-16s %-14s %8.1f%% %8.1f%% %8.1f%% %9d\n",
+			spec.Name, pf.Name(),
+			res.Accuracy()*100, sim.Coverage(base, res)*100,
+			sim.IPCImprovement(base, res)*100, pf.Latency())
+	}
+}

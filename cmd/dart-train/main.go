@@ -1,0 +1,79 @@
+// Command dart-train runs the full DART pipeline (Fig. 2) on one synthetic
+// benchmark: teacher training, table configuration, knowledge distillation,
+// and layer-wise tabularization with fine-tuning. It prints the per-stage
+// F1-scores (the per-app columns of Tables VI and VII).
+//
+// Usage:
+//
+//	dart-train [-app mcf] [-n accesses] [-epochs N] [-tau cycles] [-storage bytes]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dart/internal/config"
+	"dart/internal/core"
+	"dart/internal/kd"
+	"dart/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "462.libquantum", "application (suffix match)")
+	n := flag.Int("n", 20000, "trace accesses")
+	epochs := flag.Int("epochs", 8, "teacher training epochs")
+	tau := flag.Int("tau", 100, "latency constraint τ in cycles")
+	storage := flag.Int("storage", 1<<20, "storage constraint s in bytes")
+	fineTune := flag.Bool("finetune", true, "enable layer fine-tuning")
+	traceFile := flag.String("trace", "", "load a CSV LLC trace instead of generating one")
+	flag.Parse()
+
+	var recs []trace.Record
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		recs, err = trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("Loaded %d LLC accesses from %s\n", len(recs), *traceFile)
+	} else {
+		spec, ok := trace.AppByName(*app)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown application %q\n", *app)
+			os.Exit(1)
+		}
+		fmt.Printf("Generating %d LLC accesses for %s...\n", *n, spec.Name)
+		recs = trace.Generate(spec, *n)
+	}
+
+	art, err := core.BuildDART(recs, core.Options{
+		Constraints:      config.Constraints{LatencyCycles: *tau, StorageBytes: *storage},
+		TeacherEpochs:    *epochs,
+		KD:               kd.Config{Epochs: *epochs},
+		FineTune:         *fineTune,
+		TrainStudentNoKD: true,
+		Seed:             1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	m, t := art.Chosen.Model, art.Chosen.Table
+	fmt.Printf("\nConfigured student (L, D, H, K, C) = (%d, %d, %d, %d, %d)\n",
+		m.L, m.DA, m.H, t.K, t.C)
+	fmt.Printf("Predictor latency %d cycles, storage %.1f KB, %d ops\n",
+		art.Chosen.Latency, float64(art.Chosen.StorageBytes)/1024, art.Chosen.Ops)
+	fmt.Printf("\n%-22s %8s\n", "Model", "F1")
+	fmt.Printf("%-22s %8.3f\n", "Teacher", art.F1Teacher)
+	fmt.Printf("%-22s %8.3f\n", "Student w/o KD", art.F1StudentNoKD)
+	fmt.Printf("%-22s %8.3f\n", "Student (KD)", art.F1Student)
+	fmt.Printf("%-22s %8.3f\n", "DART (tables)", art.F1DART)
+}

@@ -1,0 +1,29 @@
+// Package dart is a from-scratch Go reproduction of "Attention, Distillation,
+// and Tabularization: Towards Practical Neural Network-Based Prefetching"
+// (Zhang, Gupta, Kannan, Prasanna — IPDPS 2024, arXiv:2401.06362).
+//
+// DART converts an attention-based memory-access prediction model into a
+// hierarchy of lookup tables: a large attention model is trained for
+// accuracy, distilled into a compact student that satisfies prefetcher
+// latency/storage constraints, and then tabularized layer by layer with
+// product-quantization kernels and per-layer fine-tuning, eliminating the
+// matrix multiplications from inference.
+//
+// The repository layout:
+//
+//	internal/mat       dense matrix/tensor substrate
+//	internal/nn        neural-network library (transformer, LSTM, Adam, losses)
+//	internal/pq        product quantization (k-means + LSH encoders, dot tables)
+//	internal/tabular   tabularization kernels, Algorithm 1, complexity model
+//	internal/kd        multi-label knowledge distillation
+//	internal/dataprep  address segmentation and delta-bitmap labels
+//	internal/trace     synthetic SPEC-like LLC trace generators
+//	internal/sim       trace-driven LLC/DRAM simulator with prefetcher latency
+//	internal/prefetch  BO, ISB, and NN/table prefetcher wrappers
+//	internal/config    table configurator and NN complexity models
+//	internal/core      the end-to-end DART pipeline
+//
+// The benchmark files in this directory regenerate every table and figure of
+// the paper's evaluation section; see EXPERIMENTS.md for the index and
+// paper-vs-measured comparison.
+package dart

@@ -1,0 +1,240 @@
+// Package config implements the paper's table configurator (Sec. VI-C): it
+// evaluates the full-model latency and storage of a tabularized predictor
+// (Eqs. 22-23, composed from the kernel equations of Sec. V-C), the
+// complexity of the source neural network under a systolic-array
+// implementation (Table V), and the latency-major greedy search that picks a
+// predictor structure satisfying the prefetcher design constraints (τ, s).
+package config
+
+import (
+	"fmt"
+	"sort"
+
+	"dart/internal/tabular"
+)
+
+// ModelConfig is the network structure in the notation of Table I.
+type ModelConfig struct {
+	T  int // input patches T_T (= history length T_I here)
+	DI int // input address dimension D_I
+	DA int // attention dimension D_A
+	DF int // feed-forward dimension D_F
+	DO int // output delta-bitmap size D_O
+	H  int // heads
+	L  int // transformer layers
+}
+
+// TableConfig is the table structure in the notation of Table II, with a
+// uniform ⟨K, C⟩ across operations as in the paper's DART rows.
+type TableConfig struct {
+	K        int
+	C        int
+	DataBits int // entry width d
+}
+
+// layerNormLatency models L_ln as a parallel reduction over D.
+func layerNormLatency(d int) int { return 2 + tabular.CeilLog2(d) }
+
+const sigmoidLatency = 1
+
+// TabularLatency is Eq. 22: the critical path of the tabularized model.
+func TabularLatency(m ModelConfig, t TableConfig) int {
+	ll := tabular.LinearLatency(t.K, t.C)
+	la := tabular.AttentionLatency(t.K, t.C)
+	lln := layerNormLatency(m.DA)
+	lat := ll + lln + ll + sigmoidLatency // input linear, final LN, output linear, sigmoid
+	lat += m.L * (2*lln + 2*ll + la + 2*ll)
+	return lat
+}
+
+// TabularStorageBits is Eq. 23: total table storage of the model.
+func TabularStorageBits(m ModelConfig, t TableConfig) int {
+	d := t.DataBits
+	if d == 0 {
+		d = 32
+	}
+	sln := tabular.LayerNormStorageBits(m.DA, d)
+	s := 2*tabular.LinearStorageBits(m.T, m.DA, t.K, t.C, d) + // input linear
+		sln +
+		tabular.LinearStorageBits(m.T, m.DO, t.K, t.C, d) + // output linear
+		tabular.SigmoidStorageBits(d)
+	perLayer := 2*sln +
+		tabular.LinearStorageBits(m.T, 3*m.H*(m.DA/m.H), t.K, t.C, d) + // QKV projection
+		tabular.AttentionStorageBits(m.T, m.DA, t.K, t.C, d) +
+		tabular.LinearStorageBits(m.T, m.DA, t.K, t.C, d) + // MSA output projection
+		sln +
+		tabular.LinearStorageBits(m.T, m.DF, t.K, t.C, d) + // FFN hidden
+		tabular.LinearStorageBits(m.T, m.DA, t.K, t.C, d) // FFN output
+	return s + m.L*perLayer
+}
+
+// TabularOps composes Eqs. 20-21 over the whole model.
+func TabularOps(m ModelConfig, t TableConfig) int {
+	ops := tabular.LinearOps(m.T, m.DA, t.K, t.C) + // input linear
+		tabular.LinearOps(m.T, m.DO, t.K, t.C) // output linear
+	perLayer := tabular.LinearOps(m.T, 3*m.H*(m.DA/m.H), t.K, t.C) +
+		tabular.AttentionOps(m.T, m.DA, t.K, t.C) +
+		tabular.LinearOps(m.T, m.DA, t.K, t.C) +
+		tabular.LinearOps(m.T, m.DF, t.K, t.C) +
+		tabular.LinearOps(m.T, m.DA, t.K, t.C)
+	return ops + m.L*perLayer
+}
+
+// systolic returns the latency of an (a x b)·(b x c) matrix product on a
+// systolic array: a + b + c - 2 pipeline fill plus drain.
+func systolic(a, b, c int) int { return a + b + c - 2 }
+
+// NNLatency estimates the inference critical path of the neural model under
+// a fully pipelined systolic-array implementation (Table V methodology).
+func NNLatency(m ModelConfig) int {
+	lat := systolic(m.T, m.DI, m.DA) // input projection
+	lln := layerNormLatency(m.DA)
+	for l := 0; l < m.L; l++ {
+		lat += lln
+		lat += systolic(m.T, m.DA, 3*m.DA)  // QKV projection
+		lat += systolic(m.T, m.DA/m.H, m.T) // QKᵀ per head (parallel across heads)
+		lat += tabular.CeilLog2(m.T) + 2    // softmax reduction
+		lat += systolic(m.T, m.T, m.DA/m.H) // attention × V
+		lat += systolic(m.T, m.DA, m.DA)    // output projection
+		lat += lln
+		lat += systolic(m.T, m.DA, m.DF) // FFN hidden
+		lat += systolic(m.T, m.DF, m.DA) // FFN output
+	}
+	lat += lln
+	lat += systolic(1, m.DA, m.DO) // classification head (after pooling)
+	lat += sigmoidLatency
+	return lat
+}
+
+// NNParams counts scalar parameters of the model.
+func NNParams(m ModelConfig) int {
+	p := m.DI*m.DA + m.DA            // input projection
+	perLayer := 4*(m.DA*m.DA+m.DA) + // QKV + output projections
+		2*m.DA + // LN1
+		m.DA*m.DF + m.DF + m.DF*m.DA + m.DA + // FFN
+		2*m.DA // LN2
+	p += m.L * perLayer
+	p += m.DA*m.DO + m.DO // head
+	return p
+}
+
+// NNStorageBits is parameter storage at the given precision.
+func NNStorageBits(m ModelConfig, bits int) int {
+	if bits == 0 {
+		bits = 32
+	}
+	return NNParams(m) * bits
+}
+
+// NNOps counts multiply-accumulate operations per inference.
+func NNOps(m ModelConfig) int {
+	ops := 2 * m.T * m.DI * m.DA
+	perLayer := 2*m.T*m.DA*3*m.DA + // QKV
+		2*m.T*m.T*m.DA + // QKᵀ (all heads combined)
+		2*m.T*m.T*m.DA + // attention × V
+		2*m.T*m.DA*m.DA + // output projection
+		2*m.T*m.DA*m.DF*2 // FFN both linears
+	ops += m.L * perLayer
+	ops += 2 * m.DA * m.DO
+	return ops
+}
+
+// LSTMLatency estimates the inference latency of a Voyager-class LSTM
+// predictor: the recurrence is serial over the T steps (the paper's central
+// criticism of LSTM prefetchers), each step a gate matmul on the systolic
+// array, followed by the classification head.
+func LSTMLatency(din, hidden, t, dout int) int {
+	perStep := systolic(1, din+hidden, 4*hidden) + 4 // gates + elementwise update
+	return t*perStep + systolic(1, hidden, dout) + sigmoidLatency
+}
+
+// LSTMParams counts LSTM predictor parameters.
+func LSTMParams(din, hidden, dout int) int {
+	return 4*hidden*(din+hidden) + 4*hidden + hidden*dout + dout
+}
+
+// LSTMOps counts multiply-accumulates per LSTM inference.
+func LSTMOps(din, hidden, t, dout int) int {
+	return t*2*4*hidden*(din+hidden) + 2*hidden*dout
+}
+
+// Constraints are the prefetcher design constraints (τ, s) of Eq. 9.
+type Constraints struct {
+	LatencyCycles int // τ
+	StorageBytes  int // s
+}
+
+// Candidate is one point of the design space with its evaluated cost.
+type Candidate struct {
+	Model        ModelConfig
+	Table        TableConfig
+	Latency      int
+	StorageBytes int
+	Ops          int
+}
+
+// Evaluate fills in the cost fields of a candidate.
+func Evaluate(m ModelConfig, t TableConfig) Candidate {
+	return Candidate{
+		Model:        m,
+		Table:        t,
+		Latency:      TabularLatency(m, t),
+		StorageBytes: (TabularStorageBits(m, t) + 7) / 8,
+		Ops:          TabularOps(m, t),
+	}
+}
+
+// DefaultSpace enumerates the predefined design list of Sec. VI-C2 for the
+// given input/output dimensions: L ∈ {1, 2}, D_A ∈ {16, 32, 64} (D_F = 4D_A),
+// H ∈ {2, 4}, K ∈ {16 … 1024}, C ∈ {1, 2, 4}.
+func DefaultSpace(t, di, do int) []Candidate {
+	var out []Candidate
+	for _, l := range []int{1, 2} {
+		for _, da := range []int{16, 32, 64} {
+			for _, h := range []int{2, 4} {
+				if da%h != 0 {
+					continue
+				}
+				m := ModelConfig{T: t, DI: di, DA: da, DF: 4 * da, DO: do, H: h, L: l}
+				for _, k := range []int{16, 32, 64, 128, 256, 512, 1024} {
+					for _, c := range []int{1, 2, 4} {
+						out = append(out, Evaluate(m, TableConfig{K: k, C: c, DataBits: 32}))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Configure runs the latency-major greedy search of Sec. VI-C2: it considers
+// latencies below τ from the largest down, and at each latency level picks
+// the candidate of maximum storage not exceeding s; the first level with a
+// feasible candidate wins.
+func Configure(cons Constraints, space []Candidate) (Candidate, error) {
+	byLatency := map[int][]Candidate{}
+	var latencies []int
+	for _, c := range space {
+		if c.Latency > cons.LatencyCycles {
+			continue
+		}
+		if _, seen := byLatency[c.Latency]; !seen {
+			latencies = append(latencies, c.Latency)
+		}
+		byLatency[c.Latency] = append(byLatency[c.Latency], c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(latencies)))
+	for _, lat := range latencies {
+		best := Candidate{StorageBytes: -1}
+		for _, c := range byLatency[lat] {
+			if c.StorageBytes <= cons.StorageBytes && c.StorageBytes > best.StorageBytes {
+				best = c
+			}
+		}
+		if best.StorageBytes >= 0 {
+			return best, nil
+		}
+	}
+	return Candidate{}, fmt.Errorf("config: no candidate satisfies τ=%d cycles, s=%d bytes",
+		cons.LatencyCycles, cons.StorageBytes)
+}

@@ -1,0 +1,181 @@
+package config
+
+import "testing"
+
+// dartModel is the paper's DART configuration (Table V): L=1, D=32, H=2.
+func dartModel() ModelConfig {
+	return ModelConfig{T: 8, DI: 10, DA: 32, DF: 128, DO: 64, H: 2, L: 1}
+}
+
+func TestTabularLatencyBallparkTableV(t *testing.T) {
+	// Paper Table V: DART (K=128, C=2) latency 97 cycles. Our L_ln model
+	// differs slightly from the (unstated) constant the authors used, so
+	// accept ±15%.
+	got := TabularLatency(dartModel(), TableConfig{K: 128, C: 2})
+	if got < 82 || got > 112 {
+		t.Fatalf("DART latency %d outside 97±15%%", got)
+	}
+}
+
+func TestTabularStorageBallparkTableV(t *testing.T) {
+	// Paper Table V: DART storage 864.4 KB. Accept ±25% given unspecified
+	// sequence length and bitmap width.
+	bits := TabularStorageBits(dartModel(), TableConfig{K: 128, C: 2, DataBits: 32})
+	kb := float64(bits) / 8 / 1024
+	if kb < 640 || kb > 1100 {
+		t.Fatalf("DART storage %.1f KB outside 864±25%%", kb)
+	}
+}
+
+func TestTabularOpsOrderTableV(t *testing.T) {
+	// Paper Table V: DART ops 11.0K; same order of magnitude required.
+	ops := TabularOps(dartModel(), TableConfig{K: 128, C: 2})
+	if ops < 3000 || ops > 40000 {
+		t.Fatalf("DART ops %d not within order of 11K", ops)
+	}
+}
+
+func TestNNComplexityTeacherVsStudent(t *testing.T) {
+	teacher := ModelConfig{T: 8, DI: 10, DA: 256, DF: 1024, DO: 64, H: 8, L: 4}
+	student := ModelConfig{T: 8, DI: 10, DA: 32, DF: 128, DO: 64, H: 2, L: 1}
+	// Table V: teacher ~16.5K cycles vs student ~908; ratio ≈ 18x.
+	lt, ls := NNLatency(teacher), NNLatency(student)
+	if lt < 5*ls {
+		t.Fatalf("teacher latency %d not ≫ student %d", lt, ls)
+	}
+	// Storage ratio ≈ 102x in the paper.
+	st, ss := NNStorageBits(teacher, 32), NNStorageBits(student, 32)
+	if st < 50*ss {
+		t.Fatalf("teacher storage %d not ≫ student %d", st, ss)
+	}
+	// Ops ratio ≈ 730x in the paper (98.3M vs 134.7K).
+	ot, os := NNOps(teacher), NNOps(student)
+	if ot < 100*os {
+		t.Fatalf("teacher ops %d not ≫ student %d", ot, os)
+	}
+}
+
+func TestDARTReductionVersusStudent(t *testing.T) {
+	// Table V headline: DART cuts student latency ~9.4x and ops ~91.8%.
+	student := ModelConfig{T: 8, DI: 10, DA: 32, DF: 128, DO: 64, H: 2, L: 1}
+	cand := Evaluate(student, TableConfig{K: 128, C: 2})
+	nnLat := NNLatency(student)
+	if ratio := float64(nnLat) / float64(cand.Latency); ratio < 4 {
+		t.Fatalf("latency acceleration %.1fx < 4x", ratio)
+	}
+	nnOps := NNOps(student)
+	if red := 1 - float64(cand.Ops)/float64(nnOps); red < 0.85 {
+		t.Fatalf("ops reduction %.2f < 0.85", red)
+	}
+}
+
+func TestConfigureRespectsConstraints(t *testing.T) {
+	space := DefaultSpace(8, 10, 64)
+	for _, cons := range []Constraints{
+		{LatencyCycles: 60, StorageBytes: 30 << 10},
+		{LatencyCycles: 100, StorageBytes: 1 << 20},
+		{LatencyCycles: 200, StorageBytes: 4 << 20},
+	} {
+		got, err := Configure(cons, space)
+		if err != nil {
+			t.Fatalf("constraints %+v: %v", cons, err)
+		}
+		if got.Latency > cons.LatencyCycles {
+			t.Fatalf("latency %d exceeds τ=%d", got.Latency, cons.LatencyCycles)
+		}
+		if got.StorageBytes > cons.StorageBytes {
+			t.Fatalf("storage %d exceeds s=%d", got.StorageBytes, cons.StorageBytes)
+		}
+	}
+}
+
+func TestConfigureLatencyMajor(t *testing.T) {
+	// Hand-built space: the greedy must prefer the highest feasible latency,
+	// then the largest feasible storage at that latency.
+	space := []Candidate{
+		{Latency: 90, StorageBytes: 100, Table: TableConfig{K: 1}},
+		{Latency: 90, StorageBytes: 400, Table: TableConfig{K: 2}},
+		{Latency: 90, StorageBytes: 9000, Table: TableConfig{K: 3}}, // over storage
+		{Latency: 50, StorageBytes: 500, Table: TableConfig{K: 4}},
+	}
+	got, err := Configure(Constraints{LatencyCycles: 100, StorageBytes: 1000}, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Table.K != 2 {
+		t.Fatalf("picked K=%d, want the 90-cycle/400-byte candidate", got.Table.K)
+	}
+}
+
+func TestConfigureFallsBackToLowerLatency(t *testing.T) {
+	space := []Candidate{
+		{Latency: 90, StorageBytes: 9000, Table: TableConfig{K: 1}}, // storage infeasible
+		{Latency: 50, StorageBytes: 500, Table: TableConfig{K: 2}},
+	}
+	got, err := Configure(Constraints{LatencyCycles: 100, StorageBytes: 1000}, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Table.K != 2 {
+		t.Fatalf("fallback picked K=%d", got.Table.K)
+	}
+}
+
+func TestConfigureInfeasible(t *testing.T) {
+	if _, err := Configure(Constraints{LatencyCycles: 1, StorageBytes: 1}, DefaultSpace(8, 10, 64)); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}
+
+func TestTableVIIIConstraintsProduceGrowingConfigs(t *testing.T) {
+	// Table VIII: looser constraints must yield higher-latency, larger
+	// predictors (DART-S < DART < DART-L).
+	space := DefaultSpace(8, 10, 64)
+	s, err := Configure(Constraints{LatencyCycles: 60, StorageBytes: 30 << 10}, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Configure(Constraints{LatencyCycles: 100, StorageBytes: 1 << 20}, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Configure(Constraints{LatencyCycles: 200, StorageBytes: 4 << 20}, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s.Latency <= m.Latency && m.Latency <= l.Latency) {
+		t.Fatalf("latencies not monotone: %d, %d, %d", s.Latency, m.Latency, l.Latency)
+	}
+	if !(s.StorageBytes < m.StorageBytes && m.StorageBytes < l.StorageBytes) {
+		t.Fatalf("storage not monotone: %d, %d, %d", s.StorageBytes, m.StorageBytes, l.StorageBytes)
+	}
+}
+
+func TestLSTMComplexity(t *testing.T) {
+	// The recurrence is serial: latency scales linearly with T.
+	l8 := LSTMLatency(10, 32, 8, 64)
+	l16 := LSTMLatency(10, 32, 16, 64)
+	if l16 <= l8 || l16-l8 < l8/2 {
+		t.Fatalf("LSTM latency not ~linear in T: %d vs %d", l8, l16)
+	}
+	// Voyager-class LSTM must be slower than the attention student of the
+	// same scale (Table IX ordering).
+	student := ModelConfig{T: 8, DI: 10, DA: 32, DF: 128, DO: 64, H: 2, L: 1}
+	if LSTMLatency(10, 32, 8, 64) <= NNLatency(student) {
+		t.Fatal("LSTM should be slower than the parallel attention student")
+	}
+	if LSTMParams(10, 32, 64) <= 0 || LSTMOps(10, 32, 8, 64) <= 0 {
+		t.Fatal("degenerate LSTM cost")
+	}
+}
+
+func TestEvaluateConsistent(t *testing.T) {
+	m := dartModel()
+	tc := TableConfig{K: 64, C: 2, DataBits: 32}
+	c := Evaluate(m, tc)
+	if c.Latency != TabularLatency(m, tc) ||
+		c.StorageBytes != (TabularStorageBits(m, tc)+7)/8 ||
+		c.Ops != TabularOps(m, tc) {
+		t.Fatal("Evaluate disagrees with the component functions")
+	}
+}

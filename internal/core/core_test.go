@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"dart/internal/config"
+	"dart/internal/dataprep"
+	"dart/internal/sim"
+	"dart/internal/trace"
+)
+
+// fastOptions keeps pipeline tests quick: a small teacher, few epochs, and a
+// tight PQ-fitting budget.
+func fastOptions() Options {
+	return Options{
+		Data:          dataprep.Config{History: 6, SegmentBits: 6, Segments: 6, LookForward: 8, DeltaRange: 16},
+		Constraints:   config.Constraints{LatencyCycles: 80, StorageBytes: 512 << 10},
+		TeacherDModel: 32, TeacherDFF: 64, TeacherHeads: 2, TeacherLayers: 1,
+		TeacherEpochs: 4,
+		FineTune:      true,
+		FitSamples:    128,
+		Seed:          3,
+	}
+}
+
+func buildArtifacts(t *testing.T, opt Options) *Artifacts {
+	t.Helper()
+	recs := trace.Generate(trace.AppSpec{
+		Name: "unit", Pages: 300, Streams: 4,
+		Strides: []int64{1, 2}, Seed: 9,
+	}, 4000)
+	art, err := BuildDART(recs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art
+}
+
+// sharedArt caches one pipeline build for the tests that use fastOptions
+// unchanged; building DART is the expensive part of this package's tests.
+var sharedArt *Artifacts
+
+func sharedArtifacts(t *testing.T) *Artifacts {
+	t.Helper()
+	if sharedArt == nil {
+		sharedArt = buildArtifacts(t, fastOptions())
+	}
+	return sharedArt
+}
+
+func TestBuildDARTEndToEnd(t *testing.T) {
+	art := sharedArtifacts(t)
+	if art.Teacher == nil || art.Student == nil || art.Tables == nil {
+		t.Fatal("missing pipeline artifacts")
+	}
+	if art.Chosen.Latency > 80 || art.Chosen.StorageBytes > 512<<10 {
+		t.Fatalf("configurator violated constraints: %+v", art.Chosen)
+	}
+	for name, f1 := range map[string]float64{
+		"teacher": art.F1Teacher, "student": art.F1Student, "dart": art.F1DART,
+	} {
+		if f1 < 0 || f1 > 1 {
+			t.Fatalf("%s F1 %v out of range", name, f1)
+		}
+	}
+	// On a strided trace the teacher must clearly beat chance.
+	if art.F1Teacher < 0.3 {
+		t.Fatalf("teacher F1 %v too low on a regular trace", art.F1Teacher)
+	}
+	// The table-based predictor must retain meaningful accuracy.
+	if art.F1DART < 0.1 {
+		t.Fatalf("DART F1 %v collapsed", art.F1DART)
+	}
+}
+
+func TestBuildDARTStudentNoKD(t *testing.T) {
+	opt := fastOptions()
+	opt.TrainStudentNoKD = true
+	art := buildArtifacts(t, opt)
+	if art.StudentNoKD == nil {
+		t.Fatal("no-KD student not trained")
+	}
+	if art.F1StudentNoKD < 0 || art.F1StudentNoKD > 1 {
+		t.Fatalf("no-KD F1 %v out of range", art.F1StudentNoKD)
+	}
+}
+
+func TestArtifactsPrefetcherRuns(t *testing.T) {
+	art := sharedArtifacts(t)
+	pf := art.Prefetcher("DART", 4)
+	if pf.Latency() != art.Chosen.Latency {
+		t.Fatalf("prefetcher latency %d != chosen %d", pf.Latency(), art.Chosen.Latency)
+	}
+	recs := trace.Generate(trace.AppSpec{
+		Name: "unit", Pages: 300, Streams: 4, Strides: []int64{1, 2}, Seed: 10,
+	}, 3000)
+	cfg := sim.DefaultConfig()
+	res := sim.Run(recs, pf, cfg)
+	if res.Accesses != 3000 {
+		t.Fatalf("sim processed %d accesses", res.Accesses)
+	}
+}
+
+func TestStudentPrefetcherLatencies(t *testing.T) {
+	art := sharedArtifacts(t)
+	real := art.StudentPrefetcher("TransFetch", 4, false)
+	ideal := art.StudentPrefetcher("TransFetch-I", 4, true)
+	if ideal.Latency() != 0 {
+		t.Fatalf("ideal latency %d", ideal.Latency())
+	}
+	if real.Latency() <= art.Chosen.Latency {
+		t.Fatalf("NN latency %d should exceed table latency %d", real.Latency(), art.Chosen.Latency)
+	}
+}
+
+func TestBuildDARTShortTraceFails(t *testing.T) {
+	recs := trace.Generate(trace.AppSpec{Name: "tiny", Pages: 10, Seed: 1}, 8)
+	if _, err := BuildDART(recs, fastOptions()); err == nil {
+		t.Fatal("expected error for a too-short trace")
+	}
+}
+
+func TestBuildDARTInfeasibleConstraints(t *testing.T) {
+	opt := fastOptions()
+	opt.Constraints = config.Constraints{LatencyCycles: 1, StorageBytes: 1}
+	recs := trace.Generate(trace.AppSpec{Name: "unit", Pages: 100, Seed: 2}, 2000)
+	if _, err := BuildDART(recs, opt); err == nil {
+		t.Fatal("expected configurator infeasibility error")
+	}
+}

@@ -1,0 +1,50 @@
+package dataprep
+
+import (
+	"math/rand"
+	"testing"
+
+	"dart/internal/trace"
+)
+
+// TestLabelBitsMatchFutureDeltas verifies the defining invariant of the delta
+// bitmap on random traces: bit b is set iff some access within the
+// look-forward window is at delta BitToDelta(b) from the current block.
+func TestLabelBitsMatchFutureDeltas(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := Config{History: 4, SegmentBits: 6, Segments: 5, LookForward: 6, DeltaRange: 10}
+	recs := make([]trace.Record, 300)
+	block := int64(1 << 20)
+	for i := range recs {
+		// Random walk with occasional jumps, producing in- and out-of-range deltas.
+		block += int64(rng.Intn(41) - 20)
+		if rng.Float64() < 0.1 {
+			block += int64(rng.Intn(4096) - 2048)
+		}
+		if block < 0 {
+			block = 1 << 20
+		}
+		recs[i] = trace.Record{InstrID: uint64(i), Addr: uint64(block) << trace.BlockBits}
+	}
+	ds, err := Build(recs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < ds.X.N; s++ {
+		cur := int64(ds.Blocks[s])
+		want := map[int]bool{}
+		for w := 1; w <= cfg.LookForward; w++ {
+			d := int64(recs[s+cfg.History-1+w].Block()) - cur
+			if bit := cfg.DeltaToBit(d); bit >= 0 {
+				want[bit] = true
+			}
+		}
+		row := ds.Y.Sample(s).Row(0)
+		for bit, v := range row {
+			if (v > 0.5) != want[bit] {
+				t.Fatalf("sample %d bit %d: label %v, want %v (delta %d)",
+					s, bit, v > 0.5, want[bit], cfg.BitToDelta(bit))
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPair(n int) (*Matrix, *Matrix) {
+	rng := rand.New(rand.NewSource(1))
+	return New(n, n).Randn(rng, 1), New(n, n).Randn(rng, 1)
+}
+
+func BenchmarkMul64(b *testing.B) {
+	x, y := benchPair(64)
+	dst := New(64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulInto(dst, x, y)
+	}
+}
+
+func BenchmarkMul256(b *testing.B) {
+	x, y := benchPair(256)
+	dst := New(256, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulInto(dst, x, y)
+	}
+}
+
+func BenchmarkMulTransB128(b *testing.B) {
+	x, y := benchPair(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulTransB(x, y)
+	}
+}
+
+func BenchmarkRowSoftmax(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := New(64, 64).Randn(rng, 1)
+	for i := 0; i < b.N; i++ {
+		m.RowSoftmax()
+	}
+}

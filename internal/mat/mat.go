@@ -1,0 +1,439 @@
+// Package mat provides dense row-major float64 matrices and rank-3 tensors
+// sized for the small attention models used throughout this repository.
+//
+// The package is deliberately minimal: it implements exactly the operations
+// the neural-network, product-quantization, and tabularization layers need,
+// with goroutine-parallel blocked matrix multiplication for the hot paths.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zero-initialised Rows x Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows x cols matrix.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: FromSlice length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Randn fills m with Gaussian noise of the given standard deviation.
+func (m *Matrix) Randn(rng *rand.Rand, std float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// RandUniform fills m with uniform values in [-a, a].
+func (m *Matrix) RandUniform(rng *rand.Rand, a float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * a
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice sharing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src into m; shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("mat: CopyFrom shape mismatch")
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero resets all elements to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// parallelThreshold is the flop count above which matmul fans out to goroutines.
+const parallelThreshold = 1 << 16
+
+// MulInto computes dst = a * b. dst must not alias a or b.
+func MulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("mat: Mul dst shape mismatch")
+	}
+	dst.Zero()
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold {
+		mulRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) { mulRange(dst, a, b, lo, hi) })
+}
+
+// mulRange computes rows [lo, hi) of dst = a*b using an ikj loop ordering,
+// which keeps the inner loop sequential over b's rows for cache locality.
+func mulRange(dst, a, b *Matrix, lo, hi int) {
+	n, p := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*p : (i+1)*p]
+		arow := a.Data[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*p : (k+1)*p]
+			for j, bv := range brow {
+				drow[j] += aik * bv
+			}
+		}
+	}
+}
+
+// Mul returns a new matrix a * b.
+func Mul(a, b *Matrix) *Matrix {
+	dst := New(a.Rows, b.Cols)
+	MulInto(dst, a, b)
+	return dst
+}
+
+// MulTransB returns a * bᵀ.
+func MulTransB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulTransB inner dims %d != %d", a.Cols, b.Cols))
+	}
+	dst := New(a.Rows, b.Rows)
+	compute := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				drow[j] = s
+			}
+		}
+	}
+	if a.Rows*a.Cols*b.Rows < parallelThreshold {
+		compute(0, a.Rows)
+	} else {
+		parallelRows(a.Rows, compute)
+	}
+	return dst
+}
+
+// MulTransA returns aᵀ * b.
+func MulTransA(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulTransA inner dims %d != %d", a.Rows, b.Rows))
+	}
+	dst := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// parallelRows splits [0, rows) across GOMAXPROCS goroutines.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*m.Rows+i] = v
+		}
+	}
+	return t
+}
+
+// Add returns a + b as a new matrix.
+func Add(a, b *Matrix) *Matrix {
+	c := a.Clone()
+	c.AddInPlace(b)
+	return c
+}
+
+// AddInPlace adds b into m elementwise.
+func (m *Matrix) AddInPlace(b *Matrix) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("mat: AddInPlace shape mismatch")
+	}
+	for i, v := range b.Data {
+		m.Data[i] += v
+	}
+}
+
+// SubInPlace subtracts b from m elementwise.
+func (m *Matrix) SubInPlace(b *Matrix) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("mat: SubInPlace shape mismatch")
+	}
+	for i, v := range b.Data {
+		m.Data[i] -= v
+	}
+}
+
+// Sub returns a - b as a new matrix.
+func Sub(a, b *Matrix) *Matrix {
+	c := a.Clone()
+	c.SubInPlace(b)
+	return c
+}
+
+// Scale multiplies every element of m by s.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddScaled adds s*b into m.
+func (m *Matrix) AddScaled(b *Matrix, s float64) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("mat: AddScaled shape mismatch")
+	}
+	for i, v := range b.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// AddRowVector adds vector v (length Cols) to every row of m.
+func (m *Matrix) AddRowVector(v []float64) {
+	if len(v) != m.Cols {
+		panic("mat: AddRowVector length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, bv := range v {
+			row[j] += bv
+		}
+	}
+}
+
+// Apply replaces every element x with fn(x).
+func (m *Matrix) Apply(fn func(float64) float64) *Matrix {
+	for i, v := range m.Data {
+		m.Data[i] = fn(v)
+	}
+	return m
+}
+
+// Map returns a new matrix with fn applied elementwise.
+func Map(m *Matrix, fn func(float64) float64) *Matrix {
+	return m.Clone().Apply(fn)
+}
+
+// Hadamard multiplies m elementwise by b.
+func (m *Matrix) Hadamard(b *Matrix) *Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("mat: Hadamard shape mismatch")
+	}
+	for i, v := range b.Data {
+		m.Data[i] *= v
+	}
+	return m
+}
+
+// RowSoftmax applies softmax independently to each row of m, in place.
+func (m *Matrix) RowSoftmax() *Matrix {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		maxv := math.Inf(-1)
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			row[j] = e
+			sum += e
+		}
+		if sum == 0 {
+			continue
+		}
+		inv := 1 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value.
+func (m *Matrix) MaxAbs() float64 {
+	var s float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// Norm returns the Frobenius norm of m.
+func (m *Matrix) Norm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// CosineSimilarity computes the cosine similarity of the flattened matrices.
+// It returns 0 when either operand is all-zero.
+func CosineSimilarity(a, b *Matrix) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic("mat: CosineSimilarity length mismatch")
+	}
+	var dot, na, nb float64
+	for i, av := range a.Data {
+		bv := b.Data[i]
+		dot += av * bv
+		na += av * av
+		nb += bv * bv
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// EqualApprox reports whether a and b have identical shape and elementwise
+// differences no larger than tol.
+func EqualApprox(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ConcatCols concatenates matrices horizontally; all must share Rows.
+func ConcatCols(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		panic("mat: ConcatCols of nothing")
+	}
+	rows := ms[0].Rows
+	total := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic("mat: ConcatCols row mismatch")
+		}
+		total += m.Cols
+	}
+	out := New(rows, total)
+	for i := 0; i < rows; i++ {
+		off := 0
+		orow := out.Row(i)
+		for _, m := range ms {
+			copy(orow[off:off+m.Cols], m.Row(i))
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// SliceCols returns columns [lo, hi) of m as a new matrix.
+func (m *Matrix) SliceCols(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Cols || lo > hi {
+		panic(fmt.Sprintf("mat: SliceCols [%d,%d) of %d cols", lo, hi, m.Cols))
+	}
+	out := New(m.Rows, hi-lo)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[lo:hi])
+	}
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+}

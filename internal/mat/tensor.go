@@ -1,0 +1,75 @@
+package mat
+
+import "fmt"
+
+// Tensor is a rank-3 dense tensor with shape [N, T, D] stored row-major.
+// It is the batch type used by the neural-network layers: N samples, each a
+// T x D matrix (sequence length T, feature dimension D).
+type Tensor struct {
+	N, T, D int
+	Data    []float64 // len == N*T*D
+}
+
+// NewTensor returns a zero-initialised tensor of shape [n, t, d].
+func NewTensor(n, t, d int) *Tensor {
+	if n < 0 || t < 0 || d < 0 {
+		panic(fmt.Sprintf("mat: negative tensor dims [%d,%d,%d]", n, t, d))
+	}
+	return &Tensor{N: n, T: t, D: d, Data: make([]float64, n*t*d)}
+}
+
+// TensorFromSlice wraps data (not copied) as an [n, t, d] tensor.
+func TensorFromSlice(n, t, d int, data []float64) *Tensor {
+	if len(data) != n*t*d {
+		panic(fmt.Sprintf("mat: TensorFromSlice length %d != %d*%d*%d", len(data), n, t, d))
+	}
+	return &Tensor{N: n, T: t, D: d, Data: data}
+}
+
+// Sample returns sample i as a T x D matrix sharing the tensor's storage.
+// Mutating the returned matrix mutates the tensor.
+func (t *Tensor) Sample(i int) *Matrix {
+	sz := t.T * t.D
+	return &Matrix{Rows: t.T, Cols: t.D, Data: t.Data[i*sz : (i+1)*sz]}
+}
+
+// AsMatrix reshapes the tensor to an (N*T) x D matrix sharing storage.
+// This is the layout used to learn prototypes across samples and sequence
+// positions, and to run position-independent layers in one pass.
+func (t *Tensor) AsMatrix() *Matrix {
+	return &Matrix{Rows: t.N * t.T, Cols: t.D, Data: t.Data}
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := NewTensor(t.N, t.T, t.D)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero resets all elements.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// ShapeEquals reports whether two tensors share a shape.
+func (t *Tensor) ShapeEquals(o *Tensor) bool {
+	return t.N == o.N && t.T == o.T && t.D == o.D
+}
+
+// Gather returns a tensor holding the samples of t selected by idx.
+func (t *Tensor) Gather(idx []int) *Tensor {
+	out := NewTensor(len(idx), t.T, t.D)
+	sz := t.T * t.D
+	for i, s := range idx {
+		copy(out.Data[i*sz:(i+1)*sz], t.Data[s*sz:(s+1)*sz])
+	}
+	return out
+}
+
+// String renders the tensor shape for debugging.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor[%d,%d,%d]", t.N, t.T, t.D)
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"math"
+
+	"dart/internal/mat"
+)
+
+// ReLU is the rectified-linear activation applied elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward zeroes negative activations and caches the pass-through mask.
+func (r *ReLU) Forward(x *mat.Tensor) *mat.Tensor {
+	out := x.Clone()
+	if cap(r.mask) < len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	r.mask = r.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward gates the incoming gradient by the cached mask.
+func (r *ReLU) Backward(grad *mat.Tensor) *mat.Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params returns nil; ReLU is parameter-free.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Name reports the layer name.
+func (r *ReLU) Name() string { return "relu" }
+
+// SigmoidFn is the scalar logistic function.
+func SigmoidFn(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Sigmoid is the logistic activation applied elementwise.
+type Sigmoid struct {
+	y []float64
+}
+
+// NewSigmoid returns a Sigmoid layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward applies the logistic function and caches the outputs.
+func (s *Sigmoid) Forward(x *mat.Tensor) *mat.Tensor {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = SigmoidFn(v)
+	}
+	s.y = append(s.y[:0], out.Data...)
+	return out
+}
+
+// Backward uses σ'(x) = σ(x)(1-σ(x)).
+func (s *Sigmoid) Backward(grad *mat.Tensor) *mat.Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s.y[i] * (1 - s.y[i])
+	}
+	return out
+}
+
+// Params returns nil; Sigmoid is parameter-free.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Name reports the layer name.
+func (s *Sigmoid) Name() string { return "sigmoid" }
+
+// MeanPool averages over the sequence dimension, mapping [N, T, D] to
+// [N, 1, D]. It feeds the classification head that emits the delta bitmap.
+type MeanPool struct {
+	t int
+}
+
+// NewMeanPool returns a MeanPool layer.
+func NewMeanPool() *MeanPool { return &MeanPool{} }
+
+// Forward averages the T positions of every sample.
+func (p *MeanPool) Forward(x *mat.Tensor) *mat.Tensor {
+	p.t = x.T
+	out := mat.NewTensor(x.N, 1, x.D)
+	inv := 1 / float64(x.T)
+	for n := 0; n < x.N; n++ {
+		s := x.Sample(n)
+		orow := out.Sample(n).Row(0)
+		for t := 0; t < x.T; t++ {
+			row := s.Row(t)
+			for d, v := range row {
+				orow[d] += v * inv
+			}
+		}
+	}
+	return out
+}
+
+// Backward spreads the gradient uniformly back over the T positions.
+func (p *MeanPool) Backward(grad *mat.Tensor) *mat.Tensor {
+	out := mat.NewTensor(grad.N, p.t, grad.D)
+	inv := 1 / float64(p.t)
+	for n := 0; n < grad.N; n++ {
+		grow := grad.Sample(n).Row(0)
+		s := out.Sample(n)
+		for t := 0; t < p.t; t++ {
+			row := s.Row(t)
+			for d, v := range grow {
+				row[d] = v * inv
+			}
+		}
+	}
+	return out
+}
+
+// Params returns nil; MeanPool is parameter-free.
+func (p *MeanPool) Params() []*Param { return nil }
+
+// Name reports the layer name.
+func (p *MeanPool) Name() string { return "meanpool" }

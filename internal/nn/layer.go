@@ -1,0 +1,126 @@
+// Package nn is a small from-scratch neural-network library supporting the
+// attention-based memory-access predictors of the DART paper: linear layers,
+// multi-head self-attention, layer normalization, residual blocks, an LSTM
+// (for the Voyager-class baseline), binary-cross-entropy and distillation
+// losses, and the Adam optimizer. All layers implement full backpropagation;
+// batches are rank-3 tensors of shape [N samples, T sequence positions, D features].
+package nn
+
+import (
+	"fmt"
+
+	"dart/internal/mat"
+)
+
+// Param is a trainable parameter with its accumulated gradient.
+type Param struct {
+	Name string
+	W    *mat.Matrix // value
+	G    *mat.Matrix // gradient, same shape as W
+}
+
+func newParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, W: mat.New(rows, cols), G: mat.New(rows, cols)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// Layer is a differentiable module. Forward must cache whatever Backward
+// needs; Backward consumes the gradient w.r.t. the layer output and returns
+// the gradient w.r.t. the layer input, accumulating parameter gradients.
+type Layer interface {
+	Forward(x *mat.Tensor) *mat.Tensor
+	Backward(grad *mat.Tensor) *mat.Tensor
+	Params() []*Param
+	Name() string
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+	label  string
+}
+
+// NewSequential builds a sequential container with a diagnostic label.
+func NewSequential(label string, layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers, label: label}
+}
+
+// Forward runs every layer in order.
+func (s *Sequential) Forward(x *mat.Tensor) *mat.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates the gradient through the layers in reverse.
+func (s *Sequential) Backward(grad *mat.Tensor) *mat.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns the parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Name returns the container label.
+func (s *Sequential) Name() string { return s.label }
+
+// ForwardUpTo runs layers [0, k) and returns the intermediate activation.
+// The tabularizer uses this to obtain per-layer targets (Algorithm 1, line 2).
+func (s *Sequential) ForwardUpTo(x *mat.Tensor, k int) *mat.Tensor {
+	if k < 0 || k > len(s.Layers) {
+		panic(fmt.Sprintf("nn: ForwardUpTo(%d) of %d layers", k, len(s.Layers)))
+	}
+	for _, l := range s.Layers[:k] {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Residual wraps an inner layer and adds the block input to its output:
+// y = x + inner(x). The inner layer must preserve the input shape.
+type Residual struct {
+	Inner Layer
+}
+
+// NewResidual wraps inner in a residual connection.
+func NewResidual(inner Layer) *Residual { return &Residual{Inner: inner} }
+
+// Forward computes x + inner(x).
+func (r *Residual) Forward(x *mat.Tensor) *mat.Tensor {
+	y := r.Inner.Forward(x)
+	if !y.ShapeEquals(x) {
+		panic("nn: residual inner layer changed shape")
+	}
+	out := y.Clone()
+	for i, v := range x.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// Backward routes the gradient through the inner layer and the skip path.
+func (r *Residual) Backward(grad *mat.Tensor) *mat.Tensor {
+	inner := r.Inner.Backward(grad)
+	out := inner.Clone()
+	for i, v := range grad.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// Params returns the inner layer's parameters.
+func (r *Residual) Params() []*Param { return r.Inner.Params() }
+
+// Name identifies the block.
+func (r *Residual) Name() string { return "residual(" + r.Inner.Name() + ")" }

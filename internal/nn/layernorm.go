@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math"
+
+	"dart/internal/mat"
+)
+
+// LayerNorm normalises each sequence position over the feature dimension and
+// applies a learned affine transform: y = γ·(x-μ)/√(σ²+ε) + β.
+type LayerNorm struct {
+	D     int
+	Gamma *Param // [1, D]
+	Beta  *Param // [1, D]
+	Eps   float64
+
+	xhat   *mat.Matrix // cached normalised input, (N*T, D)
+	invStd []float64   // cached 1/√(σ²+ε) per row
+	n, t   int
+}
+
+// NewLayerNorm constructs a layer norm over dimension d with γ=1, β=0.
+func NewLayerNorm(name string, d int) *LayerNorm {
+	ln := &LayerNorm{
+		D:     d,
+		Gamma: newParam(name+".gamma", 1, d),
+		Beta:  newParam(name+".beta", 1, d),
+		Eps:   1e-5,
+	}
+	for i := range ln.Gamma.W.Data {
+		ln.Gamma.W.Data[i] = 1
+	}
+	return ln
+}
+
+// Forward normalises every row of the flattened (N*T, D) view.
+func (ln *LayerNorm) Forward(x *mat.Tensor) *mat.Tensor {
+	xm := x.AsMatrix()
+	rows := xm.Rows
+	ln.n, ln.t = x.N, x.T
+	ln.xhat = mat.New(rows, ln.D)
+	if cap(ln.invStd) < rows {
+		ln.invStd = make([]float64, rows)
+	}
+	ln.invStd = ln.invStd[:rows]
+	out := mat.New(rows, ln.D)
+	g := ln.Gamma.W.Data
+	b := ln.Beta.W.Data
+	for i := 0; i < rows; i++ {
+		row := xm.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(ln.D)
+		var vr float64
+		for _, v := range row {
+			d := v - mean
+			vr += d * d
+		}
+		vr /= float64(ln.D)
+		inv := 1 / math.Sqrt(vr+ln.Eps)
+		ln.invStd[i] = inv
+		xh := ln.xhat.Row(i)
+		orow := out.Row(i)
+		for j, v := range row {
+			h := (v - mean) * inv
+			xh[j] = h
+			orow[j] = g[j]*h + b[j]
+		}
+	}
+	return mat.TensorFromSlice(x.N, x.T, ln.D, out.Data)
+}
+
+// Backward implements the standard layer-norm gradient.
+func (ln *LayerNorm) Backward(grad *mat.Tensor) *mat.Tensor {
+	gm := grad.AsMatrix()
+	rows := gm.Rows
+	out := mat.New(rows, ln.D)
+	g := ln.Gamma.W.Data
+	invD := 1 / float64(ln.D)
+	for i := 0; i < rows; i++ {
+		grow := gm.Row(i)
+		xh := ln.xhat.Row(i)
+		// Parameter gradients.
+		for j, gv := range grow {
+			ln.Gamma.G.Data[j] += gv * xh[j]
+			ln.Beta.G.Data[j] += gv
+		}
+		// dxhat = grad * gamma
+		var sumDx, sumDxXh float64
+		orow := out.Row(i)
+		for j, gv := range grow {
+			dxh := gv * g[j]
+			orow[j] = dxh
+			sumDx += dxh
+			sumDxXh += dxh * xh[j]
+		}
+		inv := ln.invStd[i]
+		for j := range orow {
+			orow[j] = inv * (orow[j] - sumDx*invD - xh[j]*sumDxXh*invD)
+		}
+	}
+	return mat.TensorFromSlice(ln.n, ln.t, ln.D, out.Data)
+}
+
+// Params returns γ and β.
+func (ln *LayerNorm) Params() []*Param { return []*Param{ln.Gamma, ln.Beta} }
+
+// Name reports the layer name.
+func (ln *LayerNorm) Name() string { return ln.Gamma.Name[:len(ln.Gamma.Name)-len(".gamma")] }

@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"math"
+
+	"dart/internal/mat"
+)
+
+// LossFunc maps model logits and targets to a scalar loss and the gradient of
+// that loss with respect to the logits.
+type LossFunc func(logits, targets *mat.Tensor) (float64, *mat.Tensor)
+
+// BCEWithLogits is numerically stable binary cross-entropy over logits,
+// averaged over every element; the paper trains the multi-label delta-bitmap
+// predictor with this loss (Sec. VI-B).
+func BCEWithLogits(logits, targets *mat.Tensor) (float64, *mat.Tensor) {
+	if len(logits.Data) != len(targets.Data) {
+		panic("nn: BCEWithLogits shape mismatch")
+	}
+	grad := mat.NewTensor(logits.N, logits.T, logits.D)
+	inv := 1 / float64(len(logits.Data))
+	var loss float64
+	for i, z := range logits.Data {
+		y := targets.Data[i]
+		// loss = max(z,0) - z*y + log(1+exp(-|z|))
+		m := z
+		if m < 0 {
+			m = 0
+		}
+		loss += m - z*y + math.Log1p(math.Exp(-math.Abs(z)))
+		grad.Data[i] = (SigmoidFn(z) - y) * inv
+	}
+	return loss * inv, grad
+}
+
+// MSE is mean squared error; the layer fine-tuning step of Algorithm 1 trains
+// each tabularized layer against the original layer output with this loss
+// (Eq. 26).
+func MSE(pred, target *mat.Tensor) (float64, *mat.Tensor) {
+	if len(pred.Data) != len(target.Data) {
+		panic("nn: MSE shape mismatch")
+	}
+	grad := mat.NewTensor(pred.N, pred.T, pred.D)
+	inv := 1 / float64(len(pred.Data))
+	var loss float64
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d * inv
+	}
+	return loss * inv, grad
+}

@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// modelState is the on-wire form of a model's parameters.
+type modelState struct {
+	Names  []string
+	Shapes [][2]int
+	Data   [][]float64
+}
+
+// SaveParams writes a model's parameters with encoding/gob. Only parameter
+// values are stored; the caller is responsible for reconstructing a model of
+// the same architecture before loading.
+func SaveParams(w io.Writer, m Layer) error {
+	params := m.Params()
+	st := modelState{
+		Names:  make([]string, len(params)),
+		Shapes: make([][2]int, len(params)),
+		Data:   make([][]float64, len(params)),
+	}
+	for i, p := range params {
+		st.Names[i] = p.Name
+		st.Shapes[i] = [2]int{p.W.Rows, p.W.Cols}
+		st.Data[i] = append([]float64(nil), p.W.Data...)
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// LoadParams restores parameters saved by SaveParams into a model of the
+// same architecture. It verifies names and shapes.
+func LoadParams(r io.Reader, m Layer) error {
+	var st modelState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	params := m.Params()
+	if len(params) != len(st.Names) {
+		return fmt.Errorf("nn: model has %d params, snapshot has %d", len(params), len(st.Names))
+	}
+	for i, p := range params {
+		if p.Name != st.Names[i] {
+			return fmt.Errorf("nn: param %d name %q != snapshot %q", i, p.Name, st.Names[i])
+		}
+		if p.W.Rows != st.Shapes[i][0] || p.W.Cols != st.Shapes[i][1] {
+			return fmt.Errorf("nn: param %q shape %dx%d != snapshot %dx%d",
+				p.Name, p.W.Rows, p.W.Cols, st.Shapes[i][0], st.Shapes[i][1])
+		}
+		copy(p.W.Data, st.Data[i])
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TransformerConfig describes the attention-based memory-access predictor of
+// the paper's Fig. 6 using the notation of Table I: a T-length sequence of
+// DIn-dimensional segmented addresses, an input projection to DModel, L
+// pre-norm transformer encoder layers (MSA with Heads heads plus a DFF
+// feed-forward block), mean pooling, and a DOut-way multi-label head that
+// emits delta-bitmap logits.
+type TransformerConfig struct {
+	T      int // input sequence length (T_I == T_T: one token per access)
+	DIn    int // segmented-address dimension D_I
+	DModel int // attention dimension D_A
+	DFF    int // feed-forward hidden dimension D_F
+	DOut   int // delta bitmap size D_O
+	Heads  int // attention heads H
+	Layers int // encoder layers L
+}
+
+// Validate reports configuration errors.
+func (c TransformerConfig) Validate() error {
+	switch {
+	case c.T <= 0 || c.DIn <= 0 || c.DModel <= 0 || c.DFF <= 0 || c.DOut <= 0:
+		return fmt.Errorf("nn: non-positive dimension in %+v", c)
+	case c.Heads <= 0 || c.Layers <= 0:
+		return fmt.Errorf("nn: non-positive heads/layers in %+v", c)
+	case c.DModel%c.Heads != 0:
+		return fmt.Errorf("nn: DModel %d not divisible by heads %d", c.DModel, c.Heads)
+	}
+	return nil
+}
+
+// NewTransformerPredictor builds the predictor as a flat Sequential whose
+// layer sequence mirrors Algorithm 1's tabularization walk:
+//
+//	input linear → L×[ residual(LN→MSA) → residual(LN→linear→relu→linear) ]
+//	→ mean-pool → output linear
+//
+// The model emits logits; apply Sigmoid (or train with BCEWithLogits) to get
+// per-delta probabilities.
+func NewTransformerPredictor(cfg TransformerConfig, rng *rand.Rand) *Sequential {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	layers := []Layer{
+		NewLinear("input", cfg.DIn, cfg.DModel, rng),
+		NewPositionalEmbedding("pos", cfg.T, cfg.DModel, rng),
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		p := fmt.Sprintf("enc%d", l)
+		layers = append(layers,
+			NewResidual(NewSequential(p+".attnblock",
+				NewLayerNorm(p+".ln1", cfg.DModel),
+				NewMultiHeadSelfAttention(p+".msa", cfg.DModel, cfg.Heads, rng),
+			)),
+			NewResidual(NewSequential(p+".ffnblock",
+				NewLayerNorm(p+".ln2", cfg.DModel),
+				NewLinear(p+".ffn1", cfg.DModel, cfg.DFF, rng),
+				NewReLU(),
+				NewLinear(p+".ffn2", cfg.DFF, cfg.DModel, rng),
+			)),
+		)
+	}
+	layers = append(layers,
+		NewMeanPool(),
+		NewLinear("output", cfg.DModel, cfg.DOut, rng),
+	)
+	return NewSequential("transformer", layers...)
+}
+
+// ParamCount returns the total number of scalar parameters in a model.
+func ParamCount(m Layer) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.W.Data)
+	}
+	return n
+}

@@ -1,0 +1,65 @@
+package pq
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+)
+
+// encoderState is the on-wire form of either encoder implementation.
+type encoderState struct {
+	Kind    string // "kmeans" | "lsh"
+	D, C, K int
+	Centers []float64
+	Planes  []float64 // LSH only
+}
+
+func init() {
+	gob.Register(encoderState{})
+}
+
+// MarshalEncoder converts a fitted encoder to a gob-encodable state.
+func MarshalEncoder(e Encoder) (any, error) {
+	switch v := e.(type) {
+	case *KMeansEncoder:
+		return encoderState{
+			Kind: "kmeans", D: v.d, C: v.c, K: v.k,
+			Centers: append([]float64(nil), v.centers...),
+		}, nil
+	case *LSHEncoder:
+		return encoderState{
+			Kind: "lsh", D: v.d, C: v.c, K: v.k,
+			Centers: append([]float64(nil), v.centers...),
+			Planes:  append([]float64(nil), v.planes...),
+		}, nil
+	default:
+		return nil, fmt.Errorf("pq: cannot marshal encoder type %T", e)
+	}
+}
+
+// UnmarshalEncoder reconstructs an encoder from MarshalEncoder's state.
+func UnmarshalEncoder(state any) (Encoder, error) {
+	st, ok := state.(encoderState)
+	if !ok {
+		return nil, fmt.Errorf("pq: bad encoder state type %T", state)
+	}
+	switch st.Kind {
+	case "kmeans":
+		e := NewKMeansEncoder(st.D, st.C, st.K, rand.New(rand.NewSource(0)))
+		if len(st.Centers) != e.c*e.k*e.v {
+			return nil, fmt.Errorf("pq: kmeans centers length %d, want %d", len(st.Centers), e.c*e.k*e.v)
+		}
+		e.centers = append([]float64(nil), st.Centers...)
+		return e, nil
+	case "lsh":
+		e := NewLSHEncoder(st.D, st.C, st.K, rand.New(rand.NewSource(0)))
+		if len(st.Centers) != e.c*e.k*e.v || len(st.Planes) != e.c*e.bits*e.v {
+			return nil, fmt.Errorf("pq: lsh state lengths %d/%d invalid", len(st.Centers), len(st.Planes))
+		}
+		e.centers = append([]float64(nil), st.Centers...)
+		e.planes = append([]float64(nil), st.Planes...)
+		return e, nil
+	default:
+		return nil, fmt.Errorf("pq: unknown encoder kind %q", st.Kind)
+	}
+}

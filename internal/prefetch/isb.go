@@ -1,0 +1,93 @@
+package prefetch
+
+import "dart/internal/sim"
+
+// ISB is the Irregular Stream Buffer (MICRO'13): it linearizes irregular but
+// repeating access sequences by mapping physical addresses to a structural
+// address space. Accesses that follow each other under the same program
+// counter receive consecutive structural addresses; prefetching then walks
+// the structural space and translates back to physical addresses.
+type ISB struct {
+	degree  int
+	latency int
+	maxMap  int
+
+	lastByPC map[uint64]uint64 // training unit: PC -> last block
+	ps       map[uint64]uint64 // physical -> structural
+	sp       map[uint64]uint64 // structural -> physical
+	nextBase uint64            // next free structural stream base
+}
+
+// streamGap separates structural streams so they never collide.
+const streamGap = 1 << 20
+
+// NewISB returns ISB with the Table IX budget: 8 KB of mapping state and
+// ≈30-cycle latency.
+func NewISB(degree int) *ISB {
+	return &ISB{
+		degree:   degree,
+		latency:  30,
+		maxMap:   1 << 13, // entries before the maps stop growing
+		lastByPC: make(map[uint64]uint64),
+		ps:       make(map[uint64]uint64),
+		sp:       make(map[uint64]uint64),
+		nextBase: streamGap,
+	}
+}
+
+// Name identifies the prefetcher.
+func (i *ISB) Name() string { return "ISB" }
+
+// Latency is the lookup latency in cycles.
+func (i *ISB) Latency() int { return i.latency }
+
+// StorageBytes reports the hardware budget of Table IX.
+func (i *ISB) StorageBytes() int { return 8 << 10 }
+
+// OnAccess trains the structural mapping and prefetches along the stream.
+func (i *ISB) OnAccess(a sim.Access) []uint64 {
+	if prev, ok := i.lastByPC[a.PC]; ok && prev != a.Block {
+		i.link(prev, a.Block)
+	}
+	i.lastByPC[a.PC] = a.Block
+
+	out := make([]uint64, 0, i.degree)
+	if s, ok := i.ps[a.Block]; ok {
+		for d := uint64(1); d <= uint64(i.degree); d++ {
+			if p, ok := i.sp[s+d]; ok {
+				out = append(out, p)
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// link gives `next` the structural address following `prev`.
+func (i *ISB) link(prev, next uint64) {
+	s, ok := i.ps[prev]
+	if !ok {
+		if len(i.ps) >= i.maxMap {
+			return
+		}
+		s = i.nextBase
+		i.nextBase += streamGap
+		i.ps[prev] = s
+		i.sp[s] = prev
+	}
+	// Keep the first structural assignment: re-mapping on every divergence
+	// would tear down already-learned streams (the hardware ISB similarly
+	// biases toward established mappings).
+	if _, ok := i.ps[next]; ok {
+		return
+	}
+	if len(i.ps) >= i.maxMap {
+		return
+	}
+	if occ, ok := i.sp[s+1]; ok && occ != next {
+		delete(i.ps, occ) // displaced former successor
+	}
+	i.ps[next] = s + 1
+	i.sp[s+1] = next
+}

@@ -1,0 +1,73 @@
+package prefetch
+
+import "dart/internal/sim"
+
+// Stride is the classic PC-localised stride prefetcher: a reference
+// prediction table keyed by program counter tracks the last block and stride
+// of each static load, and issues prefetches once the stride has been
+// confirmed twice. It complements BO (global best offset) and ISB (temporal
+// streams) as the third classical baseline family.
+type Stride struct {
+	degree  int
+	latency int
+	maxPCs  int
+	table   map[uint64]*strideEntry
+}
+
+type strideEntry struct {
+	lastBlock  uint64
+	stride     int64
+	confidence int
+}
+
+// NewStride returns the stride prefetcher with a bounded PC table.
+func NewStride(degree int) *Stride {
+	return &Stride{
+		degree:  degree,
+		latency: 20,
+		maxPCs:  1024,
+		table:   make(map[uint64]*strideEntry),
+	}
+}
+
+// Name identifies the prefetcher.
+func (s *Stride) Name() string { return "Stride" }
+
+// Latency is the table-lookup latency in cycles.
+func (s *Stride) Latency() int { return s.latency }
+
+// StorageBytes reports the table budget (PC, block, stride, confidence per
+// entry ≈ 20 bytes).
+func (s *Stride) StorageBytes() int { return s.maxPCs * 20 }
+
+// OnAccess trains the per-PC stride and prefetches along confirmed strides.
+func (s *Stride) OnAccess(a sim.Access) []uint64 {
+	e, ok := s.table[a.PC]
+	if !ok {
+		if len(s.table) < s.maxPCs {
+			s.table[a.PC] = &strideEntry{lastBlock: a.Block}
+		}
+		return nil
+	}
+	stride := int64(a.Block) - int64(e.lastBlock)
+	if stride == e.stride && stride != 0 {
+		if e.confidence < 3 {
+			e.confidence++
+		}
+	} else {
+		e.stride = stride
+		e.confidence = 0
+	}
+	e.lastBlock = a.Block
+	if e.confidence < 2 || e.stride == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, s.degree)
+	for i := 1; i <= s.degree; i++ {
+		nb := int64(a.Block) + e.stride*int64(i)
+		if nb > 0 {
+			out = append(out, uint64(nb))
+		}
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+
+	"dart/internal/trace"
+)
+
+// BenchmarkRunBaseline measures raw simulator throughput (accesses/op is the
+// trace length).
+func BenchmarkRunBaseline(b *testing.B) {
+	recs := trace.Generate(trace.AppSpec{Name: "b", Pages: 500, Streams: 4, Seed: 1}, 10000)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(recs, NoPrefetcher{}, cfg)
+	}
+}
+
+// BenchmarkRunWithPrefetcher includes prefetch-queue bookkeeping.
+func BenchmarkRunWithPrefetcher(b *testing.B) {
+	recs := trace.Generate(trace.AppSpec{Name: "b", Pages: 500, Streams: 4, Seed: 1}, 10000)
+	cfg := DefaultConfig()
+	pf := nextLine{degree: 4, latency: 30}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(recs, pf, cfg)
+	}
+}
+
+func BenchmarkCacheLookup(b *testing.B) {
+	c := NewCache(1<<14, 16)
+	for blk := uint64(0); blk < 1<<14; blk++ {
+		c.Insert(blk, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(uint64(i)&(1<<14-1), true)
+	}
+}

@@ -1,0 +1,120 @@
+// Package sim is a trace-driven last-level-cache simulator in the spirit of
+// ChampSim's LLC model (paper Sec. VII-A1, Table III). Traces are LLC access
+// streams (upper cache levels are implicit in the trace, exactly as in the
+// paper's methodology of extracting LLC traces with ChampSim); the simulator
+// models a set-associative LLC with LRU replacement and MSHRs, a DRAM
+// latency/bandwidth model, an out-of-order core that hides latency up to its
+// reorder window, and an LLC prefetcher with an explicit inference-latency
+// model — the mechanism that separates DART from the slow NN baselines in
+// Figs. 12-14.
+package sim
+
+import "fmt"
+
+// line is one cache way.
+type line struct {
+	tag        uint64
+	valid      bool
+	lastUse    uint64
+	prefetched bool // filled by a prefetch
+	used       bool // prefetched line touched by demand
+}
+
+// Cache is a set-associative cache with true-LRU replacement, addressed in
+// cache blocks.
+type Cache struct {
+	sets    [][]line
+	setMask uint64
+	ways    int
+	clock   uint64
+
+	// Pollution bookkeeping.
+	EvictedUnusedPrefetches int
+}
+
+// NewCache builds a cache of the given total block capacity and
+// associativity; blocks/ways must be a power of two.
+func NewCache(blocks, ways int) *Cache {
+	if blocks <= 0 || ways <= 0 || blocks%ways != 0 {
+		panic(fmt.Sprintf("sim: invalid cache geometry %d blocks / %d ways", blocks, ways))
+	}
+	nsets := blocks / ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("sim: set count %d not a power of two", nsets))
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, blocks)
+	for i := range sets {
+		sets[i] = backing[i*ways : (i+1)*ways]
+	}
+	return &Cache{sets: sets, setMask: uint64(nsets - 1), ways: ways}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Lookup probes for a block; when touch is true a hit refreshes LRU state
+// and marks prefetched lines as used. It reports hit and whether this was
+// the first demand touch of a prefetched line.
+func (c *Cache) Lookup(block uint64, touch bool) (hit, firstPrefetchUse bool) {
+	set := c.sets[block&c.setMask]
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == block {
+			if touch {
+				c.clock++
+				l.lastUse = c.clock
+				if l.prefetched && !l.used {
+					l.used = true
+					return true, true
+				}
+			}
+			return true, false
+		}
+	}
+	return false, false
+}
+
+// Insert fills a block, evicting the LRU way if needed. It reports whether
+// an unused prefetched line was evicted (cache pollution).
+func (c *Cache) Insert(block uint64, prefetched bool) (pollutedEvict bool) {
+	set := c.sets[block&c.setMask]
+	c.clock++
+	// Already present: refresh only.
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			set[i].lastUse = c.clock
+			return false
+		}
+	}
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			goto fill
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	if set[victim].prefetched && !set[victim].used {
+		c.EvictedUnusedPrefetches++
+		pollutedEvict = true
+	}
+fill:
+	set[victim] = line{tag: block, valid: true, lastUse: c.clock, prefetched: prefetched}
+	return pollutedEvict
+}
+
+// Occupancy returns the number of valid lines (for tests).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, l := range set {
+			if l.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

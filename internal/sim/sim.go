@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+
+	"dart/internal/trace"
+)
+
+// Access is the event a prefetcher observes at the LLC.
+type Access struct {
+	Cycle   uint64
+	InstrID uint64
+	PC      uint64
+	Block   uint64
+	Hit     bool
+}
+
+// Prefetcher is the LLC prefetcher interface. OnAccess observes a demand
+// access and returns block addresses to prefetch; the simulator delays their
+// issue by Latency() cycles, modelling predictor inference time — the
+// quantity DART minimises.
+type Prefetcher interface {
+	Name() string
+	OnAccess(a Access) []uint64
+	Latency() int
+	StorageBytes() int
+}
+
+// NoPrefetcher is the baseline.
+type NoPrefetcher struct{}
+
+// Name identifies the baseline.
+func (NoPrefetcher) Name() string { return "none" }
+
+// OnAccess never prefetches.
+func (NoPrefetcher) OnAccess(Access) []uint64 { return nil }
+
+// Latency is zero.
+func (NoPrefetcher) Latency() int { return 0 }
+
+// StorageBytes is zero.
+func (NoPrefetcher) StorageBytes() int { return 0 }
+
+// Config mirrors the relevant rows of Table III.
+type Config struct {
+	CoreWidth     int // retire width (4-wide OoO)
+	ROBSize       int // reorder buffer entries
+	LLCBlocks     int // LLC capacity in 64-byte blocks
+	LLCWays       int
+	LLCHitLatency int // cycles from core to LLC data (L1+L2 probes included)
+	LLCMSHRs      int // outstanding demand misses
+	DRAMLatency   int // cycles for a DRAM fill
+	DRAMInterval  int // minimum cycles between DRAM fills (bandwidth)
+	PrefetchQueue int // pending prefetch capacity
+	MaxDegree     int // prefetches accepted per trigger
+}
+
+// DefaultConfig returns the Table III machine: 4 GHz 4-wide core with a
+// 256-entry ROB, 8 MiB 16-way LLC with 64 MSHRs, 20-cycle LLC latency and
+// a 12.5 ns (≈50-cycle) DRAM access time plus queueing, modelled as 200
+// cycles total load-to-use and a bandwidth-limited fill interval.
+func DefaultConfig() Config {
+	return Config{
+		CoreWidth:     4,
+		ROBSize:       256,
+		LLCBlocks:     8 << 20 >> 6, // 8 MiB of 64 B lines
+		LLCWays:       16,
+		LLCHitLatency: 35,
+		LLCMSHRs:      64,
+		DRAMLatency:   200,
+		DRAMInterval:  4,
+		PrefetchQueue: 64,
+		MaxDegree:     8,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.CoreWidth <= 0 || c.ROBSize <= 0 || c.LLCBlocks <= 0 || c.LLCWays <= 0 ||
+		c.LLCHitLatency < 0 || c.LLCMSHRs <= 0 || c.DRAMLatency <= 0 || c.PrefetchQueue <= 0 {
+		return fmt.Errorf("sim: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	Prefetcher   string
+	Instructions uint64
+	Cycles       float64
+	IPC          float64
+
+	Accesses        int // demand LLC accesses
+	DemandHits      int
+	DemandMisses    int // full-latency misses (no prefetch help)
+	LateCovered     int // demand hit a pending prefetch fill (partial benefit)
+	PrefetchIssued  int
+	PrefetchUseful  int // prefetched lines touched by demand (incl. late)
+	PrefetchDropped int
+	Pollution       int // unused prefetched lines evicted
+}
+
+// Accuracy is useful / issued prefetches.
+func (r Result) Accuracy() float64 {
+	if r.PrefetchIssued == 0 {
+		return 0
+	}
+	return float64(r.PrefetchUseful) / float64(r.PrefetchIssued)
+}
+
+// MissRate is demand misses per access.
+func (r Result) MissRate() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.DemandMisses) / float64(r.Accesses)
+}
+
+// Coverage computes the fraction of baseline misses removed by prefetching.
+func Coverage(base, pf Result) float64 {
+	if base.DemandMisses == 0 {
+		return 0
+	}
+	cov := 1 - float64(pf.DemandMisses)/float64(base.DemandMisses)
+	if cov < 0 {
+		return 0
+	}
+	return cov
+}
+
+// IPCImprovement is the relative IPC gain of pf over base.
+func IPCImprovement(base, pf Result) float64 {
+	if base.IPC == 0 {
+		return 0
+	}
+	return pf.IPC/base.IPC - 1
+}
+
+// pendingFill is an in-flight cache fill.
+type pendingFill struct {
+	block      uint64
+	ready      uint64 // completion cycle
+	prefetched bool
+}
+
+// Run simulates the trace with the given prefetcher.
+func Run(recs []trace.Record, pf Prefetcher, cfg Config) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	llc := NewCache(cfg.LLCBlocks, cfg.LLCWays)
+	res := Result{Prefetcher: pf.Name()}
+	// hideCapacity approximates the latency an OoO core overlaps with
+	// independent work: ROB entries retire at CoreWidth per cycle.
+	hide := float64(cfg.ROBSize) / float64(cfg.CoreWidth)
+
+	var cycle float64
+	var dramFree float64 // next cycle DRAM can start a fill (bandwidth)
+	var prevInstr uint64
+	pending := make([]pendingFill, 0, cfg.PrefetchQueue+cfg.LLCMSHRs)
+	inFlight := make(map[uint64]int, cfg.PrefetchQueue+cfg.LLCMSHRs) // block -> index+1 in pending
+
+	// materialize installs every fill completed by `now` into the LLC.
+	materialize := func(now float64) {
+		w := 0
+		for _, p := range pending {
+			if float64(p.ready) <= now {
+				llc.Insert(p.block, p.prefetched)
+				delete(inFlight, p.block)
+			} else {
+				pending[w] = p
+				w++
+			}
+		}
+		pending = pending[:w]
+		for i, p := range pending {
+			inFlight[p.block] = i + 1
+		}
+	}
+
+	dramFill := func(start float64) float64 {
+		if start < dramFree {
+			start = dramFree
+		}
+		dramFree = start + float64(cfg.DRAMInterval)
+		return start + float64(cfg.DRAMLatency)
+	}
+
+	if len(recs) > 0 {
+		prevInstr = recs[0].InstrID
+	}
+	for _, r := range recs {
+		// Core makes progress on the instructions between LLC accesses.
+		di := r.InstrID - prevInstr
+		prevInstr = r.InstrID
+		cycle += float64(di) / float64(cfg.CoreWidth)
+		materialize(cycle)
+
+		block := r.Block()
+		res.Accesses++
+		var stall float64
+		hit, firstUse := llc.Lookup(block, true)
+		switch {
+		case hit:
+			res.DemandHits++
+			if firstUse {
+				res.PrefetchUseful++
+			}
+			lat := float64(cfg.LLCHitLatency)
+			if lat > hide {
+				stall = lat - hide
+			}
+		case inFlight[block] != 0:
+			// A fill (usually a prefetch) is already on the way: pay the
+			// remaining latency only.
+			p := pending[inFlight[block]-1]
+			remain := float64(p.ready) - cycle
+			if remain < 0 {
+				remain = 0
+			}
+			if p.prefetched {
+				res.LateCovered++
+				res.PrefetchUseful++
+			}
+			lat := remain + float64(cfg.LLCHitLatency)
+			if lat > hide {
+				stall = lat - hide
+			}
+			// Materialize it now as a demand line.
+			llc.Insert(block, false)
+			idx := inFlight[block] - 1
+			pending = append(pending[:idx], pending[idx+1:]...)
+			delete(inFlight, block)
+			for i, pp := range pending {
+				inFlight[pp.block] = i + 1
+			}
+		default:
+			res.DemandMisses++
+			// Demand fills are prioritised by the memory controller: they
+			// pay the DRAM latency but are not queued behind prefetch fills.
+			ready := cycle + float64(cfg.DRAMLatency)
+			lat := ready - cycle + float64(cfg.LLCHitLatency)
+			if lat > hide {
+				stall = lat - hide
+			}
+			llc.Insert(block, false)
+		}
+		cycle += stall
+
+		// Prefetcher observes the demand access and may issue requests.
+		reqs := pf.OnAccess(Access{
+			Cycle:   uint64(cycle),
+			InstrID: r.InstrID,
+			PC:      r.PC,
+			Block:   block,
+			Hit:     hit,
+		})
+		issueAt := cycle + float64(pf.Latency())
+		degree := 0
+		for _, pb := range reqs {
+			if degree >= cfg.MaxDegree {
+				res.PrefetchDropped++
+				continue
+			}
+			if h, _ := llc.Lookup(pb, false); h || inFlight[pb] != 0 {
+				continue // already resident or in flight
+			}
+			if len(pending) >= cfg.PrefetchQueue {
+				res.PrefetchDropped++
+				continue
+			}
+			ready := dramFill(issueAt)
+			pending = append(pending, pendingFill{block: pb, ready: uint64(ready), prefetched: true})
+			inFlight[pb] = len(pending)
+			res.PrefetchIssued++
+			degree++
+		}
+	}
+	res.Pollution = llc.EvictedUnusedPrefetches
+	if len(recs) > 0 {
+		res.Instructions = recs[len(recs)-1].InstrID - recs[0].InstrID + 1
+	}
+	res.Cycles = cycle
+	if cycle > 0 {
+		res.IPC = float64(res.Instructions) / cycle
+	}
+	return res
+}

@@ -1,0 +1,310 @@
+package tabular
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dart/internal/mat"
+	"dart/internal/pq"
+)
+
+// SoftmaxMode selects how the attention kernel folds the softmax activation
+// into the QKV table (Sec. V-B).
+type SoftmaxMode int
+
+const (
+	// SoftmaxShared stores exp-weighted numerator and denominator tables and
+	// performs one division per output row at query time, so the softmax is
+	// normalised over the full (quantized) score row. This is the default.
+	SoftmaxShared SoftmaxMode = iota
+	// SoftmaxPerSubspace normalises each subspace's prototype independently,
+	// the literal reading of Eq. 14; kept for the ablation bench.
+	SoftmaxPerSubspace
+)
+
+// AttentionKernel tabularizes one head of scaled dot-product attention:
+// Y = softmax(QKᵀ/√Dk)·V for T x Dk inputs. Training performs the paper's two
+// quantization steps: (1) prototypes of Q and K rows with a pairwise-product
+// QK table of depth K² (Eq. 12), and (2) a secondary quantization of the
+// approximated score rows, whose prototypes absorb the 1/√Dk scaling and the
+// softmax before being dotted against prototypes of V's columns to form the
+// QKV table (Eq. 14). Queries are two rounds of encode + lookup (Eq. 13, 15)
+// with no matrix multiplication, scaling, or activation arithmetic.
+type AttentionKernel struct {
+	T, Dk int
+	mode  SoftmaxMode
+	cfg   KernelConfig
+
+	encQ, encK pq.Encoder // over Dk rows
+	qkTable    []float64  // [Ck][K][K]: P^Q_ci · P^K_cj
+
+	encS, encV pq.Encoder // over length-T score rows / V columns
+	qkvTable   []float64  // [Ct][K][K]: numerator (shared) or folded softmax (per-subspace)
+	denTable   []float64  // [Ct][K]: shared-mode denominator partial sums
+	expShift   float64    // global shift keeping exp() in range
+}
+
+// AttentionTrainingSet carries the kernel-fitting activations: the Q, K, V
+// tensors reaching this head, each [N, T, Dk].
+type AttentionTrainingSet struct {
+	Q, K, V *mat.Tensor
+}
+
+// NewAttentionKernel fits the two quantization stages and builds both tables.
+func NewAttentionKernel(ts AttentionTrainingSet, cfg KernelConfig, mode SoftmaxMode, rng *rand.Rand) *AttentionKernel {
+	cfg = cfg.withDefaults()
+	t, dk := ts.Q.T, ts.Q.D
+	if !ts.Q.ShapeEquals(ts.K) || !ts.Q.ShapeEquals(ts.V) {
+		panic("tabular: attention kernel Q/K/V shape mismatch")
+	}
+	a := &AttentionKernel{T: t, Dk: dk, mode: mode, cfg: cfg}
+	a.encQ = newEncoder(cfg, dk, rng)
+	a.encQ.Fit(ts.Q.AsMatrix())
+	a.encK = newEncoder(cfg, dk, rng)
+	a.encK.Fit(ts.K.AsMatrix())
+
+	// QK table: pairwise prototype dot products per subspace (Eq. 12).
+	ck, kk := a.encQ.C(), a.encQ.K()
+	a.qkTable = make([]float64, ck*kk*kk)
+	for c := 0; c < ck; c++ {
+		for i := 0; i < kk; i++ {
+			pi := a.encQ.Center(c, i)
+			for j := 0; j < kk; j++ {
+				pj := a.encK.Center(c, j)
+				var dot float64
+				for v, qv := range pi {
+					dot += qv * pj[v]
+				}
+				a.qkTable[(c*kk+i)*kk+j] = dot
+			}
+		}
+	}
+
+	// Approximate score rows for the training set via the QK table (the
+	// secondary quantization trains on what the query will actually see).
+	n := ts.Q.N
+	scoreRows := mat.New(n*t, t)
+	iq := make([]int, ck)
+	ikByRow := make([][]int, t)
+	for r := range ikByRow {
+		ikByRow[r] = make([]int, ck)
+	}
+	for s := 0; s < n; s++ {
+		qs, ks := ts.Q.Sample(s), ts.K.Sample(s)
+		for t2 := 0; t2 < t; t2++ {
+			a.encK.EncodeRow(ks.Row(t2), ikByRow[t2])
+		}
+		for t1 := 0; t1 < t; t1++ {
+			a.encQ.EncodeRow(qs.Row(t1), iq)
+			row := scoreRows.Row(s*t + t1)
+			for t2 := 0; t2 < t; t2++ {
+				ik := ikByRow[t2]
+				var sum float64
+				for c := 0; c < ck; c++ {
+					sum += a.qkTable[(c*kk+iq[c])*kk+ik[c]]
+				}
+				row[t2] = sum
+			}
+		}
+	}
+	a.encS = newEncoder(cfg, t, rng)
+	a.encS.Fit(scoreRows)
+
+	// V columns: reshape to (N·Dk) x T rows (the paper's Ṽᵀ).
+	vcols := mat.New(n*dk, t)
+	for s := 0; s < n; s++ {
+		vs := ts.V.Sample(s)
+		for d := 0; d < dk; d++ {
+			row := vcols.Row(s*dk + d)
+			for tt := 0; tt < t; tt++ {
+				row[tt] = vs.At(tt, d)
+			}
+		}
+	}
+	a.encV = newEncoder(cfg, t, rng)
+	a.encV.Fit(vcols)
+
+	a.buildQKVTable()
+	return a
+}
+
+// buildQKVTable folds scaling and softmax into the second-stage table.
+func (a *AttentionKernel) buildQKVTable() {
+	ct, k := a.encS.C(), a.encS.K()
+	sub := a.encS.SubDim()
+	scale := 1 / math.Sqrt(float64(a.Dk))
+	// Global shift for exp() stability: max scaled prototype element.
+	a.expShift = math.Inf(-1)
+	for c := 0; c < ct; c++ {
+		for i := 0; i < k; i++ {
+			for _, v := range a.encS.Center(c, i) {
+				if z := v * scale; z > a.expShift {
+					a.expShift = z
+				}
+			}
+		}
+	}
+	if math.IsInf(a.expShift, -1) {
+		a.expShift = 0
+	}
+	a.qkvTable = make([]float64, ct*k*k)
+	a.denTable = make([]float64, ct*k)
+	ex := make([]float64, sub)
+	for c := 0; c < ct; c++ {
+		for i := 0; i < k; i++ {
+			ps := a.encS.Center(c, i)
+			var den float64
+			for v, sv := range ps {
+				e := math.Exp(sv*scale - a.expShift)
+				ex[v] = e
+				den += e
+			}
+			a.denTable[c*k+i] = den
+			for j := 0; j < k; j++ {
+				pv := a.encV.Center(c, j)
+				var dot float64
+				for v, e := range ex {
+					dot += e * pv[v]
+				}
+				if a.mode == SoftmaxPerSubspace && den > 0 {
+					dot /= den
+				}
+				a.qkvTable[(c*k+i)*k+j] = dot
+			}
+		}
+	}
+}
+
+// Query runs the two lookup rounds for one sample: Q, K, V are T x Dk.
+func (a *AttentionKernel) Query(q, k, v *mat.Matrix) *mat.Matrix {
+	t := a.T
+	if q.Rows != t || q.Cols != a.Dk {
+		panic(fmt.Sprintf("tabular: attention query shape %dx%d, want %dx%d", q.Rows, q.Cols, t, a.Dk))
+	}
+	ck, kk := a.encQ.C(), a.encQ.K()
+	// Round 1: scores from the QK table (Eq. 13).
+	iq := make([]int, ck)
+	ik := make([][]int, t)
+	for r := range ik {
+		ik[r] = make([]int, ck)
+		a.encK.EncodeRow(k.Row(r), ik[r])
+	}
+	scores := mat.New(t, t)
+	for t1 := 0; t1 < t; t1++ {
+		a.encQ.EncodeRow(q.Row(t1), iq)
+		row := scores.Row(t1)
+		for t2 := 0; t2 < t; t2++ {
+			ikr := ik[t2]
+			var sum float64
+			for c := 0; c < ck; c++ {
+				sum += a.qkTable[(c*kk+iq[c])*kk+ikr[c]]
+			}
+			row[t2] = sum
+		}
+	}
+	// Round 2: encode score rows and V columns, look up the QKV table (Eq. 15).
+	ct, ks := a.encS.C(), a.encS.K()
+	ivs := make([][]int, a.Dk)
+	col := make([]float64, t)
+	for d := 0; d < a.Dk; d++ {
+		for tt := 0; tt < t; tt++ {
+			col[tt] = v.At(tt, d)
+		}
+		ivs[d] = make([]int, ct)
+		a.encV.EncodeRow(col, ivs[d])
+	}
+	out := mat.New(t, a.Dk)
+	is := make([]int, ct)
+	for t1 := 0; t1 < t; t1++ {
+		a.encS.EncodeRow(scores.Row(t1), is)
+		var den float64
+		if a.mode == SoftmaxShared {
+			for c, i := range is {
+				den += a.denTable[c*ks+i]
+			}
+			if den == 0 {
+				den = 1
+			}
+		}
+		orow := out.Row(t1)
+		for d := 0; d < a.Dk; d++ {
+			iv := ivs[d]
+			var num float64
+			for c, i := range is {
+				num += a.qkvTable[(c*ks+i)*ks+iv[c]]
+			}
+			if a.mode == SoftmaxShared {
+				num /= den
+			}
+			orow[d] = num
+		}
+	}
+	return out
+}
+
+// Cost reports Eqs. 17, 19, 21 for this kernel.
+func (a *AttentionKernel) Cost() Cost {
+	k, c, d := a.cfg.K, a.encQ.C(), a.cfg.DataBits
+	return Cost{
+		LatencyCycles: AttentionLatency(k, c),
+		StorageBits:   AttentionStorageBits(a.T, a.Dk, k, c, d),
+		Ops:           AttentionOps(a.T, a.Dk, k, c),
+	}
+}
+
+// Name identifies the kernel.
+func (a *AttentionKernel) Name() string {
+	return fmt.Sprintf("attention-kernel(T=%d,Dk=%d)", a.T, a.Dk)
+}
+
+// MSAKernel is the tabular form of a full multi-head self-attention block:
+// linear kernels for the Q/K/V projections, one attention kernel per head,
+// and a linear kernel for the output projection.
+type MSAKernel struct {
+	D, H, Dh   int
+	WQ, WK, WV *LinearKernel
+	Heads      []*AttentionKernel
+	WO         *LinearKernel
+}
+
+// Query runs the tabular MSA for one sample (T x D).
+func (m *MSAKernel) Query(x *mat.Matrix) *mat.Matrix {
+	q := m.WQ.Query(x)
+	k := m.WK.Query(x)
+	v := m.WV.Query(x)
+	t := x.Rows
+	concat := mat.New(t, m.D)
+	for h := 0; h < m.H; h++ {
+		lo, hi := h*m.Dh, (h+1)*m.Dh
+		oh := m.Heads[h].Query(q.SliceCols(lo, hi), k.SliceCols(lo, hi), v.SliceCols(lo, hi))
+		for i := 0; i < t; i++ {
+			copy(concat.Row(i)[lo:hi], oh.Row(i))
+		}
+	}
+	return m.WO.Query(concat)
+}
+
+// Cost sums the projection and head costs; heads run in parallel so latency
+// counts a single head.
+func (m *MSAKernel) Cost() Cost {
+	c := m.WQ.Cost() // Q/K/V projections run in parallel: one latency
+	c.StorageBits += m.WK.Cost().StorageBits + m.WV.Cost().StorageBits
+	c.Ops += m.WK.Cost().Ops + m.WV.Cost().Ops
+	if len(m.Heads) > 0 {
+		hc := m.Heads[0].Cost()
+		c.LatencyCycles += hc.LatencyCycles
+		for _, h := range m.Heads {
+			c.StorageBits += h.Cost().StorageBits
+			c.Ops += h.Cost().Ops
+		}
+	}
+	oc := m.WO.Cost()
+	c.LatencyCycles += oc.LatencyCycles
+	c.StorageBits += oc.StorageBits
+	c.Ops += oc.Ops
+	return c
+}
+
+// Name identifies the block.
+func (m *MSAKernel) Name() string { return fmt.Sprintf("msa-kernel(D=%d,H=%d)", m.D, m.H) }

@@ -1,0 +1,61 @@
+package tabular
+
+import (
+	"math/rand"
+	"testing"
+
+	"dart/internal/nn"
+)
+
+// BenchmarkLinearKernelQuery measures a single linear-kernel lookup pass
+// (T=8 rows, 32→64 dims, K=128, C=4).
+func BenchmarkLinearKernelQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := nn.NewLinear("l", 32, 64, rng)
+	train := clusteredTensor(rng, 64, 8, 32, 8)
+	k := NewLinearKernel(l, train, KernelConfig{K: 128, C: 4}, rng)
+	x := train.Sample(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Query(x)
+	}
+}
+
+// BenchmarkLinearKernelQueryLSH is the same lookup with the O(log K) encoder.
+func BenchmarkLinearKernelQueryLSH(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := nn.NewLinear("l", 32, 64, rng)
+	train := clusteredTensor(rng, 64, 8, 32, 8)
+	k := NewLinearKernel(l, train, KernelConfig{K: 128, C: 4, Kind: EncoderLSH}, rng)
+	x := train.Sample(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Query(x)
+	}
+}
+
+// BenchmarkAttentionKernelQuery measures the two-round attention lookup.
+func BenchmarkAttentionKernelQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ts := AttentionTrainingSet{
+		Q: clusteredTensor(rng, 48, 8, 16, 4),
+		K: clusteredTensor(rng, 48, 8, 16, 4),
+		V: clusteredTensor(rng, 48, 8, 16, 4),
+	}
+	ak := NewAttentionKernel(ts, KernelConfig{K: 32, C: 2}, SoftmaxShared, rng)
+	q, k, v := ts.Q.Sample(0), ts.K.Sample(0), ts.V.Sample(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ak.Query(q, k, v)
+	}
+}
+
+// BenchmarkTabularize measures full Algorithm 1 on a small trained model.
+func BenchmarkTabularize(b *testing.B) {
+	m, x, _ := smallModelAndData(1)
+	cfg := Config{Kernel: KernelConfig{K: 16, C: 2}, FineTune: true, Seed: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Tabularize(m, x, cfg)
+	}
+}

@@ -1,0 +1,84 @@
+package tabular
+
+// Cost models a kernel's inference complexity with the three quantities the
+// paper tracks (Sec. V-C): critical-path latency in cycles under full
+// parallelism, storage in bits, and residual arithmetic operations.
+type Cost struct {
+	LatencyCycles int
+	StorageBits   int
+	Ops           int
+}
+
+// Add accumulates costs across layers (latencies are sequential).
+func (c Cost) Add(o Cost) Cost {
+	return Cost{
+		LatencyCycles: c.LatencyCycles + o.LatencyCycles,
+		StorageBits:   c.StorageBits + o.StorageBits,
+		Ops:           c.Ops + o.Ops,
+	}
+}
+
+// StorageBytes reports storage in bytes, rounding up.
+func (c Cost) StorageBytes() int { return (c.StorageBits + 7) / 8 }
+
+// CeilLog2 returns ⌈log2(x)⌉ with CeilLog2(1) = 0.
+func CeilLog2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	n := 0
+	v := 1
+	for v < x {
+		v <<= 1
+		n++
+	}
+	return n
+}
+
+// LinearLatency is Eq. 16: L_l(K, C) = log(K) + log(C) + 1.
+func LinearLatency(k, c int) int { return CeilLog2(k) + CeilLog2(c) + 1 }
+
+// AttentionLatency is Eq. 17 with C_k = C_t = C:
+// L_a(K, C) = 2(log(K) + log(C) + 1).
+func AttentionLatency(k, c int) int { return 2 * (CeilLog2(k) + CeilLog2(c) + 1) }
+
+// LinearStorageBits is Eq. 18: S_l = T·C·log(K) + D_O·K·C·d bits.
+func LinearStorageBits(t, do, k, c, d int) int {
+	return t*c*CeilLog2(k) + do*k*c*d
+}
+
+// AttentionStorageBits is Eq. 19 with C_k = C_t = C:
+// S_a = (3T + D_k)·C·log(K) + 2K²·C·d bits.
+func AttentionStorageBits(t, dk, k, c, d int) int {
+	return (3*t+dk)*c*CeilLog2(k) + 2*k*k*c*d
+}
+
+// LinearOps is Eq. 20: A_l = T·C·log(K) + T·D_O·log(C).
+func LinearOps(t, do, k, c int) int {
+	return t*c*CeilLog2(k) + t*do*CeilLog2(c)
+}
+
+// AttentionOps is Eq. 21 with C_k = C_t = C:
+// A_a = (3T + D_k)·C·log(K) + (T² + D_k²)·log(C).
+func AttentionOps(t, dk, k, c int) int {
+	return (3*t+dk)*c*CeilLog2(k) + (t*t+dk*dk)*CeilLog2(c)
+}
+
+// Constants for the non-tabular operations the paper keeps in native
+// arithmetic form. Layer norm is a two-pass reduction over D (latency
+// ~2·log D under a parallel reduction, but the paper treats it as a small
+// constant); the sigmoid LUT is a single lookup.
+const (
+	// LayerNormLatency is L_ln in Eq. 22.
+	LayerNormLatency = 2
+	// SigmoidLatency is L_σ in Eq. 22.
+	SigmoidLatency = 1
+	// SigmoidLUTEntries is the fixed sigmoid lookup-table resolution.
+	SigmoidLUTEntries = 1024
+)
+
+// LayerNormStorageBits is S_ln: γ and β at d bits each.
+func LayerNormStorageBits(dim, d int) int { return 2 * dim * d }
+
+// SigmoidStorageBits is S_σ: the fixed LUT.
+func SigmoidStorageBits(d int) int { return SigmoidLUTEntries * d }

@@ -1,0 +1,150 @@
+// Package tabular implements the paper's core contribution: tabularization
+// kernels (Sec. V) that convert the operations of an attention-based neural
+// network into table lookups, the layer-wise tabularization algorithm with
+// fine-tuning (Algorithm 1), and the analytic latency/storage/operation-count
+// model of Sec. V-C (Eqs. 16-23).
+package tabular
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dart/internal/mat"
+	"dart/internal/pq"
+)
+
+// Layer is one stage of the table-based predictor. Query maps a single
+// sample's T x D activation matrix to the next activation; layers are either
+// table lookups (linear/attention kernels, sigmoid LUT) or the cheap
+// arithmetic passthroughs the paper keeps in native form (layer norm,
+// residual add, pooling, ReLU).
+type Layer interface {
+	Query(x *mat.Matrix) *mat.Matrix
+	Cost() Cost
+	Name() string
+}
+
+// EncoderKind selects how kernels encode query vectors to prototype indices.
+type EncoderKind int
+
+const (
+	// EncoderKMeans uses exact nearest-prototype search (Eq. 7).
+	EncoderKMeans EncoderKind = iota
+	// EncoderLSH uses sign-bit locality-sensitive hashing, the O(log K)
+	// encoder assumed by the paper's latency model.
+	EncoderLSH
+)
+
+// KernelConfig carries the per-layer table configuration ⟨K, C⟩ of Table II
+// plus the encoder choice and fitting parameters.
+type KernelConfig struct {
+	K        int         // prototypes per subspace
+	C        int         // subspaces
+	Kind     EncoderKind // encoder implementation
+	DataBits int         // stored entry width d in bits (paper uses d); default 32
+}
+
+// withDefaults normalises zero fields.
+func (c KernelConfig) withDefaults() KernelConfig {
+	if c.DataBits == 0 {
+		c.DataBits = 32
+	}
+	if c.K == 0 {
+		c.K = 16
+	}
+	if c.C == 0 {
+		c.C = 1
+	}
+	return c
+}
+
+// newEncoder constructs the configured encoder for dimension d. When d is not
+// divisible by C, the subspace count is reduced to the largest divisor of d
+// that is <= C, so kernels remain usable for any layer width.
+func newEncoder(cfg KernelConfig, d int, rng *rand.Rand) pq.Encoder {
+	c := cfg.C
+	for c > 1 && d%c != 0 {
+		c--
+	}
+	switch cfg.Kind {
+	case EncoderLSH:
+		return pq.NewLSHEncoder(d, c, cfg.K, rng)
+	default:
+		return pq.NewKMeansEncoder(d, c, cfg.K, rng)
+	}
+}
+
+// Hierarchy is the full table-based predictor: an ordered list of tabular
+// layers mirroring the source network.
+type Hierarchy struct {
+	Layers []Layer
+}
+
+// Query runs a single sample (T x D matrix) through every layer.
+func (h *Hierarchy) Query(x *mat.Matrix) *mat.Matrix {
+	for _, l := range h.Layers {
+		x = l.Query(x)
+	}
+	return x
+}
+
+// Forward evaluates a batch tensor sample-by-sample and returns the stacked
+// outputs. The per-sample queries are independent table lookups — the
+// embarrassingly parallel structure the paper exploits — so large batches
+// fan out across GOMAXPROCS goroutines.
+func (h *Hierarchy) Forward(x *mat.Tensor) *mat.Tensor {
+	if x.N == 0 {
+		return mat.NewTensor(0, 0, 0)
+	}
+	first := h.Query(x.Sample(0))
+	out := mat.NewTensor(x.N, first.Rows, first.Cols)
+	copy(out.Sample(0).Data, first.Data)
+	const parallelMin = 32
+	if x.N < parallelMin {
+		for n := 1; n < x.N; n++ {
+			copy(out.Sample(n).Data, h.Query(x.Sample(n)).Data)
+		}
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	next.Store(1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= x.N {
+					return
+				}
+				copy(out.Sample(n).Data, h.Query(x.Sample(n)).Data)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// QueryUpTo runs a sample through the first k layers (used to compare
+// per-layer outputs against the source network, Fig. 11).
+func (h *Hierarchy) QueryUpTo(x *mat.Matrix, k int) *mat.Matrix {
+	for _, l := range h.Layers[:k] {
+		x = l.Query(x)
+	}
+	return x
+}
+
+// Cost sums the analytic complexity of every layer. Latency is the critical
+// path under the paper's fully-parallel assumption, so lookups within a layer
+// count once while layers accumulate.
+func (h *Hierarchy) Cost() Cost {
+	var total Cost
+	for _, l := range h.Layers {
+		total = total.Add(l.Cost())
+	}
+	return total
+}

@@ -1,0 +1,100 @@
+package tabular
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dart/internal/mat"
+	"dart/internal/nn"
+	"dart/internal/pq"
+)
+
+// LinearKernel tabularizes Linear(X) = WX + B (Sec. V-A). Prototypes are
+// learned from row vectors across samples and sequence positions; the table
+// stores, for every output dimension o and prototype (c, k), the dot product
+// W_o^c · P_k^c (Eq. 10) with the bias folded into subspace 0 so that query
+// aggregation adds it for free. A query encodes each of the T input rows once
+// and aggregates over subspaces per Eq. 11.
+type LinearKernel struct {
+	In, Out int
+	enc     pq.Encoder
+	// table[o*C*K + c*K + k] = W_o^c · P_k^c (+ bias_o when c == 0).
+	table []float64
+	cfg   KernelConfig
+	seqT  int // nominal sequence length for cost reporting
+}
+
+// NewLinearKernel builds the kernel from a trained linear layer and the
+// kernel's PQ training inputs (the tabularized activations reaching this
+// layer), per Algorithm 1 line 10.
+func NewLinearKernel(l *nn.Linear, train *mat.Tensor, cfg KernelConfig, rng *rand.Rand) *LinearKernel {
+	cfg = cfg.withDefaults()
+	if train.D != l.In {
+		panic(fmt.Sprintf("tabular: linear kernel train dim %d != layer in %d", train.D, l.In))
+	}
+	enc := newEncoder(cfg, l.In, rng)
+	enc.Fit(train.AsMatrix())
+	k := &LinearKernel{
+		In: l.In, Out: l.Out,
+		enc:  enc,
+		cfg:  cfg,
+		seqT: train.T,
+	}
+	C, K, V := enc.C(), enc.K(), enc.SubDim()
+	k.table = make([]float64, l.Out*C*K)
+	w := l.Weight.W // [Out, In]
+	for o := 0; o < l.Out; o++ {
+		wrow := w.Row(o)
+		for c := 0; c < C; c++ {
+			wc := wrow[c*V : (c+1)*V]
+			for ki := 0; ki < K; ki++ {
+				p := enc.Center(c, ki)
+				var dot float64
+				for j, wv := range wc {
+					dot += wv * p[j]
+				}
+				if c == 0 {
+					dot += l.Bias.W.Data[o] // bias folded per Eq. 10
+				}
+				k.table[(o*C+c)*K+ki] = dot
+			}
+		}
+	}
+	return k
+}
+
+// Query maps a T x In activation to T x Out via encode + lookup + aggregate.
+func (k *LinearKernel) Query(x *mat.Matrix) *mat.Matrix {
+	if x.Cols != k.In {
+		panic(fmt.Sprintf("tabular: linear kernel query dim %d != %d", x.Cols, k.In))
+	}
+	C, K := k.enc.C(), k.enc.K()
+	out := mat.New(x.Rows, k.Out)
+	idx := make([]int, C)
+	for t := 0; t < x.Rows; t++ {
+		k.enc.EncodeRow(x.Row(t), idx)
+		orow := out.Row(t)
+		for o := 0; o < k.Out; o++ {
+			base := o * C * K
+			var s float64
+			for c, ki := range idx {
+				s += k.table[base+c*K+ki]
+			}
+			orow[o] = s
+		}
+	}
+	return out
+}
+
+// Cost reports Eqs. 16, 18, 20 for this kernel.
+func (k *LinearKernel) Cost() Cost {
+	K, C, d := k.cfg.K, k.enc.C(), k.cfg.DataBits
+	return Cost{
+		LatencyCycles: LinearLatency(K, C),
+		StorageBits:   LinearStorageBits(k.seqT, k.Out, K, C, d),
+		Ops:           LinearOps(k.seqT, k.Out, K, C),
+	}
+}
+
+// Name identifies the layer.
+func (k *LinearKernel) Name() string { return fmt.Sprintf("linear-kernel(%d->%d)", k.In, k.Out) }

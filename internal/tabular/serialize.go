@@ -1,0 +1,259 @@
+package tabular
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"dart/internal/pq"
+)
+
+// Serialized hierarchy layout: a flat list of typed layer states. Residual
+// blocks store their inner layers recursively.
+type hierarchyState struct {
+	Layers []layerState
+}
+
+type layerState struct {
+	Kind string // "linear" | "msa" | "layernorm" | "sigmoid" | "relu" | "meanpool" | "posembed" | "residual"
+
+	// linear kernel
+	In, Out int
+	SeqT    int
+	Cfg     KernelConfig
+	Enc     any
+	Table   []float64
+
+	// msa kernel
+	D, H, Dh       int
+	WQ, WK, WV, WO *layerState
+	Heads          []attnState
+
+	// layernorm / posembed
+	Dim         int
+	Gamma, Beta []float64
+	Eps         float64
+	T           int
+	Emb         []float64
+
+	// residual
+	Inner []layerState
+}
+
+type attnState struct {
+	T, Dk    int
+	Mode     SoftmaxMode
+	Cfg      KernelConfig
+	EncQ     any
+	EncK     any
+	EncS     any
+	EncV     any
+	QKTable  []float64
+	QKVTable []float64
+	DenTable []float64
+	ExpShift float64
+}
+
+func init() {
+	gob.Register(hierarchyState{})
+}
+
+// Save writes the hierarchy with encoding/gob so a trained DART predictor
+// can be deployed without retraining.
+func (h *Hierarchy) Save(w io.Writer) error {
+	st, err := marshalLayers(h.Layers)
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(hierarchyState{Layers: st})
+}
+
+// LoadHierarchy reads a hierarchy written by Save.
+func LoadHierarchy(r io.Reader) (*Hierarchy, error) {
+	var st hierarchyState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("tabular: decode hierarchy: %w", err)
+	}
+	layers, err := unmarshalLayers(st.Layers)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{Layers: layers}, nil
+}
+
+func marshalLayers(layers []Layer) ([]layerState, error) {
+	out := make([]layerState, 0, len(layers))
+	for _, l := range layers {
+		st, err := marshalLayer(l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+func marshalLayer(l Layer) (layerState, error) {
+	switch v := l.(type) {
+	case *LinearKernel:
+		enc, err := pq.MarshalEncoder(v.enc)
+		if err != nil {
+			return layerState{}, err
+		}
+		return layerState{
+			Kind: "linear", In: v.In, Out: v.Out, SeqT: v.seqT,
+			Cfg: v.cfg, Enc: enc, Table: v.table,
+		}, nil
+	case *MSAKernel:
+		wq, err := marshalLayer(v.WQ)
+		if err != nil {
+			return layerState{}, err
+		}
+		wk, err := marshalLayer(v.WK)
+		if err != nil {
+			return layerState{}, err
+		}
+		wv, err := marshalLayer(v.WV)
+		if err != nil {
+			return layerState{}, err
+		}
+		wo, err := marshalLayer(v.WO)
+		if err != nil {
+			return layerState{}, err
+		}
+		st := layerState{Kind: "msa", D: v.D, H: v.H, Dh: v.Dh,
+			WQ: &wq, WK: &wk, WV: &wv, WO: &wo}
+		for _, h := range v.Heads {
+			encQ, err := pq.MarshalEncoder(h.encQ)
+			if err != nil {
+				return layerState{}, err
+			}
+			encK, err := pq.MarshalEncoder(h.encK)
+			if err != nil {
+				return layerState{}, err
+			}
+			encS, err := pq.MarshalEncoder(h.encS)
+			if err != nil {
+				return layerState{}, err
+			}
+			encV, err := pq.MarshalEncoder(h.encV)
+			if err != nil {
+				return layerState{}, err
+			}
+			st.Heads = append(st.Heads, attnState{
+				T: h.T, Dk: h.Dk, Mode: h.mode, Cfg: h.cfg,
+				EncQ: encQ, EncK: encK, EncS: encS, EncV: encV,
+				QKTable: h.qkTable, QKVTable: h.qkvTable,
+				DenTable: h.denTable, ExpShift: h.expShift,
+			})
+		}
+		return st, nil
+	case *LayerNormTab:
+		return layerState{Kind: "layernorm", Dim: v.D, Gamma: v.Gamma, Beta: v.Beta, Eps: v.Eps}, nil
+	case *SigmoidLUT:
+		return layerState{Kind: "sigmoid"}, nil
+	case ReLUTab:
+		return layerState{Kind: "relu"}, nil
+	case MeanPoolTab:
+		return layerState{Kind: "meanpool"}, nil
+	case *PosEmbedTab:
+		return layerState{Kind: "posembed", T: v.T, Dim: v.D, Emb: v.Emb}, nil
+	case *ResidualTab:
+		inner, err := marshalLayers(v.Inner)
+		if err != nil {
+			return layerState{}, err
+		}
+		return layerState{Kind: "residual", Inner: inner}, nil
+	default:
+		return layerState{}, fmt.Errorf("tabular: cannot serialize layer %T", l)
+	}
+}
+
+func unmarshalLayers(states []layerState) ([]Layer, error) {
+	out := make([]Layer, 0, len(states))
+	for _, st := range states {
+		l, err := unmarshalLayer(st)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+func unmarshalLayer(st layerState) (Layer, error) {
+	switch st.Kind {
+	case "linear":
+		enc, err := pq.UnmarshalEncoder(st.Enc)
+		if err != nil {
+			return nil, err
+		}
+		return &LinearKernel{
+			In: st.In, Out: st.Out, seqT: st.SeqT,
+			cfg: st.Cfg, enc: enc, table: st.Table,
+		}, nil
+	case "msa":
+		wq, err := unmarshalLayer(*st.WQ)
+		if err != nil {
+			return nil, err
+		}
+		wk, err := unmarshalLayer(*st.WK)
+		if err != nil {
+			return nil, err
+		}
+		wv, err := unmarshalLayer(*st.WV)
+		if err != nil {
+			return nil, err
+		}
+		wo, err := unmarshalLayer(*st.WO)
+		if err != nil {
+			return nil, err
+		}
+		m := &MSAKernel{D: st.D, H: st.H, Dh: st.Dh,
+			WQ: wq.(*LinearKernel), WK: wk.(*LinearKernel),
+			WV: wv.(*LinearKernel), WO: wo.(*LinearKernel)}
+		for _, hs := range st.Heads {
+			encQ, err := pq.UnmarshalEncoder(hs.EncQ)
+			if err != nil {
+				return nil, err
+			}
+			encK, err := pq.UnmarshalEncoder(hs.EncK)
+			if err != nil {
+				return nil, err
+			}
+			encS, err := pq.UnmarshalEncoder(hs.EncS)
+			if err != nil {
+				return nil, err
+			}
+			encV, err := pq.UnmarshalEncoder(hs.EncV)
+			if err != nil {
+				return nil, err
+			}
+			m.Heads = append(m.Heads, &AttentionKernel{
+				T: hs.T, Dk: hs.Dk, mode: hs.Mode, cfg: hs.Cfg,
+				encQ: encQ, encK: encK, encS: encS, encV: encV,
+				qkTable: hs.QKTable, qkvTable: hs.QKVTable,
+				denTable: hs.DenTable, expShift: hs.ExpShift,
+			})
+		}
+		return m, nil
+	case "layernorm":
+		return &LayerNormTab{D: st.Dim, Gamma: st.Gamma, Beta: st.Beta, Eps: st.Eps, bits: 32}, nil
+	case "sigmoid":
+		return NewSigmoidLUT(32), nil
+	case "relu":
+		return ReLUTab{}, nil
+	case "meanpool":
+		return MeanPoolTab{}, nil
+	case "posembed":
+		return &PosEmbedTab{T: st.T, D: st.Dim, Emb: st.Emb, bits: 32}, nil
+	case "residual":
+		inner, err := unmarshalLayers(st.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return &ResidualTab{Inner: inner}, nil
+	default:
+		return nil, fmt.Errorf("tabular: unknown layer kind %q", st.Kind)
+	}
+}

@@ -1,0 +1,87 @@
+package trace
+
+// Apps returns the eight synthetic benchmark applications standing in for
+// Table IV. Parameters are tuned (at the default 100K-access scale) to
+// reproduce the paper's qualitative per-app structure:
+//
+//   - 462.libquantum: almost pure unit-stride streaming → very few deltas.
+//   - 605.mcf: pointer-heavy and irregular → orders of magnitude more deltas
+//     than any other app.
+//   - 433.milc: the largest page footprint.
+//   - 437.leslie3d / 619.lbm: small footprints, regular sweeps.
+//   - 410.bwaves / 621.wrf: multi-stream strided with moderate delta variety.
+//   - 602.gcc: mixed control-heavy behaviour.
+func Apps() []AppSpec {
+	return []AppSpec{
+		{
+			Name: "410.bwaves", Suite: "SPEC 2006",
+			Pages: 3700, Streams: 8,
+			Strides:       []int64{1, 2, 4, 8, 16, 64, 65, 128},
+			IrregularFrac: 0.02, ReuseFrac: 0.05,
+			PCs: 16, Seed: 410,
+		},
+		{
+			Name: "433.milc", Suite: "SPEC 2006",
+			Pages: 19800, Streams: 12,
+			Strides:       []int64{1, 4, 16, 64, 256},
+			IrregularFrac: 0.04, ReuseFrac: 0.05,
+			PCs: 24, Seed: 433,
+		},
+		{
+			Name: "437.leslie3d", Suite: "SPEC 2006",
+			Pages: 1700, Streams: 4,
+			Strides:       []int64{1, 2, 64},
+			IrregularFrac: 0.015, ReuseFrac: 0.10,
+			PCs: 12, Seed: 437,
+		},
+		{
+			Name: "462.libquantum", Suite: "SPEC 2006",
+			Pages: 5400, Streams: 2,
+			Strides:       []int64{1},
+			IrregularFrac: 0.001, ReuseFrac: 0.0,
+			PCs: 4, Seed: 462,
+		},
+		{
+			Name: "602.gcc", Suite: "SPEC 2017",
+			Pages: 3400, Streams: 6,
+			Strides:       []int64{1, 2, 3, 64},
+			IrregularFrac: 0.025, ReuseFrac: 0.15, ChaseFrac: 0.02,
+			PCs: 32, Seed: 602,
+		},
+		{
+			Name: "605.mcf", Suite: "SPEC 2017",
+			Pages: 3700, Streams: 8,
+			Strides:       []int64{1, 7, 13},
+			IrregularFrac: 0.55, ReuseFrac: 0.05, ChaseFrac: 0.15,
+			PCs: 32, Seed: 605,
+		},
+		{
+			Name: "619.lbm", Suite: "SPEC 2017",
+			Pages: 1900, Streams: 4,
+			Strides:       []int64{1, 2},
+			IrregularFrac: 0.005, ReuseFrac: 0.05,
+			PCs: 8, Seed: 619,
+		},
+		{
+			Name: "621.wrf", Suite: "SPEC 2017",
+			Pages: 3300, Streams: 8,
+			Strides:       []int64{1, 3, 9, 27, 64, 128},
+			IrregularFrac: 0.03, ReuseFrac: 0.05,
+			PCs: 20, Seed: 621,
+		},
+	}
+}
+
+// AppByName finds an application spec by (suffix of) its name, e.g. "mcf".
+func AppByName(name string) (AppSpec, bool) {
+	for _, a := range Apps() {
+		if a.Name == name || hasSuffix(a.Name, name) {
+			return a, true
+		}
+	}
+	return AppSpec{}, false
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := Generate(AppSpec{Name: "t", Pages: 50, Streams: 2, Seed: 4}, 500)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip %d -> %d records", len(recs), len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	in := "100,0x400000,0x10000040,1\n200,0x400004,0x10000080,0\n"
+	recs, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].PC != 0x400000 || recs[0].Addr != 0x10000040 || !recs[0].IsLoad {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[1].IsLoad {
+		t.Fatal("record 1 should be a store")
+	}
+}
+
+func TestReadCSVDecimalAddresses(t *testing.T) {
+	recs, err := ReadCSV(strings.NewReader("5,1024,2048,true\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].PC != 1024 || recs[0].Addr != 2048 || !recs[0].IsLoad {
+		t.Fatalf("record = %+v", recs[0])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for _, in := range []string{
+		"1,2,3\n",       // too few fields
+		"x,0x1,0x2,1\n", // bad instr
+		"1,zz,0x2,1\n",  // bad pc
+		"1,0x1,zz,1\n",  // bad addr
+	} {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("no error for %q", in)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	in := "instr_id,pc,addr,is_load\n\n1,0x1,0x40,1\n\n"
+	recs, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+}

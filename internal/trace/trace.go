@@ -1,0 +1,185 @@
+// Package trace generates synthetic last-level-cache access traces that
+// stand in for the SPEC CPU 2006/2017 traces of the paper's Table IV. Each
+// benchmark application is modelled as a mixture of access patterns —
+// sequential streams, strided sweeps, page-local randomness, deterministic
+// pointer-chasing chains, and temporal reuse — parameterised so the per-app
+// page and delta cardinalities reproduce the paper's qualitative ordering
+// (e.g. 605.mcf has by far the most deltas; 462.libquantum is a nearly pure
+// stream with the fewest).
+package trace
+
+import (
+	"math/rand"
+)
+
+// BlockBits is the cache-line size in address bits (64-byte lines).
+const BlockBits = 6
+
+// PageBits is the page size in address bits (4 KiB pages).
+const PageBits = 12
+
+// BlocksPerPage is the number of cache lines per page.
+const BlocksPerPage = 1 << (PageBits - BlockBits)
+
+// Record is one LLC access.
+type Record struct {
+	InstrID uint64 // retiring instruction sequence number
+	PC      uint64
+	Addr    uint64 // byte address
+	IsLoad  bool
+}
+
+// Block returns the cache-line address (byte address >> 6).
+func (r Record) Block() uint64 { return r.Addr >> BlockBits }
+
+// Page returns the page address.
+func (r Record) Page() uint64 { return r.Addr >> PageBits }
+
+// AppSpec parameterises one synthetic benchmark application.
+type AppSpec struct {
+	Name  string
+	Suite string
+
+	Pages          int     // working-set size in pages
+	Streams        int     // concurrent access streams
+	Strides        []int64 // block strides the streams draw from
+	IrregularFrac  float64 // probability of a random jump within the footprint
+	ChaseFrac      float64 // probability of following the pointer-chase chain
+	ReuseFrac      float64 // probability of re-touching a recent block
+	PCs            int     // distinct program counters
+	InstrPerAccess int     // mean retired instructions between LLC accesses
+	StickRun       int     // mean consecutive accesses served by one stream
+	Seed           int64
+}
+
+// Generate produces n access records for the application.
+func Generate(spec AppSpec, n int) []Record {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	if spec.Streams <= 0 {
+		spec.Streams = 1
+	}
+	if spec.PCs <= 0 {
+		spec.PCs = 8
+	}
+	if spec.InstrPerAccess <= 0 {
+		spec.InstrPerAccess = 20
+	}
+	if len(spec.Strides) == 0 {
+		spec.Strides = []int64{1}
+	}
+	if spec.StickRun <= 0 {
+		spec.StickRun = 16
+	}
+	base := uint64(0x10000000) // footprint base address
+	footprintBlocks := uint64(spec.Pages) * BlocksPerPage
+
+	// Pointer-chase chain: a fixed random permutation over a subset of the
+	// footprint, giving ISB-learnable temporal correlation.
+	chainLen := footprintBlocks / 4
+	if chainLen < 4 {
+		chainLen = 4
+	}
+	chain := rng.Perm(int(chainLen))
+	chainPos := 0
+
+	type stream struct {
+		block  uint64
+		stride int64
+		pc     uint64
+	}
+	streams := make([]stream, spec.Streams)
+	for i := range streams {
+		streams[i] = stream{
+			block:  uint64(rng.Int63n(int64(footprintBlocks))),
+			stride: spec.Strides[rng.Intn(len(spec.Strides))],
+			pc:     0x400000 + uint64(rng.Intn(spec.PCs))*4,
+		}
+	}
+	recent := make([]uint64, 0, 64)
+	recs := make([]Record, 0, n)
+	var instr uint64
+	cur := 0    // active stream
+	remain := 0 // accesses left in the current sticky run
+	for i := 0; i < n; i++ {
+		instr += uint64(1 + rng.Intn(2*spec.InstrPerAccess))
+		// Streams are sticky: real LLC traces interleave in bursts, which
+		// keeps the unique-delta count low for regular applications.
+		if remain <= 0 {
+			cur = rng.Intn(len(streams))
+			remain = 1 + rng.Intn(2*spec.StickRun)
+		}
+		remain--
+		s := &streams[cur]
+		var block uint64
+		var pc uint64
+		r := rng.Float64()
+		switch {
+		case r < spec.ChaseFrac:
+			// Deterministic chain traversal.
+			block = uint64(chain[chainPos])
+			chainPos = (chainPos + 1) % len(chain)
+			pc = 0x500000
+		case r < spec.ChaseFrac+spec.IrregularFrac:
+			// Irregular jump anywhere in the footprint.
+			block = uint64(rng.Int63n(int64(footprintBlocks)))
+			pc = 0x600000 + uint64(rng.Intn(spec.PCs))*4
+		case r < spec.ChaseFrac+spec.IrregularFrac+spec.ReuseFrac && len(recent) > 0:
+			// Temporal reuse of a recent block.
+			block = recent[rng.Intn(len(recent))]
+			pc = s.pc
+		default:
+			// Strided stream advance.
+			nb := int64(s.block) + s.stride
+			if nb < 0 || uint64(nb) >= footprintBlocks {
+				nb = rng.Int63n(int64(footprintBlocks))
+				s.stride = spec.Strides[rng.Intn(len(spec.Strides))]
+			}
+			s.block = uint64(nb)
+			block = s.block
+			pc = s.pc
+		}
+		if len(recent) < cap(recent) {
+			recent = append(recent, block)
+		} else {
+			recent[i%cap(recent)] = block
+		}
+		recs = append(recs, Record{
+			InstrID: instr,
+			PC:      pc,
+			Addr:    base + block<<BlockBits,
+			IsLoad:  rng.Float64() < 0.7,
+		})
+	}
+	return recs
+}
+
+// Stats summarises a trace the way Table IV does.
+type Stats struct {
+	Accesses  int
+	Addresses int // unique block addresses
+	Pages     int // unique pages
+	Deltas    int // unique successive block deltas
+}
+
+// Summarize computes Table IV-style statistics for a trace.
+func Summarize(recs []Record) Stats {
+	blocks := make(map[uint64]struct{})
+	pages := make(map[uint64]struct{})
+	deltas := make(map[int64]struct{})
+	var prev uint64
+	for i, r := range recs {
+		b := r.Block()
+		blocks[b] = struct{}{}
+		pages[r.Page()] = struct{}{}
+		if i > 0 {
+			deltas[int64(b)-int64(prev)] = struct{}{}
+		}
+		prev = b
+	}
+	return Stats{
+		Accesses:  len(recs),
+		Addresses: len(blocks),
+		Pages:     len(pages),
+		Deltas:    len(deltas),
+	}
+}

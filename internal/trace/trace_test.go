@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestGenerateLength(t *testing.T) {
+	spec := AppSpec{Name: "test", Pages: 100, Streams: 2, Seed: 1}
+	recs := Generate(spec, 1000)
+	if len(recs) != 1000 {
+		t.Fatalf("generated %d records", len(recs))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := AppSpec{Name: "test", Pages: 100, Streams: 2, Seed: 42}
+	a := Generate(spec, 500)
+	b := Generate(spec, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs between runs with same seed", i)
+		}
+	}
+}
+
+func TestAddressesWithinFootprint(t *testing.T) {
+	spec := AppSpec{Name: "test", Pages: 50, Streams: 4, Strides: []int64{1, 64}, Seed: 7}
+	recs := Generate(spec, 5000)
+	footprint := uint64(50) * BlocksPerPage
+	base := recs[0].Addr >> BlockBits
+	_ = base
+	for _, r := range recs {
+		blk := r.Block() - (uint64(0x10000000) >> BlockBits)
+		if blk >= footprint {
+			t.Fatalf("block %d outside %d-block footprint", blk, footprint)
+		}
+	}
+}
+
+func TestInstrIDsMonotone(t *testing.T) {
+	recs := Generate(AppSpec{Name: "t", Pages: 10, Seed: 3}, 1000)
+	for i := 1; i < len(recs); i++ {
+		if recs[i].InstrID <= recs[i-1].InstrID {
+			t.Fatalf("InstrID not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestSummarizeCountsUnique(t *testing.T) {
+	recs := []Record{
+		{Addr: 0 << BlockBits}, {Addr: 1 << BlockBits}, {Addr: 0 << BlockBits},
+	}
+	s := Summarize(recs)
+	if s.Accesses != 3 || s.Addresses != 2 || s.Pages != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	// Deltas: +1 and -1.
+	if s.Deltas != 2 {
+		t.Fatalf("deltas %d", s.Deltas)
+	}
+}
+
+func TestTableIVQualitativeOrdering(t *testing.T) {
+	// The synthetic apps must reproduce the paper's qualitative structure.
+	const n = 50000
+	stats := map[string]Stats{}
+	for _, a := range Apps() {
+		stats[a.Name] = Summarize(Generate(a, n))
+	}
+	// 605.mcf has by far the most deltas.
+	mcf := stats["605.mcf"].Deltas
+	for name, s := range stats {
+		if name == "605.mcf" {
+			continue
+		}
+		if s.Deltas*3 > mcf {
+			t.Errorf("%s deltas %d too close to mcf's %d", name, s.Deltas, mcf)
+		}
+	}
+	// 462.libquantum has the fewest deltas (pure stream).
+	libq := stats["462.libquantum"].Deltas
+	for name, s := range stats {
+		if name == "462.libquantum" {
+			continue
+		}
+		if s.Deltas < libq {
+			t.Errorf("%s deltas %d below libquantum's %d", name, s.Deltas, libq)
+		}
+	}
+	// 433.milc touches the most pages.
+	milc := stats["433.milc"].Pages
+	for name, s := range stats {
+		if name == "433.milc" {
+			continue
+		}
+		if s.Pages >= milc {
+			t.Errorf("%s pages %d >= milc's %d", name, s.Pages, milc)
+		}
+	}
+	// leslie3d has the smallest page footprint of the 2006 apps, as in Table IV.
+	if stats["437.leslie3d"].Pages >= stats["410.bwaves"].Pages {
+		t.Error("leslie3d should touch fewer pages than bwaves")
+	}
+}
+
+func TestAppByName(t *testing.T) {
+	if _, ok := AppByName("mcf"); !ok {
+		t.Fatal("suffix lookup failed")
+	}
+	if a, ok := AppByName("410.bwaves"); !ok || a.Name != "410.bwaves" {
+		t.Fatal("exact lookup failed")
+	}
+	if _, ok := AppByName("nonexistent"); ok {
+		t.Fatal("lookup of unknown app succeeded")
+	}
+}
+
+func TestAppsHaveDistinctSeeds(t *testing.T) {
+	seen := map[int64]string{}
+	for _, a := range Apps() {
+		if prev, dup := seen[a.Seed]; dup {
+			t.Fatalf("apps %s and %s share seed %d", prev, a.Name, a.Seed)
+		}
+		seen[a.Seed] = a.Name
+	}
+}
+
+func TestBlockAndPage(t *testing.T) {
+	r := Record{Addr: 0x12345678}
+	if r.Block() != 0x12345678>>6 || r.Page() != 0x12345678>>12 {
+		t.Fatal("block/page math broken")
+	}
+}
