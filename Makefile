@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test short race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## short: quick signal — small pipeline fixtures via -short
+short:
+	$(GO) test -short ./...
+
+## race: the race-detector pass CI runs; -short keeps the heavy pipeline
+## fixture out of the (≈10x slower) instrumented build
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+## bench: the parallel-engine benchmark grid recorded in BENCH_par.json
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMatMul|BenchmarkHierarchyQueryBatch' -benchmem \
+		./internal/mat ./internal/tabular
+
+ci: vet build test race

@@ -11,17 +11,30 @@
 //
 // The repository layout:
 //
-//	internal/mat       dense matrix/tensor substrate
+//	internal/mat       dense matrix/tensor substrate with a parallel blocked
+//	                   matmul engine (AVX2+FMA micro-kernel on amd64)
+//	internal/par       shared worker pool behind every parallel kernel
 //	internal/nn        neural-network library (transformer, LSTM, Adam, losses)
-//	internal/pq        product quantization (k-means + LSH encoders, dot tables)
-//	internal/tabular   tabularization kernels, Algorithm 1, complexity model
+//	internal/pq        product quantization (k-means + LSH encoders, dot tables,
+//	                   batched encoding)
+//	internal/tabular   tabularization kernels, Algorithm 1, complexity model,
+//	                   batched hierarchy queries
 //	internal/kd        multi-label knowledge distillation
 //	internal/dataprep  address segmentation and delta-bitmap labels
 //	internal/trace     synthetic SPEC-like LLC trace generators
 //	internal/sim       trace-driven LLC/DRAM simulator with prefetcher latency
+//	                   and a concurrent multi-trace driver
 //	internal/prefetch  BO, ISB, and NN/table prefetcher wrappers
 //	internal/config    table configurator and NN complexity models
-//	internal/core      the end-to-end DART pipeline
+//	internal/core      the end-to-end DART pipeline and evaluation sweeps
+//
+// Parallelism model: every hot path — blocked matmul, batched PQ encoding
+// (pq.EncodeBatch, behind the linear table kernels), batched hierarchy
+// queries, multi-trace simulation sweeps — fans out through the worker pool
+// in internal/par (tunable via DART_MAX_WORKERS or par.SetMaxWorkers). Parallel kernels partition work in fixed blocks with
+// serial in-block reduction order, so results are bit-identical for any
+// worker count; see internal/par/README.md for the determinism guarantee and
+// BENCH_par.json for measured speedups.
 //
 // The benchmark files in this directory regenerate every table and figure of
 // the paper's evaluation section; see EXPERIMENTS.md for the index and

@@ -10,9 +10,12 @@ import (
 )
 
 // fastOptions keeps pipeline tests quick: a small teacher, few epochs, and a
-// tight PQ-fitting budget.
+// tight PQ-fitting budget. Under -short (the CI race pass, where every
+// instruction costs ~10x) the fixture shrinks further — fewer training
+// epochs and a smaller PQ-fitting budget — while the full-size fixture
+// keeps running in normal mode.
 func fastOptions() Options {
-	return Options{
+	opt := Options{
 		Data:          dataprep.Config{History: 6, SegmentBits: 6, Segments: 6, LookForward: 8, DeltaRange: 16},
 		Constraints:   config.Constraints{LatencyCycles: 80, StorageBytes: 512 << 10},
 		TeacherDModel: 32, TeacherDFF: 64, TeacherHeads: 2, TeacherLayers: 1,
@@ -21,6 +24,20 @@ func fastOptions() Options {
 		FitSamples:    128,
 		Seed:          3,
 	}
+	if testing.Short() {
+		opt.TeacherEpochs = 2
+		opt.FineTuneEpochs = 4
+		opt.FitSamples = 64
+	}
+	return opt
+}
+
+// fixtureRecords is the pipeline-fixture trace length (shrunk under -short).
+func fixtureRecords() int {
+	if testing.Short() {
+		return 2200
+	}
+	return 4000
 }
 
 func buildArtifacts(t *testing.T, opt Options) *Artifacts {
@@ -28,7 +45,7 @@ func buildArtifacts(t *testing.T, opt Options) *Artifacts {
 	recs := trace.Generate(trace.AppSpec{
 		Name: "unit", Pages: 300, Streams: 4,
 		Strides: []int64{1, 2}, Seed: 9,
-	}, 4000)
+	}, fixtureRecords())
 	art, err := BuildDART(recs, opt)
 	if err != nil {
 		t.Fatal(err)

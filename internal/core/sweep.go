@@ -1,0 +1,86 @@
+package core
+
+// The sweep driver is the concurrent evaluation half of the pipeline: once
+// BuildDART has produced a table-based prefetcher, the paper's evaluation
+// (Figs. 7-10, Tables V-VIII) runs it — and its baselines — over many traces
+// and machine configurations. Those simulations are independent, so the
+// driver fans them across the shared worker pool and merges metrics
+// deterministically.
+
+import (
+	"sort"
+
+	"dart/internal/sim"
+	"dart/internal/trace"
+)
+
+// SimCase is one cell of an evaluation sweep. New must return a fresh
+// prefetcher instance on every call: prefetchers are stateful, and the
+// driver instantiates one per case so cases never share mutable state.
+// A nil New simulates the no-prefetcher baseline.
+type SimCase struct {
+	Name string
+	Recs []trace.Record
+	New  func() sim.Prefetcher
+	Cfg  sim.Config
+}
+
+// CaseResult pairs a sweep cell with its simulation result.
+type CaseResult struct {
+	Name string
+	Res  sim.Result
+}
+
+// RunCases executes every case concurrently and returns results in case
+// order. Each case runs the exact sequential simulator, so the output is
+// bit-identical to a serial loop for any worker count.
+func RunCases(cases []SimCase) []CaseResult {
+	jobs := make([]sim.Job, len(cases))
+	for i, c := range cases {
+		var pf sim.Prefetcher = sim.NoPrefetcher{}
+		if c.New != nil {
+			pf = c.New()
+		}
+		jobs[i] = sim.Job{Name: c.Name, Recs: c.Recs, PF: pf, Cfg: c.Cfg}
+	}
+	res := sim.RunMany(jobs)
+	out := make([]CaseResult, len(cases))
+	for i, r := range res {
+		out[i] = CaseResult{Name: cases[i].Name, Res: r}
+	}
+	return out
+}
+
+// MergeCases folds the results of a sweep into one aggregate via sim.Merge,
+// in case order (deterministic).
+func MergeCases(results []CaseResult) sim.Result {
+	rs := make([]sim.Result, len(results))
+	for i, r := range results {
+		rs[i] = r.Res
+	}
+	return sim.Merge(rs)
+}
+
+// EvaluateTraces runs the artifact's table-based prefetcher over every trace
+// concurrently (one fresh prefetcher per trace) and returns per-trace
+// results plus the deterministic aggregate. Map iteration order is random,
+// so cases are sorted by trace name to keep the sweep — and its merged
+// metrics — reproducible.
+func (a *Artifacts) EvaluateTraces(traces map[string][]trace.Record, degree int, cfg sim.Config) ([]CaseResult, sim.Result) {
+	names := make([]string, 0, len(traces))
+	for name := range traces {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cases := make([]SimCase, len(names))
+	for i, name := range names {
+		cases[i] = SimCase{
+			Name: name,
+			Recs: traces[name],
+			New:  func() sim.Prefetcher { return a.Prefetcher("DART", degree) },
+			Cfg:  cfg,
+		}
+	}
+	results := RunCases(cases)
+	return results, MergeCases(results)
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"dart/internal/par"
+	"dart/internal/prefetch"
+	"dart/internal/sim"
+	"dart/internal/trace"
+)
+
+func sweepCases(seed int64) []SimCase {
+	cfg := sim.DefaultConfig()
+	var cases []SimCase
+	for i := 0; i < 4; i++ {
+		recs := trace.Generate(trace.AppSpec{
+			Name: "sweep", Pages: 100, Streams: 2,
+			Strides: []int64{1, 2}, Seed: seed + int64(i),
+		}, 2000)
+		cases = append(cases,
+			SimCase{Name: "baseline", Recs: recs, Cfg: cfg},
+			SimCase{Name: "stride", Recs: recs, New: func() sim.Prefetcher { return prefetch.NewStride(2) }, Cfg: cfg},
+			SimCase{Name: "bo", Recs: recs, New: func() sim.Prefetcher { return prefetch.NewBestOffset(2) }, Cfg: cfg},
+		)
+	}
+	return cases
+}
+
+func TestRunCasesMatchesSerialSimulation(t *testing.T) {
+	got := RunCases(sweepCases(70))
+	for i, c := range sweepCases(70) {
+		var pf sim.Prefetcher = sim.NoPrefetcher{}
+		if c.New != nil {
+			pf = c.New()
+		}
+		want := sim.Run(c.Recs, pf, c.Cfg)
+		want.Prefetcher = c.Name
+		if got[i].Name != c.Name {
+			t.Fatalf("case %d name %q != %q", i, got[i].Name, c.Name)
+		}
+		if got[i].Res != want {
+			t.Fatalf("case %d (%s): parallel %+v != serial %+v", i, c.Name, got[i].Res, want)
+		}
+	}
+}
+
+func TestRunCasesWorkerCountInvariance(t *testing.T) {
+	par.SetMaxWorkers(1)
+	ref := RunCases(sweepCases(80))
+	defer par.SetMaxWorkers(0)
+	for _, w := range []int{2, 4} {
+		par.SetMaxWorkers(w)
+		got := RunCases(sweepCases(80))
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("w=%d case %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestMergeCasesAggregates(t *testing.T) {
+	results := RunCases(sweepCases(90))
+	m := MergeCases(results)
+	var accesses int
+	for _, r := range results {
+		accesses += r.Res.Accesses
+	}
+	if m.Accesses != accesses {
+		t.Fatalf("merged accesses %d != %d", m.Accesses, accesses)
+	}
+}
+
+func TestEvaluateTracesSweep(t *testing.T) {
+	art := sharedArtifacts(t)
+	traces := map[string][]trace.Record{
+		"a": trace.Generate(trace.AppSpec{Name: "a", Pages: 200, Streams: 3, Strides: []int64{1, 2}, Seed: 11}, 2000),
+		"b": trace.Generate(trace.AppSpec{Name: "b", Pages: 200, Streams: 3, Strides: []int64{2, 4}, Seed: 12}, 2000),
+	}
+	results, merged := art.EvaluateTraces(traces, 4, sim.DefaultConfig())
+	if len(results) != 2 {
+		t.Fatalf("expected 2 per-trace results, got %d", len(results))
+	}
+	if results[0].Name != "a" || results[1].Name != "b" {
+		t.Fatalf("results not sorted by trace name: %s, %s", results[0].Name, results[1].Name)
+	}
+	if merged.Accesses != results[0].Res.Accesses+results[1].Res.Accesses {
+		t.Fatalf("merged accesses %d inconsistent", merged.Accesses)
+	}
+	// Deterministic end to end: rerunning the sweep reproduces the aggregate.
+	_, merged2 := art.EvaluateTraces(traces, 4, sim.DefaultConfig())
+	if merged != merged2 {
+		t.Fatal("EvaluateTraces aggregate not reproducible")
+	}
+}

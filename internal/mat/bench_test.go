@@ -1,8 +1,12 @@
 package mat
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
+
+	"dart/internal/par"
 )
 
 func benchPair(n int) (*Matrix, *Matrix) {
@@ -30,6 +34,47 @@ func BenchmarkMul256(b *testing.B) {
 
 func BenchmarkMulTransB128(b *testing.B) {
 	x, y := benchPair(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulTransB(x, y)
+	}
+}
+
+// BenchmarkMatMul is the engine-vs-baseline grid recorded in BENCH_par.json:
+// the seed's serial kernel against ParMulInto at sizes 64..1024 and worker
+// counts 1/2/4/GOMAXPROCS.
+func BenchmarkMatMul(b *testing.B) {
+	sizes := []int{64, 128, 256, 512, 1024}
+	workers := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		workers = append(workers, g)
+	}
+	for _, n := range sizes {
+		x, y := benchPair(n)
+		dst := New(n, n)
+		b.Run(fmt.Sprintf("serial/n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst.Zero()
+				mulRange(dst, x, y, 0, n)
+			}
+		})
+		for _, w := range workers {
+			b.Run(fmt.Sprintf("par/n%d/w%d", n, w), func(b *testing.B) {
+				par.SetMaxWorkers(w)
+				defer par.SetMaxWorkers(0)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ParMulInto(dst, x, y)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMulTransB512 measures the transpose-free engine path.
+func BenchmarkMulTransB512(b *testing.B) {
+	x, y := benchPair(512)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		MulTransB(x, y)

@@ -10,8 +10,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 )
 
 // Matrix is a dense row-major matrix of float64 values.
@@ -83,24 +81,22 @@ func (m *Matrix) Zero() {
 	}
 }
 
-// parallelThreshold is the flop count above which matmul fans out to goroutines.
+// parallelThreshold is the flop count above which matmul dispatches to the
+// parallel blocked engine in parmul.go.
 const parallelThreshold = 1 << 16
 
-// MulInto computes dst = a * b. dst must not alias a or b.
+// MulInto computes dst = a * b. dst must not alias a or b. Above a size
+// cutoff the multiply runs on the parallel blocked engine (see parmul.go);
+// below it, a simple serial kernel avoids the engine's transpose overhead.
 func MulInto(dst, a, b *Matrix) {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("mat: Mul inner dims %d != %d", a.Cols, b.Rows))
-	}
-	if dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic("mat: Mul dst shape mismatch")
-	}
+	checkMulInto(dst, a, b)
 	dst.Zero()
 	work := a.Rows * a.Cols * b.Cols
 	if work < parallelThreshold {
 		mulRange(dst, a, b, 0, a.Rows)
 		return
 	}
-	parallelRows(a.Rows, func(lo, hi int) { mulRange(dst, a, b, lo, hi) })
+	dotEngine(dst, a, transposeData(b), b.Cols)
 }
 
 // mulRange computes rows [lo, hi) of dst = a*b using an ikj loop ordering,
@@ -130,40 +126,55 @@ func Mul(a, b *Matrix) *Matrix {
 	return dst
 }
 
-// MulTransB returns a * bᵀ.
+// MulTransB returns a * bᵀ. The rows of b are already the engine's
+// transposed layout, so the large-size path needs no transpose pass.
 func MulTransB(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: MulTransB inner dims %d != %d", a.Cols, b.Cols))
 	}
 	dst := New(a.Rows, b.Rows)
-	compute := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				var s float64
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				drow[j] = s
-			}
-		}
+	if a.Rows*a.Cols*b.Rows >= parallelThreshold {
+		dotEngine(dst, a, b.Data, b.Rows)
+		return dst
 	}
-	if a.Rows*a.Cols*b.Rows < parallelThreshold {
-		compute(0, a.Rows)
-	} else {
-		parallelRows(a.Rows, compute)
-	}
+	mulTransBRange(dst, a, b, 0, a.Rows)
 	return dst
 }
 
-// MulTransA returns aᵀ * b.
+// mulTransBRange is the serial reference kernel for a * bᵀ.
+func mulTransBRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// MulTransA returns aᵀ * b. The large-size path transposes both operands
+// into the engine's row-major dot-product layout.
 func MulTransA(a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("mat: MulTransA inner dims %d != %d", a.Rows, b.Rows))
 	}
 	dst := New(a.Cols, b.Cols)
+	if a.Cols*a.Rows*b.Cols >= parallelThreshold {
+		at := FromSlice(a.Cols, a.Rows, transposeData(a))
+		dotEngine(dst, at, transposeData(b), b.Cols)
+		return dst
+	}
+	mulTransARange(dst, a, b)
+	return dst
+}
+
+// mulTransARange is the serial reference kernel for aᵀ * b.
+func mulTransARange(dst, a, b *Matrix) {
 	for k := 0; k < a.Rows; k++ {
 		arow := a.Row(k)
 		brow := b.Row(k)
@@ -177,33 +188,6 @@ func MulTransA(a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return dst
-}
-
-// parallelRows splits [0, rows) across GOMAXPROCS goroutines.
-func parallelRows(rows int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > rows {
-		workers = rows
-	}
-	if workers <= 1 {
-		fn(0, rows)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for lo := 0; lo < rows; lo += chunk {
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // Transpose returns mᵀ as a new matrix.

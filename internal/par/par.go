@@ -1,0 +1,182 @@
+// Package par is the shared goroutine worker pool behind every parallel
+// kernel in this repository: blocked matrix multiplication (internal/mat),
+// batched PQ encoding (internal/pq), batched table queries (internal/tabular),
+// and the multi-trace simulation driver (internal/sim, internal/core).
+//
+// The pool holds a set of long-lived worker goroutines fed from a single
+// task queue. For splits an index range into one contiguous chunk per
+// worker; chunk boundaries depend only on the range length and the worker
+// count, never on scheduling, so a caller that partitions its work in
+// fixed-size blocks (as internal/mat does) produces bit-identical results
+// for any worker count. The calling goroutine always executes the final
+// chunk itself and then helps drain the task queue while it waits, so every
+// goroutine blocked on the pool is also serving it — nested For/Do calls
+// cannot deadlock even when all workers are busy.
+//
+// The worker cap defaults to GOMAXPROCS and can be tuned with SetMaxWorkers
+// or the DART_MAX_WORKERS environment variable (read once at startup;
+// SetMaxWorkers overrides it).
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// hardCap bounds the worker count so a misconfigured override cannot spawn
+// an unbounded number of goroutines.
+const hardCap = 256
+
+// maxWorkers holds the configured cap; 0 selects GOMAXPROCS at call time.
+var maxWorkers atomic.Int64
+
+func init() {
+	if s := os.Getenv("DART_MAX_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			SetMaxWorkers(n)
+		}
+	}
+}
+
+// SetMaxWorkers caps the number of goroutines a parallel region may use.
+// Values below 1 reset the cap to GOMAXPROCS; values above 256 are clamped.
+func SetMaxWorkers(n int) {
+	if n < 1 {
+		n = 0 // resolve to GOMAXPROCS at call time
+	}
+	if n > hardCap {
+		n = hardCap
+	}
+	maxWorkers.Store(int64(n))
+}
+
+// MaxWorkers returns the current worker cap (always >= 1).
+func MaxWorkers() int {
+	if n := int(maxWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// queue feeds the persistent workers. The buffer gives bursty callers room
+// before the inline-execution fallback kicks in.
+var queue = make(chan func(), 4*hardCap)
+
+var (
+	spawnMu sync.Mutex
+	spawned int
+)
+
+// ensureWorkers grows the persistent pool to at least n goroutines. Workers
+// are never torn down; idle workers block on the queue and cost only their
+// (small) stacks.
+func ensureWorkers(n int) {
+	if n > hardCap {
+		n = hardCap
+	}
+	spawnMu.Lock()
+	for spawned < n {
+		spawned++
+		go func() {
+			for f := range queue {
+				f()
+			}
+		}()
+	}
+	spawnMu.Unlock()
+}
+
+// submit hands fn to the pool, running it inline when the queue is full so
+// a worker that itself calls For/Do can never deadlock the pool.
+func submit(fn func()) {
+	select {
+	case queue <- fn:
+	default:
+		fn()
+	}
+}
+
+// waitHelping blocks until done closes, executing queued pool tasks while it
+// waits. Every For/Do waiter helps drain the queue, so a task is never stuck
+// behind a blocked worker: any goroutine waiting on the pool is also serving
+// it. This is what makes arbitrarily nested For/Do calls deadlock-free.
+func waitHelping(done <-chan struct{}) {
+	for {
+		// Prefer returning once our own chunks are finished: without this
+		// check the random choice below could steal an unrelated long task
+		// after done has already closed, delaying a finished region.
+		select {
+		case <-done:
+			return
+		default:
+		}
+		select {
+		case <-done:
+			return
+		case f := <-queue:
+			f()
+		}
+	}
+}
+
+// For executes body over [0, n), split into one contiguous chunk per worker.
+// grain is the minimum chunk size (in items); ranges shorter than 2*grain
+// run inline. The partition is a pure function of (n, grain, MaxWorkers()):
+// even division into w chunks with the remainder spread over the leading
+// chunks, so every chunk holds at least n/w >= grain items. body must be
+// safe to call concurrently on disjoint ranges and must not panic.
+//
+// The caller runs the last chunk on its own goroutine, then helps execute
+// queued pool work until every chunk has finished.
+func For(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := MaxWorkers()
+	if maxChunks := n / grain; w > maxChunks {
+		w = maxChunks
+	}
+	if w <= 1 {
+		body(0, n)
+		return
+	}
+	ensureWorkers(w - 1)
+	var remaining atomic.Int64
+	remaining.Store(int64(w - 1))
+	done := make(chan struct{})
+	base, rem := n/w, n%w
+	lo := 0
+	for c := 0; c < w-1; c++ {
+		hi := lo + base
+		if c < rem {
+			hi++
+		}
+		cl, ch := lo, hi
+		submit(func() {
+			body(cl, ch)
+			if remaining.Add(-1) == 0 {
+				close(done)
+			}
+		})
+		lo = hi
+	}
+	body(lo, n)
+	waitHelping(done)
+}
+
+// Do runs the given functions concurrently on the pool and waits for all of
+// them. It is For over the function list, so it shares the worker cap, the
+// deterministic partition, and the help-while-waiting guarantee.
+func Do(fns ...func()) {
+	For(len(fns), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fns[i]()
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package pq
+
+import (
+	"dart/internal/mat"
+	"dart/internal/par"
+)
+
+// encodeGrain is the minimum number of rows a worker takes per chunk; a
+// single row encode is cheap, so tiny batches stay on the calling goroutine.
+const encodeGrain = 16
+
+// EncodeBatch encodes every row of x with enc, returning one index slice per
+// row (all backed by a single allocation). Rows are independent, so the
+// batch fans out across the shared worker pool; each row's encoding is
+// exactly what EncodeRow produces, for any worker count.
+func EncodeBatch(enc Encoder, x *mat.Matrix) [][]int {
+	c := enc.C()
+	flat := make([]int, x.Rows*c)
+	out := make([][]int, x.Rows)
+	for i := range out {
+		out[i] = flat[i*c : (i+1)*c : (i+1)*c]
+	}
+	par.For(x.Rows, encodeGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			enc.EncodeRow(x.Row(i), out[i])
+		}
+	})
+	return out
+}
+
+// QueryBatch approximates x[i] · b for every row of x in one batched pass:
+// encode + table aggregation per row, fanned across the worker pool.
+// Results are bit-identical to calling Query row by row.
+func (t *DotTable) QueryBatch(x *mat.Matrix) []float64 {
+	out := make([]float64, x.Rows)
+	c := t.enc.C()
+	par.For(x.Rows, encodeGrain, func(lo, hi int) {
+		idx := make([]int, c)
+		for i := lo; i < hi; i++ {
+			t.enc.EncodeRow(x.Row(i), idx)
+			out[i] = t.QueryEncoded(idx)
+		}
+	})
+	return out
+}

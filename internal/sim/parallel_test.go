@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"dart/internal/par"
+	"dart/internal/trace"
+)
+
+// statefulNextLine is a deliberately stateful test prefetcher: sharing one
+// instance across jobs would corrupt its counter, so it exercises the
+// one-instance-per-job contract of RunMany.
+type statefulNextLine struct{ seen uint64 }
+
+func (p *statefulNextLine) Name() string { return "next-line" }
+func (p *statefulNextLine) OnAccess(a Access) []uint64 {
+	p.seen++
+	return []uint64{a.Block + 1, a.Block + 2}
+}
+func (p *statefulNextLine) Latency() int      { return 4 }
+func (p *statefulNextLine) StorageBytes() int { return 16 }
+
+func sweepJobs(seedBase int64) []Job {
+	cfg := DefaultConfig()
+	var jobs []Job
+	for i := 0; i < 6; i++ {
+		recs := trace.Generate(trace.AppSpec{
+			Name: "par", Pages: 120, Streams: 3,
+			Strides: []int64{1, 3}, Seed: seedBase + int64(i),
+		}, 2500)
+		jobs = append(jobs,
+			Job{Name: "next-line", Recs: recs, PF: &statefulNextLine{}, Cfg: cfg},
+			Job{Name: "none", Recs: recs, PF: NoPrefetcher{}, Cfg: cfg},
+		)
+	}
+	return jobs
+}
+
+func TestRunManyMatchesSerialRun(t *testing.T) {
+	jobs := sweepJobs(40)
+	// Serial reference with fresh prefetcher state per job.
+	ref := make([]Result, len(jobs))
+	for i, j := range sweepJobs(40) {
+		ref[i] = Run(j.Recs, j.PF, j.Cfg)
+		ref[i].Prefetcher = j.Name
+	}
+	got := RunMany(jobs)
+	if len(got) != len(ref) {
+		t.Fatalf("got %d results, want %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("job %d: parallel result %+v != serial %+v", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestRunManyWorkerCountInvariance(t *testing.T) {
+	par.SetMaxWorkers(1)
+	ref := RunMany(sweepJobs(50))
+	defer par.SetMaxWorkers(0)
+	for _, w := range []int{2, 4, 8} {
+		par.SetMaxWorkers(w)
+		got := RunMany(sweepJobs(50))
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("w=%d job %d: %+v != %+v", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestMergeAggregatesDeterministically(t *testing.T) {
+	results := RunMany(sweepJobs(60))
+	m1 := Merge(results)
+	m2 := Merge(results)
+	if m1 != m2 {
+		t.Fatal("Merge is not deterministic on identical input")
+	}
+	var accesses, misses int
+	var instrs uint64
+	for _, r := range results {
+		accesses += r.Accesses
+		misses += r.DemandMisses
+		instrs += r.Instructions
+	}
+	if m1.Accesses != accesses || m1.DemandMisses != misses || m1.Instructions != instrs {
+		t.Fatalf("Merge counters wrong: %+v", m1)
+	}
+	if m1.Cycles > 0 && m1.IPC != float64(m1.Instructions)/m1.Cycles {
+		t.Fatalf("Merge IPC %v not recomputed from totals", m1.IPC)
+	}
+	if empty := Merge(nil); empty != (Result{}) {
+		t.Fatalf("Merge(nil) = %+v, want zero", empty)
+	}
+}

@@ -7,11 +7,9 @@ package tabular
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"dart/internal/mat"
+	"dart/internal/par"
 	"dart/internal/pq"
 )
 
@@ -90,44 +88,35 @@ func (h *Hierarchy) Query(x *mat.Matrix) *mat.Matrix {
 	return x
 }
 
-// Forward evaluates a batch tensor sample-by-sample and returns the stacked
-// outputs. The per-sample queries are independent table lookups — the
-// embarrassingly parallel structure the paper exploits — so large batches
-// fan out across GOMAXPROCS goroutines.
-func (h *Hierarchy) Forward(x *mat.Tensor) *mat.Tensor {
+// queryBatch fans an independent per-sample query across the worker pool:
+// sample 0 sizes the output tensor, the remaining samples run in parallel.
+// Each sample's output is exactly what q produces, for any worker count.
+func queryBatch(x *mat.Tensor, grain int, q func(*mat.Matrix) *mat.Matrix) *mat.Tensor {
 	if x.N == 0 {
 		return mat.NewTensor(0, 0, 0)
 	}
-	first := h.Query(x.Sample(0))
+	first := q(x.Sample(0))
 	out := mat.NewTensor(x.N, first.Rows, first.Cols)
 	copy(out.Sample(0).Data, first.Data)
-	const parallelMin = 32
-	if x.N < parallelMin {
-		for n := 1; n < x.N; n++ {
-			copy(out.Sample(n).Data, h.Query(x.Sample(n)).Data)
+	par.For(x.N-1, grain, func(lo, hi int) {
+		for n := lo + 1; n < hi+1; n++ {
+			copy(out.Sample(n).Data, q(x.Sample(n)).Data)
 		}
-		return out
-	}
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	var next atomic.Int64
-	next.Store(1)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				n := int(next.Add(1)) - 1
-				if n >= x.N {
-					return
-				}
-				copy(out.Sample(n).Data, h.Query(x.Sample(n)).Data)
-			}
-		}()
-	}
-	wg.Wait()
+	})
 	return out
 }
+
+// QueryBatch evaluates a batch tensor sample-by-sample and returns the
+// stacked outputs. The per-sample queries are independent table lookups —
+// the embarrassingly parallel structure the paper exploits — so the batch
+// fans out across the shared worker pool.
+func (h *Hierarchy) QueryBatch(x *mat.Tensor) *mat.Tensor {
+	return queryBatch(x, 1, h.Query)
+}
+
+// Forward is the batched inference entry point used by the pipeline and the
+// nn-compatible evaluation helpers; it is QueryBatch under the layer API.
+func (h *Hierarchy) Forward(x *mat.Tensor) *mat.Tensor { return h.QueryBatch(x) }
 
 // QueryUpTo runs a sample through the first k layers (used to compare
 // per-layer outputs against the source network, Fig. 11).

@@ -64,15 +64,18 @@ func NewLinearKernel(l *nn.Linear, train *mat.Tensor, cfg KernelConfig, rng *ran
 }
 
 // Query maps a T x In activation to T x Out via encode + lookup + aggregate.
+// The T row encodings go through pq.EncodeBatch, the batched kernel shared
+// with every other table lookup (it stays on the calling goroutine for the
+// small T used here and fans out for large batches).
 func (k *LinearKernel) Query(x *mat.Matrix) *mat.Matrix {
 	if x.Cols != k.In {
 		panic(fmt.Sprintf("tabular: linear kernel query dim %d != %d", x.Cols, k.In))
 	}
 	C, K := k.enc.C(), k.enc.K()
 	out := mat.New(x.Rows, k.Out)
-	idx := make([]int, C)
+	encoded := pq.EncodeBatch(k.enc, x)
 	for t := 0; t < x.Rows; t++ {
-		k.enc.EncodeRow(x.Row(t), idx)
+		idx := encoded[t]
 		orow := out.Row(t)
 		for o := 0; o < k.Out; o++ {
 			base := o * C * K

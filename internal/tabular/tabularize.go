@@ -71,17 +71,10 @@ func (w *walker) record(l Layer, approx, exact *mat.Tensor) {
 	w.res.Cosine = append(w.res.Cosine, mat.CosineSimilarity(approx.AsMatrix(), exact.AsMatrix()))
 }
 
-// apply runs one tabular layer over a batch.
+// apply runs one tabular layer over a batch, fanning the independent
+// per-sample queries across the worker pool.
 func apply(l Layer, x *mat.Tensor) *mat.Tensor {
-	var out *mat.Tensor
-	for n := 0; n < x.N; n++ {
-		y := l.Query(x.Sample(n))
-		if out == nil {
-			out = mat.NewTensor(x.N, y.Rows, y.Cols)
-		}
-		copy(out.Sample(n).Data, y.Data)
-	}
-	return out
+	return queryBatch(x, 4, l.Query)
 }
 
 // walk processes a layer list, returning the updated activations.
