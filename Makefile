@@ -1,6 +1,8 @@
 GO ?= go
+BENCH_TOLERANCE ?= 1.5
+BENCH_MIN_SPEEDUP ?= 2.0
 
-.PHONY: build test short race vet bench ci
+.PHONY: build test short race vet lint bench bench-ci bench-serve ci
 
 build:
 	$(GO) build ./...
@@ -20,9 +22,32 @@ race:
 vet:
 	$(GO) vet ./...
 
+## lint: gofmt drift is an error (CI runs this as a separate job)
+lint: vet
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
 ## bench: the parallel-engine benchmark grid recorded in BENCH_par.json
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMatMul|BenchmarkHierarchyQueryBatch' -benchmem \
 		./internal/mat ./internal/tabular
+
+## bench-ci: perf-regression gate — run the engine benchmarks with a fixed
+## small iteration count and fail on regression vs BENCH_par.json (absolute,
+## with a generous tolerance for host differences) or on losing the
+## same-run par-vs-serial speedup (host-independent). -count 3 because the
+## checker keeps the per-benchmark minimum: the µs-scale grid points are
+## noisy at 5 iterations and min-of-3 filters scheduler interference.
+bench-ci:
+	$(GO) test -run '^$$' -bench 'BenchmarkMatMul|BenchmarkHierarchyQueryBatch' -benchtime 5x -count 3 -benchmem \
+		./internal/mat ./internal/tabular > bench-ci.out || { cat bench-ci.out; exit 1; }
+	@cat bench-ci.out
+	$(GO) run ./cmd/dart-benchcheck -baseline BENCH_par.json \
+		-tolerance $(BENCH_TOLERANCE) -min-speedup $(BENCH_MIN_SPEEDUP) bench-ci.out
+
+## bench-serve: regenerate the serving-throughput baseline (BENCH_serve.json)
+bench-serve:
+	$(GO) run ./cmd/dart-serve -replay -sessions 8 -n 20000 -prefetcher stride -verify \
+		-json BENCH_serve.json
 
 ci: vet build test race

@@ -1,0 +1,205 @@
+// Command dart-benchcheck is the CI perf-regression gate: it parses `go test
+// -bench` output for the parallel-engine benchmarks and compares it against
+// the baseline recorded in BENCH_par.json.
+//
+//	go test -run '^$' -bench 'BenchmarkMatMul|BenchmarkHierarchyQueryBatch' \
+//	    ./internal/mat ./internal/tabular > bench.out
+//	dart-benchcheck -baseline BENCH_par.json bench.out
+//
+// Two kinds of checks run:
+//
+//   - Absolute: every measured benchmark with a baseline entry must be no
+//     slower than baseline * tolerance (default 1.5x — generous, because CI
+//     hosts differ from the recording host; the gate catches gross
+//     regressions like losing the vector kernel or the worker pool, not
+//     single-digit drift).
+//   - Relative (host-independent): within the same run, ParMulInto at the
+//     largest measured size must beat the serial seed kernel by at least
+//     -min-speedup (default 2x, PR 1's acceptance bar). This holds on any
+//     host because both sides ran on it seconds apart.
+//
+// Exit status 0 when every check passes, 1 on regression, 2 on usage or
+// missing-data errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// baseline mirrors the relevant parts of BENCH_par.json.
+type baseline struct {
+	MatMul []struct {
+		N        int                `json:"n"`
+		SerialNs float64            `json:"serial_ns"`
+		ParNs    map[string]float64 `json:"par_ns"`
+	} `json:"matmul"`
+	Tabular struct {
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"tabular"`
+}
+
+// benchLine matches e.g. "BenchmarkMatMul/par/n512/w4-8   100  11093275 ns/op".
+// The -N GOMAXPROCS suffix is optional: go test omits it when GOMAXPROCS=1.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts name -> ns/op from go test -bench output. Repeated
+// names (e.g. from -count) keep the minimum, the standard noise filter.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// check is one comparison outcome.
+type check struct {
+	name     string
+	measured float64
+	limit    float64
+	ok       bool
+}
+
+// absoluteChecks compares measured numbers against baseline * tolerance.
+// Baseline entries with no measurement are reported via missing.
+func absoluteChecks(base baseline, got map[string]float64, tolerance float64) (checks []check, missing []string) {
+	add := func(name string, baseNs float64) {
+		ns, ok := got[name]
+		if !ok {
+			missing = append(missing, name)
+			return
+		}
+		limit := baseNs * tolerance
+		checks = append(checks, check{name: name, measured: ns, limit: limit, ok: ns <= limit})
+	}
+	for _, row := range base.MatMul {
+		add(fmt.Sprintf("BenchmarkMatMul/serial/n%d", row.N), row.SerialNs)
+		for _, w := range []string{"w1", "w2", "w4"} {
+			if bn, ok := row.ParNs[w]; ok {
+				add(fmt.Sprintf("BenchmarkMatMul/par/n%d/%s", row.N, w), bn)
+			}
+		}
+	}
+	if base.Tabular.NsPerOp > 0 {
+		add("BenchmarkHierarchyQueryBatch", base.Tabular.NsPerOp)
+	}
+	return checks, missing
+}
+
+// speedupCheck verifies, within the same run, that the parallel engine beats
+// the serial kernel at the largest size both were measured at.
+func speedupCheck(got map[string]float64, minSpeedup float64) (check, bool) {
+	best := -1
+	for _, n := range []int{1024, 512, 256, 128, 64} {
+		serial := fmt.Sprintf("BenchmarkMatMul/serial/n%d", n)
+		par := fmt.Sprintf("BenchmarkMatMul/par/n%d/w4", n)
+		if _, ok1 := got[serial]; ok1 {
+			if _, ok2 := got[par]; ok2 {
+				best = n
+				break
+			}
+		}
+	}
+	if best < 0 {
+		return check{}, false
+	}
+	serial := got[fmt.Sprintf("BenchmarkMatMul/serial/n%d", best)]
+	par := got[fmt.Sprintf("BenchmarkMatMul/par/n%d/w4", best)]
+	speedup := serial / par
+	return check{
+		name:     fmt.Sprintf("speedup(par w4 vs serial, n=%d)", best),
+		measured: speedup,
+		limit:    minSpeedup,
+		ok:       speedup >= minSpeedup,
+	}, true
+}
+
+// run executes the gate and returns the process exit code.
+func run(baselinePath string, tolerance, minSpeedup float64, in io.Reader, out io.Writer) int {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(out, "benchcheck: parsing %s: %v\n", baselinePath, err)
+		return 2
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(out, "benchcheck: no benchmark results in input")
+		return 2
+	}
+
+	checks, missing := absoluteChecks(base, got, tolerance)
+	if sc, ok := speedupCheck(got, minSpeedup); ok {
+		checks = append(checks, sc)
+	}
+	if len(checks) == 0 {
+		// Fail closed: benchmark names drifting away from the baseline
+		// schema must not silently disable the gate.
+		fmt.Fprintf(out, "benchcheck: no measured benchmark matched any baseline entry (missing: %v)\n", missing)
+		return 2
+	}
+
+	fail := 0
+	for _, c := range checks {
+		status := "ok  "
+		if !c.ok {
+			status = "FAIL"
+			fail++
+		}
+		fmt.Fprintf(out, "%s %-42s measured %12.0f  limit %12.0f\n", status, c.name, c.measured, c.limit)
+	}
+	for _, name := range missing {
+		fmt.Fprintf(out, "warn %-42s baseline entry not measured\n", name)
+	}
+	if fail > 0 {
+		fmt.Fprintf(out, "benchcheck: %d regression(s) beyond %.2fx tolerance\n", fail, tolerance)
+		return 1
+	}
+	fmt.Fprintf(out, "benchcheck: %d checks passed (tolerance %.2fx)\n", len(checks), tolerance)
+	return 0
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_par.json", "baseline JSON file")
+	tolerance := flag.Float64("tolerance", 1.5, "allowed slowdown vs baseline")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "required same-run speedup of par w4 over serial")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	os.Exit(run(*baselinePath, *tolerance, *minSpeedup, in, os.Stdout))
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBaseline = `{
+  "matmul": [
+    {"n": 64,  "serial_ns": 100000, "par_ns": {"w1": 30000, "w2": 28000, "w4": 25000, "wGOMAXPROCS": 26000}},
+    {"n": 512, "serial_ns": 70000000, "par_ns": {"w1": 12000000, "w2": 11500000, "w4": 11000000}}
+  ],
+  "tabular": {"ns_per_op": 1800000}
+}`
+
+const sampleBench = `goos: linux
+goarch: amd64
+BenchmarkMatMul/serial/n64-1       7    101000 ns/op    0 B/op
+BenchmarkMatMul/par/n64/w1-1     40     29000 ns/op
+BenchmarkMatMul/par/n64/w2-1     40     27000 ns/op
+BenchmarkMatMul/par/n64/w4-1     40     24000 ns/op
+BenchmarkMatMul/serial/n512-1     2  69000000 ns/op
+BenchmarkMatMul/par/n512/w1-1    10  12100000 ns/op
+BenchmarkMatMul/par/n512/w2-1    10  11400000 ns/op
+BenchmarkMatMul/par/n512/w4-1    10  11200000 ns/op
+BenchmarkHierarchyQueryBatch  100   1700000 ns/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9 {
+		t.Fatalf("parsed %d benchmarks, want 9", len(got))
+	}
+	if got["BenchmarkMatMul/par/n512/w4"] != 11200000 {
+		t.Fatalf("n512/w4 = %v", got["BenchmarkMatMul/par/n512/w4"])
+	}
+	if got["BenchmarkHierarchyQueryBatch"] != 1700000 {
+		t.Fatalf("tabular = %v", got["BenchmarkHierarchyQueryBatch"])
+	}
+}
+
+func TestParseBenchKeepsMinimumAcrossCounts(t *testing.T) {
+	in := "BenchmarkMatMul/serial/n64-1 5 200000 ns/op\nBenchmarkMatMul/serial/n64-1 5 150000 ns/op\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkMatMul/serial/n64"] != 150000 {
+		t.Fatalf("min not kept: %v", got)
+	}
+}
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(sampleBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	var out strings.Builder
+	code := run(writeBaseline(t), 1.5, 2.0, strings.NewReader(sampleBench), &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "checks passed") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	// n512/w4 regresses 3x beyond the baseline.
+	slow := strings.Replace(sampleBench,
+		"BenchmarkMatMul/par/n512/w4-1    10  11200000 ns/op",
+		"BenchmarkMatMul/par/n512/w4-1    10  33000000 ns/op", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), 1.5, 2.0, strings.NewReader(slow), &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkMatMul/par/n512/w4") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnLostSpeedup(t *testing.T) {
+	// Absolute numbers fine, but par w4 no faster than serial at n=512:
+	// model a host where the engine silently fell back to the slow path
+	// while the baseline file was recorded on slower hardware.
+	in := `BenchmarkMatMul/serial/n512-1 2 10000000 ns/op
+BenchmarkMatMul/par/n512/w4-1 2 9000000 ns/op
+`
+	var out strings.Builder
+	code := run(writeBaseline(t), 1.5, 2.0, strings.NewReader(in), &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "speedup") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestGateSpeedupUsesLargestCommonSize(t *testing.T) {
+	got, _ := parseBench(strings.NewReader(sampleBench))
+	c, ok := speedupCheck(got, 2.0)
+	if !ok {
+		t.Fatal("no speedup check possible")
+	}
+	if !strings.Contains(c.name, "n=512") {
+		t.Fatalf("picked %q, want n=512", c.name)
+	}
+	if !c.ok {
+		t.Fatalf("speedup %v below limit %v", c.measured, c.limit)
+	}
+}
+
+func TestGateWarnsOnMissingMeasurement(t *testing.T) {
+	// Only the n=64 grid measured: n=512 baseline rows are warnings, not
+	// failures (CI may shrink the grid), but the run still passes.
+	small := `BenchmarkMatMul/serial/n64-1 7 101000 ns/op
+BenchmarkMatMul/par/n64/w1-1 40 29000 ns/op
+BenchmarkMatMul/par/n64/w2-1 40 27000 ns/op
+BenchmarkMatMul/par/n64/w4-1 40 24000 ns/op
+BenchmarkHierarchyQueryBatch-1 100 1700000 ns/op
+`
+	var out strings.Builder
+	code := run(writeBaseline(t), 1.5, 2.0, strings.NewReader(small), &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "warn") {
+		t.Fatalf("no warning for missing entries:\n%s", out.String())
+	}
+}
+
+func TestGateFailsClosedWhenNothingMatches(t *testing.T) {
+	// Renamed benchmarks parse fine but match no baseline entry; the gate
+	// must error rather than pass with zero checks.
+	renamed := `BenchmarkMatMul/pool/n512/w4-1 10 11200000 ns/op
+BenchmarkSomethingElse-1 5 12345 ns/op
+`
+	var out strings.Builder
+	if code := run(writeBaseline(t), 1.5, 2.0, strings.NewReader(renamed), &out); code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no measured benchmark matched") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestGateErrorsOnEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if code := run(writeBaseline(t), 1.5, 2.0, strings.NewReader("no benchmarks here"), &out); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestGateErrorsOnMissingBaseline(t *testing.T) {
+	var out strings.Builder
+	if code := run(filepath.Join(t.TempDir(), "nope.json"), 1.5, 2.0, strings.NewReader(sampleBench), &out); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestRealBaselineParses guards the actual BENCH_par.json in the repo root
+// against drifting away from the schema the gate reads.
+func TestRealBaselineParses(t *testing.T) {
+	var out strings.Builder
+	code := run("../../BENCH_par.json", 1.5, 2.0, strings.NewReader(sampleBench), &out)
+	// sampleBench numbers are far below the real baseline, so this passes
+	// unless the JSON fails to parse (exit 2).
+	if code == 2 {
+		t.Fatalf("BENCH_par.json no longer parses:\n%s", out.String())
+	}
+}

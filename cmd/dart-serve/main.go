@@ -1,0 +1,204 @@
+// Command dart-serve runs the online multi-session prefetch serving engine:
+// a long-running daemon that multiplexes many access streams through the
+// batched DART inference kernels, speaking line-delimited JSON over TCP or a
+// unix socket (see internal/serve/README.md for the protocol).
+//
+// Serve mode:
+//
+//	dart-serve -listen :7381                # TCP
+//	dart-serve -unix /tmp/dart.sock         # unix socket
+//	dart-serve -listen :7381 -dart -app 462.libquantum
+//
+// With -dart the daemon first trains and tabularizes a DART model on the
+// named application's trace, then serves the "dart" prefetcher alongside the
+// rule-based ones; sessions share the table hierarchy while the admission
+// layer coalesces their queries into batched lookups.
+//
+// Replay mode pumps synthetic workloads through the engine at a target rate
+// and reports accuracy, coverage, throughput, and request-latency
+// percentiles — the continuous-load evaluation the offline cmd/dart-sim
+// cannot do:
+//
+//	dart-serve -replay -sessions 8 -n 20000 -prefetcher stride -verify
+//	dart-serve -replay -sessions 16 -qps 50000 -prefetcher dart -dart
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"dart/internal/config"
+	"dart/internal/core"
+	"dart/internal/kd"
+	"dart/internal/serve"
+	"dart/internal/trace"
+)
+
+func main() {
+	listen := flag.String("listen", "", "TCP listen address, e.g. :7381")
+	unixSock := flag.String("unix", "", "unix socket path (alternative to -listen)")
+	useDart := flag.Bool("dart", false, "train+tabularize a DART model so sessions can open prefetcher \"dart\"")
+	app := flag.String("app", "462.libquantum", "application trace used to train the DART model (suffix match)")
+	trainN := flag.Int("train-n", 12000, "accesses in the DART training trace")
+	queueDepth := flag.Int("queue", 64, "per-session inbox depth (backpressure bound)")
+	maxBatch := flag.Int("max-batch", 64, "admission batcher coalescing cap")
+
+	replay := flag.Bool("replay", false, "replay synthetic workloads through the engine and exit")
+	sessions := flag.Int("sessions", 8, "replay: concurrent sessions")
+	n := flag.Int("n", 20000, "replay: accesses per session")
+	prefetcher := flag.String("prefetcher", "stride", "replay: prefetcher every session opens (none|bo|isb|stride|dart)")
+	degree := flag.Int("degree", 4, "replay: prefetch degree")
+	qps := flag.Float64("qps", 0, "replay: aggregate target accesses/sec (0 = unthrottled)")
+	verify := flag.Bool("verify", true, "replay: require bit-identity with the offline simulator")
+	jsonOut := flag.String("json", "", "replay: also write the report as JSON to this file")
+	flag.Parse()
+
+	cfg := serve.Config{QueueDepth: *queueDepth, MaxBatch: *maxBatch}
+	if *useDart || *prefetcher == "dart" {
+		spec, ok := trace.AppByName(*app)
+		if !ok {
+			fatalf("unknown application %q", *app)
+		}
+		fmt.Printf("training DART on %s (%d accesses)...\n", spec.Name, *trainN)
+		art, err := core.BuildDART(trace.Generate(spec, *trainN), core.Options{
+			Constraints:   config.Constraints{LatencyCycles: 100, StorageBytes: 1 << 20},
+			TeacherEpochs: 6,
+			KD:            kd.Config{Epochs: 6},
+			FineTune:      true,
+			Seed:          1,
+		})
+		if err != nil {
+			fatalf("training failed: %v", err)
+		}
+		cfg.Model = art.Tables.Hierarchy
+		cfg.Data = art.Opt.Data
+		cfg.ModelLatency = art.Chosen.Latency
+		cfg.ModelStorage = art.Chosen.StorageBytes
+		fmt.Printf("model ready: F1 %.3f, latency %d cycles, storage %d B\n",
+			art.F1DART, art.Chosen.Latency, art.Chosen.StorageBytes)
+	}
+
+	engine := serve.NewEngine(cfg)
+	if *replay {
+		runReplay(engine, *sessions, *n, serve.ReplayOptions{
+			Prefetcher: *prefetcher,
+			Degree:     *degree,
+			QPS:        *qps,
+			Verify:     *verify,
+		}, *jsonOut)
+		return
+	}
+
+	var ln net.Listener
+	var err error
+	switch {
+	case *unixSock != "":
+		os.Remove(*unixSock)
+		ln, err = net.Listen("unix", *unixSock)
+	case *listen != "":
+		ln, err = net.Listen("tcp", *listen)
+	default:
+		fatalf("need -listen, -unix, or -replay")
+	}
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+
+	srv := serve.NewServer(engine)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		s := <-sig
+		fmt.Printf("\n%v: draining...\n", s)
+		results := srv.Shutdown()
+		for id, res := range results {
+			fmt.Printf("  %-12s accesses %d  IPC %.3f  accuracy %.1f%%\n",
+				id, res.Accesses, res.IPC, res.Accuracy()*100)
+		}
+	}()
+	fmt.Printf("dart-serve listening on %s (prefetchers: none bo isb stride%s)\n",
+		ln.Addr(), map[bool]string{true: " dart", false: ""}[cfg.Model != nil])
+	if err := srv.Serve(ln); err != nil {
+		fatalf("serve: %v", err)
+	}
+	// Serve returns as soon as the listener closes; the drain (and its
+	// result printout) is still in flight on the signal goroutine.
+	<-drained
+}
+
+// runReplay generates one synthetic trace per session (cycling through the
+// benchmark apps with distinct seeds), replays them concurrently, and prints
+// the report.
+func runReplay(e *serve.Engine, sessions, n int, opt serve.ReplayOptions, jsonOut string) {
+	apps := trace.Apps()
+	traces := make(map[string][]trace.Record, sessions)
+	for i := 0; i < sessions; i++ {
+		spec := apps[i%len(apps)]
+		spec.Seed += int64(1000 * (i/len(apps) + 1))
+		traces[fmt.Sprintf("core%02d-%s", i, spec.Name)] = trace.Generate(spec, n)
+	}
+	rep, err := serve.Replay(e, traces, opt)
+	if err != nil {
+		fatalf("replay: %v", err)
+	}
+	fmt.Print(rep)
+	if opt.Verify {
+		if !rep.Verified {
+			fatalf("VERIFY FAILED: served results are not bit-identical to the offline simulator")
+		}
+		fmt.Println("verify: all sessions bit-identical to offline sim")
+	}
+	if jsonOut != "" {
+		writeJSON(jsonOut, rep)
+	}
+}
+
+// writeJSON dumps the replay report with enough host context to act as a
+// serving-throughput baseline (BENCH_serve.json).
+func writeJSON(path string, rep serve.Report) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	doc := struct {
+		Generated string       `json:"generated"`
+		Command   string       `json:"command"`
+		Host      hostInfo     `json:"host"`
+		Report    serve.Report `json:"report"`
+	}{
+		Generated: time.Now().Format("2006-01-02"),
+		Command:   strings.Join(os.Args, " "),
+		Host: hostInfo{
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		},
+		Report: rep,
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("report written to %s\n", path)
+}
+
+type hostInfo struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Go         string `json:"go"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -22,11 +22,20 @@
 //	internal/kd        multi-label knowledge distillation
 //	internal/dataprep  address segmentation and delta-bitmap labels
 //	internal/trace     synthetic SPEC-like LLC trace generators
-//	internal/sim       trace-driven LLC/DRAM simulator with prefetcher latency
-//	                   and a concurrent multi-trace driver
-//	internal/prefetch  BO, ISB, and NN/table prefetcher wrappers
+//	internal/sim       trace-driven LLC/DRAM simulator with prefetcher latency,
+//	                   an incremental stepper (sim.Sim) with online-feedback
+//	                   hooks, and a concurrent multi-trace driver
+//	internal/metrics   F1 measures plus latency histograms with exact
+//	                   percentiles for the serving engine
+//	internal/prefetch  BO, ISB, stride, and NN/table prefetcher wrappers, with
+//	                   a name-indexed factory registry
 //	internal/config    table configurator and NN complexity models
 //	internal/core      the end-to-end DART pipeline and evaluation sweeps
+//	internal/serve     online multi-session serving engine: sharded session
+//	                   map, per-session actors with bounded inboxes and
+//	                   backpressure, an admission batcher coalescing model
+//	                   queries across sessions into Hierarchy.QueryBatch, a
+//	                   line-JSON wire server, and a QPS-paced replay driver
 //
 // Parallelism model: every hot path — blocked matmul, batched PQ encoding
 // (pq.EncodeBatch, behind the linear table kernels), batched hierarchy
@@ -35,6 +44,14 @@
 // serial in-block reduction order, so results are bit-identical for any
 // worker count; see internal/par/README.md for the determinism guarantee and
 // BENCH_par.json for measured speedups.
+//
+// Serving model: cmd/dart-serve runs internal/serve as a long-running daemon
+// (or in -replay mode for continuous-load evaluation). Sessions — one per
+// simulated core or tenant — own their prefetcher state and an incremental
+// sim.Sim; served results are bit-identical to offline sim.Run over the same
+// records, so online numbers compare directly against the paper's offline
+// evaluation. See internal/serve/README.md for the architecture and wire
+// protocol, and BENCH_serve.json for the measured serving baseline.
 //
 // The benchmark files in this directory regenerate every table and figure of
 // the paper's evaluation section; see EXPERIMENTS.md for the index and

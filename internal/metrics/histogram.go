@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram accumulates latency (or any scalar) samples and answers
+// percentile queries. The serving engine records one sample per request, so
+// the implementation keeps raw samples and sorts lazily: exact percentiles,
+// no bucket-resolution error, and merge is concatenation. A Histogram is not
+// safe for concurrent use; give each producer its own and Merge at the end.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.sum += v
+}
+
+// ObserveDuration adds a duration sample in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Sum returns the running total of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the sample mean; 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Merge folds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	h.samples = append(h.samples, other.samples...)
+	h.sorted = false
+	h.sum += other.sum
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) using linear
+// interpolation between closest ranks. Edge cases: an empty histogram
+// returns 0; a single sample returns that sample for every p; p outside
+// [0, 100] clamps. Tied samples behave as expected: any percentile falling
+// within a run of equal values returns that value.
+func (h *Histogram) Percentile(p float64) float64 {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	h.sort()
+	if n == 1 {
+		return h.samples[0]
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if frac == 0 {
+		return h.samples[lo]
+	}
+	return h.samples[lo] + frac*(h.samples[lo+1]-h.samples[lo])
+}
+
+// Min returns the smallest sample; 0 when empty.
+func (h *Histogram) Min() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[0]
+}
+
+// Max returns the largest sample; 0 when empty.
+func (h *Histogram) Max() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}
+
+// Summary is the fixed percentile digest the serving engine reports.
+type Summary struct {
+	Count               int
+	Mean, Min, Max      float64
+	P50, P90, P99, P999 float64
+}
+
+// Summarize computes the digest.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
+	}
+}
+
+// String renders the summary with sub-millisecond latencies in mind.
+func (s Summary) String() string {
+	us := func(v float64) string { return fmt.Sprintf("%.0fµs", v*1e6) }
+	return fmt.Sprintf("n=%d mean=%s p50=%s p90=%s p99=%s p99.9=%s max=%s",
+		s.Count, us(s.Mean), us(s.P50), us(s.P90), us(s.P99), us(s.P999), us(s.Max))
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should return zeros")
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Fatalf("empty P%v = %v", p, got)
+		}
+	}
+	s := h.Summarize()
+	if s.Count != 0 || s.P50 != 0 || s.P999 != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(42)
+	for _, p := range []float64{0, 1, 50, 99, 99.9, 100} {
+		if got := h.Percentile(p); got != 42 {
+			t.Fatalf("single-sample P%v = %v, want 42", p, got)
+		}
+	}
+	if h.Mean() != 42 || h.Min() != 42 || h.Max() != 42 {
+		t.Fatal("single-sample stats wrong")
+	}
+}
+
+func TestHistogramTies(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	for _, p := range []float64{0, 25, 50, 75, 99, 100} {
+		if got := h.Percentile(p); got != 5 {
+			t.Fatalf("all-ties P%v = %v, want 5", p, got)
+		}
+	}
+	// Half ties at 1, half at 2: the median straddles the boundary.
+	var g Histogram
+	for i := 0; i < 5; i++ {
+		g.Observe(1)
+		g.Observe(2)
+	}
+	if p25 := g.Percentile(25); p25 != 1 {
+		t.Fatalf("P25 = %v, want 1", p25)
+	}
+	if p75 := g.Percentile(75); p75 != 2 {
+		t.Fatalf("P75 = %v, want 2", p75)
+	}
+	if p0, p100 := g.Percentile(0), g.Percentile(100); p0 != 1 || p100 != 2 {
+		t.Fatalf("P0 = %v, P100 = %v", p0, p100)
+	}
+}
+
+func TestHistogramPercentileInterpolation(t *testing.T) {
+	var h Histogram
+	// Observe out of order; Percentile must sort.
+	for _, v := range []float64{40, 10, 30, 20} {
+		h.Observe(v)
+	}
+	if p50 := h.Percentile(50); p50 != 25 {
+		t.Fatalf("P50 = %v, want 25", p50)
+	}
+	if p100 := h.Percentile(100); p100 != 40 {
+		t.Fatalf("P100 = %v, want 40", p100)
+	}
+	if p0 := h.Percentile(0); p0 != 10 {
+		t.Fatalf("P0 = %v, want 10", p0)
+	}
+	// Clamping outside [0, 100].
+	if h.Percentile(-5) != 10 || h.Percentile(250) != 40 {
+		t.Fatal("out-of-range p did not clamp")
+	}
+}
+
+func TestHistogramMonotonePercentiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(rng.ExpFloat64())
+	}
+	prev := h.Percentile(0)
+	for p := 1.0; p <= 100; p++ {
+		cur := h.Percentile(p)
+		if cur < prev {
+			t.Fatalf("percentiles not monotone at P%v: %v < %v", p, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		v := rng.Float64()
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		all.Observe(v)
+	}
+	a.Merge(&b)
+	a.Merge(nil)
+	// Sums accumulate in different orders, so compare with a tolerance.
+	if a.Count() != all.Count() || math.Abs(a.Sum()-all.Sum()) > 1e-9 {
+		t.Fatalf("merge lost samples: %d/%v vs %d/%v", a.Count(), a.Sum(), all.Count(), all.Sum())
+	}
+	for _, p := range []float64{1, 50, 90, 99.9} {
+		if a.Percentile(p) != all.Percentile(p) {
+			t.Fatalf("merged P%v = %v, want %v", p, a.Percentile(p), all.Percentile(p))
+		}
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(1500 * time.Microsecond)
+	if got := h.Percentile(50); got != 0.0015 {
+		t.Fatalf("duration sample = %v s, want 0.0015", got)
+	}
+	if s := h.Summarize().String(); s == "" {
+		t.Fatal("empty summary string")
+	}
+}

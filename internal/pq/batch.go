@@ -1,6 +1,8 @@
 package pq
 
 import (
+	"fmt"
+
 	"dart/internal/mat"
 	"dart/internal/par"
 )
@@ -15,6 +17,9 @@ const encodeGrain = 16
 // exactly what EncodeRow produces, for any worker count.
 func EncodeBatch(enc Encoder, x *mat.Matrix) [][]int {
 	c := enc.C()
+	if d := enc.C() * enc.SubDim(); x.Cols != d {
+		panic(fmt.Sprintf("pq: EncodeBatch on %d-dim rows, encoder expects %d", x.Cols, d))
+	}
 	flat := make([]int, x.Rows*c)
 	out := make([][]int, x.Rows)
 	for i := range out {
@@ -32,6 +37,9 @@ func EncodeBatch(enc Encoder, x *mat.Matrix) [][]int {
 // encode + table aggregation per row, fanned across the worker pool.
 // Results are bit-identical to calling Query row by row.
 func (t *DotTable) QueryBatch(x *mat.Matrix) []float64 {
+	if d := t.enc.C() * t.enc.SubDim(); x.Cols != d {
+		panic(fmt.Sprintf("pq: QueryBatch on %d-dim rows, table expects %d", x.Cols, d))
+	}
 	out := make([]float64, x.Rows)
 	c := t.enc.C()
 	par.For(x.Rows, encodeGrain, func(lo, hi int) {

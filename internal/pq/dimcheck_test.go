@@ -1,0 +1,100 @@
+package pq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dart/internal/mat"
+)
+
+// fittedKMeans returns a small fitted k-means encoder (D=8, C=2, K=4).
+func fittedKMeans(t *testing.T) *KMeansEncoder {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	enc := NewKMeansEncoder(8, 2, 4, rng)
+	x := mat.New(32, 8).Randn(rng, 1)
+	enc.Fit(x)
+	return enc
+}
+
+// mustPanic asserts fn panics with a message containing want.
+func mustPanic(t *testing.T, name, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s: no panic", name)
+			return
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("%s: panic value %v is not a string", name, r)
+		}
+		if !strings.Contains(msg, want) {
+			t.Fatalf("%s: panic %q does not mention %q", name, msg, want)
+		}
+	}()
+	fn()
+}
+
+func TestDimensionChecks(t *testing.T) {
+	enc := fittedKMeans(t)
+	b := make([]float64, 8)
+	table := NewDotTable(enc, b)
+	wide := mat.New(3, 9)
+	narrow := mat.New(3, 4)
+
+	cases := []struct {
+		name string
+		want string
+		fn   func()
+	}{
+		{"EncodeBatch/wide", "expects 8", func() { EncodeBatch(enc, wide) }},
+		{"EncodeBatch/narrow", "expects 8", func() { EncodeBatch(enc, narrow) }},
+		{"QueryBatch/wide", "expects 8", func() { table.QueryBatch(wide) }},
+		{"QueryBatch/narrow", "expects 8", func() { table.QueryBatch(narrow) }},
+		{"Query/short", "expects 8", func() { table.Query(make([]float64, 5)) }},
+		{"Query/long", "expects 8", func() { table.Query(make([]float64, 16)) }},
+		{"QueryEncoded/short", "2 subspaces", func() { table.QueryEncoded([]int{0}) }},
+		{"QueryEncoded/long", "2 subspaces", func() { table.QueryEncoded([]int{0, 1, 2}) }},
+		{"EncodeRow/rowLen", "expects (8, 2)", func() { enc.EncodeRow(make([]float64, 7), make([]int, 2)) }},
+		{"EncodeRow/outLen", "expects (8, 2)", func() { enc.EncodeRow(make([]float64, 8), make([]int, 3)) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { mustPanic(t, c.name, c.want, c.fn) })
+	}
+}
+
+func TestLSHEncodeRowDimensionCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	enc := NewLSHEncoder(8, 2, 4, rng)
+	enc.Fit(mat.New(16, 8).Randn(rng, 1))
+	mustPanic(t, "LSH/EncodeRow", "expects (8, 2)", func() {
+		enc.EncodeRow(make([]float64, 10), make([]int, 2))
+	})
+	// Correct shapes still work.
+	out := make([]int, 2)
+	enc.EncodeRow(make([]float64, 8), out)
+}
+
+// TestValidShapesUnaffected guards the checks against false positives.
+func TestValidShapesUnaffected(t *testing.T) {
+	enc := fittedKMeans(t)
+	b := make([]float64, 8)
+	for i := range b {
+		b[i] = float64(i)
+	}
+	table := NewDotTable(enc, b)
+	rng := rand.New(rand.NewSource(3))
+	x := mat.New(5, 8).Randn(rng, 1)
+	got := table.QueryBatch(x)
+	for i := 0; i < x.Rows; i++ {
+		if want := table.Query(x.Row(i)); got[i] != want {
+			t.Fatalf("row %d: batch %v != scalar %v", i, got[i], want)
+		}
+	}
+	if rows := EncodeBatch(enc, x); len(rows) != 5 || len(rows[0]) != 2 {
+		t.Fatalf("EncodeBatch shape %dx%d", len(rows), len(rows[0]))
+	}
+}

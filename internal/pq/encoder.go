@@ -79,6 +79,10 @@ func (e *KMeansEncoder) Fit(x *mat.Matrix) {
 
 // EncodeRow assigns each subspace of row to its nearest prototype.
 func (e *KMeansEncoder) EncodeRow(row []float64, out []int) {
+	if len(row) != e.d || len(out) != e.c {
+		panic(fmt.Sprintf("pq: EncodeRow(%d-dim row, %d indices), encoder expects (%d, %d)",
+			len(row), len(out), e.d, e.c))
+	}
 	for c := 0; c < e.c; c++ {
 		sub := row[c*e.v : (c+1)*e.v]
 		best, bestD := 0, math.Inf(1)
@@ -188,6 +192,10 @@ func (e *LSHEncoder) Fit(x *mat.Matrix) {
 
 // EncodeRow hashes each subspace of row to its bucket index.
 func (e *LSHEncoder) EncodeRow(row []float64, out []int) {
+	if len(row) != e.d || len(out) != e.c {
+		panic(fmt.Sprintf("pq: EncodeRow(%d-dim row, %d indices), encoder expects (%d, %d)",
+			len(row), len(out), e.d, e.c))
+	}
 	for c := 0; c < e.c; c++ {
 		sub := row[c*e.v : (c+1)*e.v]
 		var bucket int

@@ -42,6 +42,9 @@ func (t *DotTable) Entry(c, k int) float64 { return t.entries[c*t.enc.K()+k] }
 // Query approximates aᵀb by encoding a and aggregating table entries.
 func (t *DotTable) Query(a []float64) float64 {
 	c := t.enc.C()
+	if d := c * t.enc.SubDim(); len(a) != d {
+		panic(fmt.Sprintf("pq: Query on %d-dim vector, table expects %d", len(a), d))
+	}
 	idx := make([]int, c)
 	t.enc.EncodeRow(a, idx)
 	return t.QueryEncoded(idx)
@@ -49,6 +52,9 @@ func (t *DotTable) Query(a []float64) float64 {
 
 // QueryEncoded aggregates with a precomputed encoding.
 func (t *DotTable) QueryEncoded(idx []int) float64 {
+	if len(idx) != t.enc.C() {
+		panic(fmt.Sprintf("pq: QueryEncoded with %d indices, table has %d subspaces", len(idx), t.enc.C()))
+	}
 	var s float64
 	k := t.enc.K()
 	for c, ki := range idx {

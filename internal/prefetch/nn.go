@@ -81,22 +81,43 @@ func (p *NNPrefetcher) Latency() int { return p.latency }
 func (p *NNPrefetcher) StorageBytes() int { return p.storage }
 
 // OnAccess appends to the history and, once it is full, predicts deltas.
+// It is BuildInput followed by a predictor query followed by Apply. The
+// serving engine coalesces cross-session model queries behind the
+// BitmapPredictor seam (its predictor blocks in Logits until the admission
+// batcher answers); the exported halves exist for callers that need to
+// defer the query themselves instead of blocking inside OnAccess.
 func (p *NNPrefetcher) OnAccess(a sim.Access) []uint64 {
+	x, ok := p.BuildInput(a)
+	if !ok {
+		return nil
+	}
+	return p.Apply(a, p.pred.Logits(x))
+}
+
+// BuildInput records the access in the history ring and, once the ring holds
+// a full window, writes the segmented model input into the prefetcher's
+// reusable buffer and returns it. The buffer is valid until the next
+// BuildInput call, so callers that defer the predictor query must finish
+// with it before feeding this prefetcher another access.
+func (p *NNPrefetcher) BuildInput(a sim.Access) (*mat.Matrix, bool) {
 	p.hist = append(p.hist, histEntry{block: a.Block, pc: a.PC})
 	if len(p.hist) > p.cfg.History {
 		p.hist = p.hist[1:]
 	}
 	if len(p.hist) < p.cfg.History {
-		return nil
+		return nil, false
 	}
 	for t, h := range p.hist {
 		row := p.x.Row(t)
 		p.cfg.SegmentBlock(h.block, row[:p.cfg.Segments])
 		row[p.cfg.Segments] = float64(h.pc&0xFFFF) / 65535.0
 	}
-	logits := p.pred.Logits(p.x)
+	return p.x, true
+}
 
-	// Collect positive bits, strongest first, up to the degree.
+// Apply converts predicted delta-bitmap logits for trigger access a into
+// prefetch block addresses: positive bits, strongest first, up to the degree.
+func (p *NNPrefetcher) Apply(a sim.Access, logits []float64) []uint64 {
 	type cand struct {
 		bit   int
 		logit float64

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"sync"
+
+	"dart/internal/mat"
+	"dart/internal/tabular"
+)
+
+// query is one session's model input awaiting inference.
+type query struct {
+	x     *mat.Matrix
+	reply chan []float64
+}
+
+// batcher is the admission layer for model inference: sessions publish their
+// prepared inputs and block on the reply; the dispatch loop coalesces every
+// query that arrived while the previous batch was in flight into one
+// tabular.Hierarchy.QueryBatch call on the shared worker pool.
+//
+// Greedy (adaptive) batching needs no flush timer: when the engine is idle a
+// query is dispatched alone with no added latency, and under concurrent load
+// batches grow to MaxBatch naturally because sessions queue up while the
+// previous QueryBatch runs.
+type batcher struct {
+	h        *tabular.Hierarchy
+	reqs     chan query
+	quit     chan struct{}
+	done     chan struct{}
+	maxBatch int
+
+	mu      sync.Mutex
+	batches uint64
+	batched uint64
+	biggest int
+}
+
+func newBatcher(h *tabular.Hierarchy, maxBatch int) *batcher {
+	b := &batcher{
+		h:        h,
+		reqs:     make(chan query, maxBatch),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		maxBatch: maxBatch,
+	}
+	go b.loop()
+	return b
+}
+
+func (b *batcher) loop() {
+	defer close(b.done)
+	pending := make([]query, 0, b.maxBatch)
+	for {
+		// Block for the first query of the next batch.
+		select {
+		case q := <-b.reqs:
+			pending = append(pending, q)
+		case <-b.quit:
+			// Serve stragglers already queued, then exit.
+			for {
+				select {
+				case q := <-b.reqs:
+					b.dispatch([]query{q})
+				default:
+					return
+				}
+			}
+		}
+		// Coalesce everything else that has already arrived.
+	fill:
+		for len(pending) < b.maxBatch {
+			select {
+			case q := <-b.reqs:
+				pending = append(pending, q)
+			default:
+				break fill
+			}
+		}
+		b.dispatch(pending)
+		pending = pending[:0]
+	}
+}
+
+// dispatch runs one coalesced batch through the shared hierarchy and fans
+// the per-sample logits back to the waiting sessions. Per-sample outputs are
+// exactly Hierarchy.Query of that sample (QueryBatch's contract), so a
+// batched session is bit-identical to one querying the model directly.
+func (b *batcher) dispatch(qs []query) {
+	if len(qs) == 0 {
+		return
+	}
+	rows, cols := qs[0].x.Rows, qs[0].x.Cols
+	in := mat.NewTensor(len(qs), rows, cols)
+	for i, q := range qs {
+		copy(in.Sample(i).Data, q.x.Data)
+	}
+	out := b.h.QueryBatch(in)
+	for i, q := range qs {
+		q.reply <- append([]float64(nil), out.Sample(i).Data...)
+	}
+	b.mu.Lock()
+	b.batches++
+	b.batched += uint64(len(qs))
+	if len(qs) > b.biggest {
+		b.biggest = len(qs)
+	}
+	b.mu.Unlock()
+}
+
+// infer blocks until the batcher has run the input through the model.
+func (b *batcher) infer(x *mat.Matrix) []float64 {
+	q := query{x: x, reply: make(chan []float64, 1)}
+	b.reqs <- q
+	return <-q.reply
+}
+
+// stats reports (batches dispatched, queries served, largest batch).
+func (b *batcher) stats() (uint64, uint64, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.batches, b.batched, b.biggest
+}
+
+// stop shuts the dispatch loop down after serving any queued queries. The
+// engine calls it only after every session has drained, so no new queries
+// can arrive concurrently.
+func (b *batcher) stop() {
+	close(b.quit)
+	<-b.done
+}
+
+// batchedModel adapts the batcher to prefetch.BitmapPredictor, the hook that
+// lets each session keep a private NNPrefetcher (history ring, degree) while
+// sharing one model and one admission batcher with every other session.
+type batchedModel struct{ b *batcher }
+
+// Logits routes the query through the admission batcher.
+func (m batchedModel) Logits(x *mat.Matrix) []float64 { return m.b.infer(x) }

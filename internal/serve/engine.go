@@ -1,0 +1,385 @@
+// Package serve is the online multi-session prefetch serving engine: the
+// layer that turns the offline DART artifacts of this repository into a
+// long-running daemon multiplexing many access streams (one session per
+// simulated core or tenant) through the shared batched inference kernels.
+//
+// Architecture (see README.md for the wire protocol):
+//
+//   - Sessions live in a sharded map (hash of the session id picks the
+//     shard), so opening/looking up sessions under heavy concurrency never
+//     funnels through a global lock.
+//   - Each session is an actor: a goroutine draining a bounded inbox.
+//     Enqueueing into a full inbox blocks — backpressure propagates to the
+//     producer (and, through the TCP server, to the client) instead of
+//     buffering unboundedly. In-order per-session delivery is the actor
+//     loop's FIFO order.
+//   - Sessions with a table-backed (DART) predictor do not query the model
+//     directly: they publish their prepared input to the engine's admission
+//     batcher, which coalesces concurrently-arriving queries from many
+//     sessions into one tabular.Hierarchy.QueryBatch call on the shared
+//     internal/par worker pool.
+//   - Every session drives an incremental sim.Sim, so per-session statistics
+//     are bit-identical to an offline sim.Run over the same records.
+//   - Drain/Shutdown stop admission, let every inbox empty, flush the
+//     batcher, and collect final per-session results.
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dart/internal/dataprep"
+	"dart/internal/prefetch"
+	"dart/internal/sim"
+	"dart/internal/tabular"
+	"dart/internal/trace"
+)
+
+// Config tunes the engine. Zero values select sensible defaults.
+type Config struct {
+	Shards     int // session-map shards (default 16)
+	QueueDepth int // per-session inbox capacity (default 64)
+	MaxBatch   int // admission batcher coalescing cap (default 64)
+
+	SimCfg sim.Config // machine model; zero value selects sim.DefaultConfig
+
+	// Model, when non-nil, enables the "dart" prefetcher backed by the
+	// shared table hierarchy; sessions keep private history state while
+	// inference is coalesced across sessions.
+	Model        *tabular.Hierarchy
+	Data         dataprep.Config // input preprocessing for model sessions
+	ModelLatency int             // modelled inference latency (cycles)
+	ModelStorage int             // modelled storage (bytes)
+
+	// Registry resolves prefetcher names; defaults to the built-ins
+	// (none/bo/isb/stride) plus "dart" when Model is set.
+	Registry *prefetch.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.SimCfg == (sim.Config{}) {
+		c.SimCfg = sim.DefaultConfig()
+	}
+	if c.Data.History == 0 {
+		c.Data = dataprep.Default()
+	}
+	if c.Registry == nil {
+		c.Registry = prefetch.NewRegistry()
+	}
+	return c
+}
+
+// Response is what one served access produced.
+type Response struct {
+	Session    string
+	Seq        uint64 // per-session sequence number, starting at 1
+	Hit        bool
+	Late       bool
+	Prefetches []uint64 // block addresses issued
+}
+
+// item is one queued access plus its completion callback.
+type item struct {
+	rec trace.Record
+	fn  func(Response)
+}
+
+// session is the per-stream actor: private prefetcher state, an incremental
+// simulator, and a FIFO inbox drained by one goroutine.
+type session struct {
+	id    string
+	inbox chan item
+	done  chan struct{}
+	sim   *sim.Sim
+	seq   uint64
+	res   sim.Result // final result, valid after done closes
+
+	// sendMu guards the inbox against close-while-sending: Submit sends
+	// under the read lock (many producers, possibly blocking on a full
+	// inbox), Close closes the channel under the write lock. The actor
+	// never touches sendMu, so a blocked producer always drains.
+	sendMu sync.RWMutex
+	closed bool
+
+	snapMu sync.Mutex // guards snap for mid-stream stats
+	snap   sim.Result
+}
+
+func (s *session) run() {
+	defer close(s.done)
+	for it := range s.inbox {
+		st := s.sim.Step(it.rec)
+		s.seq++
+		if s.seq%256 == 0 {
+			s.snapMu.Lock()
+			s.snap = s.sim.Result()
+			s.snapMu.Unlock()
+		}
+		if it.fn != nil {
+			it.fn(Response{
+				Session:    s.id,
+				Seq:        s.seq,
+				Hit:        st.Hit,
+				Late:       st.Late,
+				Prefetches: st.Prefetches,
+			})
+		}
+	}
+	s.res = s.sim.Result()
+}
+
+// shard is one slice of the session map.
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*session
+}
+
+// Engine is the multi-session serving engine.
+type Engine struct {
+	cfg     Config
+	shards  []shard
+	batcher *batcher // nil when no model is configured
+
+	accepted atomic.Uint64
+	draining atomic.Bool
+}
+
+// NewEngine builds an engine from the config. When cfg.Model is set, the
+// admission batcher starts and the "dart" prefetcher becomes available.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, shards: make([]shard, cfg.Shards)}
+	for i := range e.shards {
+		e.shards[i].m = make(map[string]*session)
+	}
+	if cfg.Model != nil {
+		e.batcher = newBatcher(cfg.Model, cfg.MaxBatch)
+		// Register "dart" on a private clone: the caller's registry must
+		// not be wired to this engine's batcher (two engines sharing a
+		// registry would otherwise cross-route each other's queries).
+		e.cfg.Registry = cfg.Registry.Clone()
+		e.cfg.Registry.Register("dart", func(degree int) sim.Prefetcher {
+			return prefetch.NewNNPrefetcher("DART",
+				batchedModel{b: e.batcher},
+				cfg.Data, cfg.ModelLatency, cfg.ModelStorage, degree)
+		})
+	}
+	return e
+}
+
+// shardFor hashes a session id onto its shard.
+func (e *Engine) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &e.shards[h.Sum32()%uint32(len(e.shards))]
+}
+
+// lookup returns the live session or an error.
+func (e *Engine) lookup(id string) (*session, error) {
+	sh := e.shardFor(id)
+	sh.mu.RLock()
+	s := sh.m[id]
+	sh.mu.RUnlock()
+	if s == nil {
+		return nil, fmt.Errorf("serve: unknown session %q", id)
+	}
+	return s, nil
+}
+
+// Open creates a session with the named prefetcher. Every session gets a
+// fresh prefetcher instance and its own incremental simulator.
+func (e *Engine) Open(id, prefetcher string, degree int) error {
+	if id == "" {
+		return fmt.Errorf("serve: empty session id")
+	}
+	pf, err := e.cfg.Registry.New(prefetcher, degree)
+	if err != nil {
+		return err
+	}
+	s := &session{
+		id:    id,
+		inbox: make(chan item, e.cfg.QueueDepth),
+		done:  make(chan struct{}),
+		sim:   sim.NewSim(pf, e.cfg.SimCfg),
+	}
+	sh := e.shardFor(id)
+	sh.mu.Lock()
+	// The draining check lives inside the shard lock: Drain sets the flag
+	// and then snapshots the shards (taking this lock), so an Open that
+	// slipped in before the flag either errors here or has already
+	// inserted its session where Drain's close loop will find it.
+	if e.draining.Load() {
+		sh.mu.Unlock()
+		return fmt.Errorf("serve: engine is draining")
+	}
+	if _, exists := sh.m[id]; exists {
+		sh.mu.Unlock()
+		return fmt.Errorf("serve: session %q already open", id)
+	}
+	sh.m[id] = s
+	sh.mu.Unlock()
+	go s.run()
+	return nil
+}
+
+// Submit enqueues one access for the session and invokes fn (which may be
+// nil) from the session goroutine once the access has been simulated.
+// Submit blocks while the session inbox is full — that is the engine's
+// backpressure — and returns an error for unknown or closed sessions.
+func (e *Engine) Submit(id string, rec trace.Record, fn func(Response)) error {
+	s, err := e.lookup(id)
+	if err != nil {
+		return err
+	}
+	s.sendMu.RLock()
+	if s.closed {
+		s.sendMu.RUnlock()
+		return fmt.Errorf("serve: session %q is closed", id)
+	}
+	// The read lock is held across the (possibly blocking) send so Close
+	// cannot close the channel out from under it; the actor drains the
+	// inbox without ever taking sendMu, so the send always completes.
+	s.inbox <- item{rec: rec, fn: fn}
+	s.sendMu.RUnlock()
+	e.accepted.Add(1)
+	return nil
+}
+
+// Access is the synchronous form of Submit: it waits for the access to be
+// simulated and returns the response.
+func (e *Engine) Access(id string, rec trace.Record) (Response, error) {
+	var resp Response
+	ch := make(chan struct{})
+	err := e.Submit(id, rec, func(r Response) {
+		resp = r
+		close(ch)
+	})
+	if err != nil {
+		return Response{}, err
+	}
+	<-ch
+	return resp, nil
+}
+
+// Close drains the session's queued accesses, finalises its simulator, and
+// removes it from the map, returning the final per-session result.
+func (e *Engine) Close(id string) (sim.Result, error) {
+	s, err := e.lookup(id)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	s.sendMu.Lock()
+	if s.closed {
+		s.sendMu.Unlock()
+		return sim.Result{}, fmt.Errorf("serve: session %q already closing", id)
+	}
+	s.closed = true
+	close(s.inbox)
+	s.sendMu.Unlock()
+	<-s.done
+
+	sh := e.shardFor(id)
+	sh.mu.Lock()
+	delete(sh.m, id)
+	sh.mu.Unlock()
+	return s.res, nil
+}
+
+// Sessions lists the open session ids, sorted.
+func (e *Engine) Sessions() []string {
+	var ids []string
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		for id := range sh.m {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Stats is a mid-stream engine snapshot.
+type Stats struct {
+	Sessions   int
+	Accepted   uint64 // accesses admitted since start
+	Batches    uint64 // model batches dispatched
+	Batched    uint64 // model queries served through batches
+	MaxBatch   int    // largest batch dispatched so far
+	PerSession map[string]sim.Result
+}
+
+// StatsSnapshot gathers per-session snapshots without stopping the actors.
+// Session results lag by up to the snapshot interval (256 accesses).
+func (e *Engine) StatsSnapshot() Stats {
+	st := Stats{
+		Accepted:   e.accepted.Load(),
+		PerSession: make(map[string]sim.Result),
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		for id, s := range sh.m {
+			st.Sessions++
+			s.snapMu.Lock()
+			st.PerSession[id] = s.snap
+			s.snapMu.Unlock()
+		}
+		sh.mu.RUnlock()
+	}
+	if e.batcher != nil {
+		st.Batches, st.Batched, st.MaxBatch = e.batcher.stats()
+	}
+	return st
+}
+
+// Drain gracefully shuts the engine down: no new sessions are admitted,
+// every open session's inbox is closed and drained in turn, and the batcher
+// stops once the last model query has been answered. It returns the final
+// result of every session that was still open, keyed by session id.
+func (e *Engine) Drain() map[string]sim.Result {
+	e.draining.Store(true)
+	out := make(map[string]sim.Result)
+	// Loop until the map is empty: an Open racing the flag store may have
+	// inserted a session after this goroutine's first snapshot, but no new
+	// session can appear once a snapshot (which takes every shard lock)
+	// has observed the draining flag set — so the loop terminates.
+	for {
+		ids := e.Sessions()
+		if len(ids) == 0 {
+			break
+		}
+		for _, id := range ids {
+			s, err := e.lookup(id)
+			if err != nil {
+				continue // already closed and removed
+			}
+			res, err := e.Close(id)
+			if err != nil {
+				// Another goroutine (a client "close" op) is mid-close:
+				// block until its drain finishes instead of spinning
+				// through Sessions() while the inbox empties.
+				<-s.done
+				continue
+			}
+			out[id] = res
+		}
+	}
+	if e.batcher != nil {
+		e.batcher.stop()
+	}
+	return out
+}

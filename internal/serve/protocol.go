@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dart/internal/sim"
+	"dart/internal/trace"
+)
+
+// Hex64 is a uint64 that marshals as a 0x-prefixed hex string — addresses
+// survive JSON untouched (numbers above 2^53 lose precision in many JSON
+// decoders) and stay readable in packet dumps. Unmarshalling accepts hex
+// strings, decimal strings, and plain JSON numbers.
+type Hex64 uint64
+
+// MarshalJSON renders 0x-prefixed hex.
+func (h Hex64) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", "0x"+strconv.FormatUint(uint64(h), 16))), nil
+}
+
+// UnmarshalJSON accepts "0x..", "123", and 123.
+func (h *Hex64) UnmarshalJSON(b []byte) error {
+	s := strings.TrimSpace(string(b))
+	if len(s) >= 2 && s[0] == '"' {
+		var str string
+		if err := json.Unmarshal(b, &str); err != nil {
+			return err
+		}
+		s = strings.TrimSpace(str)
+	}
+	if s == "" {
+		*h = 0
+		return nil
+	}
+	base := 10
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		s, base = s[2:], 16
+	}
+	v, err := strconv.ParseUint(s, base, 64)
+	if err != nil {
+		return fmt.Errorf("serve: bad uint64 %q: %w", s, err)
+	}
+	*h = Hex64(v)
+	return nil
+}
+
+// Request is one line of the client→server protocol. Op selects the action:
+//
+//	open   {"op":"open","session":"s1","prefetcher":"stride","degree":4}
+//	access {"op":"access","session":"s1","instr_id":12,"pc":"0x400000","addr":"0x10000040","is_load":true}
+//	close  {"op":"close","session":"s1"}
+//	stats  {"op":"stats"}
+type Request struct {
+	Op         string `json:"op"`
+	Session    string `json:"session,omitempty"`
+	Prefetcher string `json:"prefetcher,omitempty"`
+	Degree     int    `json:"degree,omitempty"`
+	InstrID    uint64 `json:"instr_id,omitempty"`
+	PC         Hex64  `json:"pc,omitempty"`
+	Addr       Hex64  `json:"addr,omitempty"`
+	IsLoad     bool   `json:"is_load,omitempty"`
+}
+
+// Record converts an access request to a trace record.
+func (r Request) Record() trace.Record {
+	return trace.Record{InstrID: r.InstrID, PC: uint64(r.PC), Addr: uint64(r.Addr), IsLoad: r.IsLoad}
+}
+
+// Reply is one line of the server→client protocol. Every reply carries OK
+// (with Err set when false); access replies add Seq/Hit/Late/Prefetch, close
+// replies add the final Result, stats replies add Stats.
+type Reply struct {
+	OK       bool        `json:"ok"`
+	Err      string      `json:"error,omitempty"`
+	Session  string      `json:"session,omitempty"`
+	Seq      uint64      `json:"seq,omitempty"`
+	Hit      bool        `json:"hit,omitempty"`
+	Late     bool        `json:"late,omitempty"`
+	Prefetch []Hex64     `json:"prefetch,omitempty"`
+	Result   *sim.Result `json:"result,omitempty"`
+	Stats    *StatsReply `json:"stats,omitempty"`
+}
+
+// StatsReply is the wire form of Stats.
+type StatsReply struct {
+	Sessions int    `json:"sessions"`
+	Accepted uint64 `json:"accepted"`
+	Batches  uint64 `json:"batches"`
+	Batched  uint64 `json:"batched"`
+	MaxBatch int    `json:"max_batch"`
+}
+
+// errReply builds a failure line.
+func errReply(session string, err error) Reply {
+	return Reply{OK: false, Err: err.Error(), Session: session}
+}

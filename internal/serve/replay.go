@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dart/internal/metrics"
+	"dart/internal/sim"
+	"dart/internal/trace"
+)
+
+// ReplayOptions configures a replay run.
+type ReplayOptions struct {
+	Prefetcher string  // prefetcher every session opens with
+	Degree     int     // prefetch degree
+	QPS        float64 // aggregate target accesses/sec across sessions; 0 = unthrottled
+	Verify     bool    // re-run each trace offline and require bit-identity
+}
+
+// SessionReport is one session's replay outcome.
+type SessionReport struct {
+	ID        string
+	Result    sim.Result
+	Offline   sim.Result // zero unless verified
+	Identical bool       // served == offline (only meaningful with Verify)
+}
+
+// Report summarises a replay.
+type Report struct {
+	Sessions    []SessionReport
+	Merged      sim.Result
+	Latency     metrics.Summary // per-access request latency (seconds)
+	WallSeconds float64
+	Throughput  float64 // accesses/sec actually sustained
+	Verified    bool    // every session bit-identical (false when Verify off)
+	Batches     uint64  // model batches dispatched during the run
+	Batched     uint64  // model queries served through them
+	MaxBatch    int
+}
+
+// Replay pumps one trace per session through the engine concurrently — the
+// continuous-request-load evaluation mode — and reports per-session results,
+// sustained throughput, and request-latency percentiles. Each session's
+// accesses are submitted in order and synchronously (access n+1 enters the
+// engine after n's reply), so batching pressure comes from cross-session
+// concurrency exactly as in live serving. With Verify set, every trace is
+// re-run through the offline simulator and the served results must match
+// bit-for-bit.
+func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Report, error) {
+	if opt.Prefetcher == "" {
+		opt.Prefetcher = "stride"
+	}
+	if opt.Degree <= 0 {
+		opt.Degree = 4
+	}
+	ids := make([]string, 0, len(traces))
+	total := 0
+	for id, recs := range traces {
+		ids = append(ids, id)
+		total += len(recs)
+	}
+	sort.Strings(ids)
+
+	for _, id := range ids {
+		if err := e.Open(id, opt.Prefetcher, opt.Degree); err != nil {
+			return Report{}, err
+		}
+	}
+
+	// Pace each session at its share of the aggregate target.
+	var interval time.Duration
+	if opt.QPS > 0 && len(ids) > 0 {
+		perSession := opt.QPS / float64(len(ids))
+		interval = time.Duration(float64(time.Second) / perSession)
+	}
+
+	hists := make([]*metrics.Histogram, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, id := range ids {
+		hists[i] = &metrics.Histogram{}
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			next := time.Now()
+			for _, rec := range traces[id] {
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
+				t0 := time.Now()
+				if _, err := e.Access(id, rec); err != nil {
+					errs[i] = err
+					return
+				}
+				hists[i].ObserveDuration(time.Since(t0))
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return Report{}, err
+		}
+	}
+
+	rep := Report{WallSeconds: wall.Seconds()}
+	if wall > 0 {
+		rep.Throughput = float64(total) / wall.Seconds()
+	}
+	var lat metrics.Histogram
+	for _, h := range hists {
+		lat.Merge(h)
+	}
+	rep.Latency = lat.Summarize()
+
+	results := make([]sim.Result, 0, len(ids))
+	for _, id := range ids {
+		res, err := e.Close(id)
+		if err != nil {
+			return Report{}, err
+		}
+		sr := SessionReport{ID: id, Result: res}
+		if opt.Verify {
+			pf, err := e.cfg.Registry.New(opt.Prefetcher, opt.Degree)
+			if err != nil {
+				return Report{}, err
+			}
+			sr.Offline = sim.Run(traces[id], pf, e.cfg.SimCfg)
+			sr.Identical = sr.Offline == sr.Result
+		}
+		rep.Sessions = append(rep.Sessions, sr)
+		results = append(results, res)
+	}
+	rep.Merged = sim.Merge(results)
+	if opt.Verify {
+		rep.Verified = true
+		for _, sr := range rep.Sessions {
+			if !sr.Identical {
+				rep.Verified = false
+			}
+		}
+	}
+	if e.batcher != nil {
+		rep.Batches, rep.Batched, rep.MaxBatch = e.batcher.stats()
+	}
+	return rep, nil
+}
+
+// String renders a replay report for the CLI.
+func (r Report) String() string {
+	s := fmt.Sprintf("replayed %d sessions, %d accesses in %.2fs (%.0f acc/s)\n",
+		len(r.Sessions), r.Merged.Accesses, r.WallSeconds, r.Throughput)
+	s += fmt.Sprintf("request latency: %s\n", r.Latency)
+	if r.Batched > 0 {
+		avg := float64(r.Batched) / float64(r.Batches)
+		s += fmt.Sprintf("model batches: %d serving %d queries (avg %.1f, max %d per batch)\n",
+			r.Batches, r.Batched, avg, r.MaxBatch)
+	}
+	for _, sr := range r.Sessions {
+		mark := ""
+		if sr.Identical {
+			mark = "  [= offline]"
+		}
+		s += fmt.Sprintf("  %-12s IPC %.3f  acc %5.1f%%  misses %d  issued %d%s\n",
+			sr.ID, sr.Result.IPC, sr.Result.Accuracy()*100,
+			sr.Result.DemandMisses, sr.Result.PrefetchIssued, mark)
+	}
+	return s
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dart/internal/sim"
+)
+
+// Server speaks the line-delimited JSON protocol over any net.Listener (TCP
+// or unix socket). Clients may pipeline: access replies are written as each
+// access completes, tagged with session and sequence number, so a client
+// interleaving several sessions on one connection can match them up.
+// Backpressure is end-to-end — a full session inbox blocks the connection's
+// reader, which stops draining the socket, which throttles the sender.
+type Server struct {
+	engine *Engine
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// NewServer wraps an engine.
+func NewServer(e *Engine) *Server {
+	return &Server{engine: e, conns: make(map[net.Conn]struct{})}
+}
+
+// Engine exposes the underlying engine (replay drives it directly).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Serve accepts connections until Shutdown. It returns nil after a graceful
+// shutdown and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		// Registration and the shutdown check share the mutex: a conn
+		// accepted as Shutdown begins is either registered before Shutdown
+		// closes the conn map (and gets closed+waited on like the rest) or
+		// observes closed and is dropped here — it can never slip past
+		// wg.Wait into a post-shutdown handler.
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Shutdown stops accepting, closes live connections, waits for their
+// handlers, and drains the engine, returning the final per-session results.
+func (s *Server) Shutdown() map[string]sim.Result {
+	s.closed.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return s.engine.Drain()
+}
+
+// handle runs one connection: a reader loop dispatching requests and a
+// writer goroutine serialising replies (replies arrive concurrently from
+// session goroutines).
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	out := make(chan []byte, 256)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		w := bufio.NewWriter(conn)
+		var werr error
+		for line := range out {
+			if werr != nil {
+				continue // client gone: keep draining so senders never block
+			}
+			if _, err := w.Write(line); err != nil {
+				werr = err
+				continue
+			}
+			if err := w.WriteByte('\n'); err != nil {
+				werr = err
+				continue
+			}
+			// Flush when the channel is momentarily empty so pipelined
+			// bursts coalesce into few syscalls without batching latency.
+			if len(out) == 0 {
+				if err := w.Flush(); err != nil {
+					werr = err
+				}
+			}
+		}
+		if werr == nil {
+			w.Flush()
+		}
+	}()
+
+	send := func(r Reply) {
+		b, err := json.Marshal(r)
+		if err != nil {
+			b = []byte(`{"ok":false,"error":"serve: reply marshal failed"}`)
+		}
+		out <- b
+	}
+
+	// Sessions opened on this connection. If the client disconnects without
+	// closing them (crash, dropped link), they are reclaimed below so the
+	// daemon cannot accumulate orphaned actors and wedged session ids.
+	opened := make(map[string]struct{})
+
+	var pending sync.WaitGroup
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			send(errReply("", err))
+			continue
+		}
+		switch req.Op {
+		case "open":
+			if err := s.engine.Open(req.Session, req.Prefetcher, req.Degree); err != nil {
+				send(errReply(req.Session, err))
+			} else {
+				opened[req.Session] = struct{}{}
+				send(Reply{OK: true, Session: req.Session})
+			}
+		case "access":
+			pending.Add(1)
+			err := s.engine.Submit(req.Session, req.Record(), func(resp Response) {
+				defer pending.Done()
+				pf := make([]Hex64, len(resp.Prefetches))
+				for i, b := range resp.Prefetches {
+					pf[i] = Hex64(b)
+				}
+				send(Reply{
+					OK: true, Session: resp.Session, Seq: resp.Seq,
+					Hit: resp.Hit, Late: resp.Late, Prefetch: pf,
+				})
+			})
+			if err != nil {
+				pending.Done()
+				send(errReply(req.Session, err))
+			}
+		case "close":
+			res, err := s.engine.Close(req.Session)
+			if err != nil {
+				send(errReply(req.Session, err))
+			} else {
+				delete(opened, req.Session)
+				send(Reply{OK: true, Session: req.Session, Result: &res})
+			}
+		case "stats":
+			st := s.engine.StatsSnapshot()
+			send(Reply{OK: true, Stats: &StatsReply{
+				Sessions: st.Sessions,
+				Accepted: st.Accepted,
+				Batches:  st.Batches,
+				Batched:  st.Batched,
+				MaxBatch: st.MaxBatch,
+			}})
+		default:
+			send(Reply{OK: false, Err: "serve: unknown op " + req.Op})
+		}
+	}
+	// Wait for in-flight access replies, then let the writer drain and exit.
+	pending.Wait()
+	close(out)
+	<-writerDone
+
+	// Reclaim sessions the client abandoned — unless the server itself is
+	// shutting down, in which case engine.Drain collects them so Shutdown
+	// can return their final results.
+	if !s.closed.Load() {
+		for id := range opened {
+			s.engine.Close(id)
+		}
+	}
+}

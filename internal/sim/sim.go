@@ -26,6 +26,38 @@ type Prefetcher interface {
 	StorageBytes() int
 }
 
+// FeedbackKind classifies a prefetch-outcome event.
+type FeedbackKind int
+
+const (
+	// FeedbackUseful: a demand access hit a line a prefetch had already
+	// installed — the prediction was fully timely.
+	FeedbackUseful FeedbackKind = iota
+	// FeedbackLate: a demand access arrived while the prefetch fill was
+	// still in flight — the prediction was correct but late.
+	FeedbackLate
+)
+
+// Feedback is the outcome signal the simulator reports back to prefetchers
+// that opt in via FeedbackPrefetcher: which block the event concerns, how the
+// prefetch fared, and the cycle it happened. Online predictors use it to
+// update their training units while serving (accuracy-driven throttling,
+// table refresh, reinforcement of confirmed deltas).
+type Feedback struct {
+	Block uint64
+	Kind  FeedbackKind
+	Cycle uint64
+}
+
+// FeedbackPrefetcher is implemented by prefetchers that want prefetch-outcome
+// feedback. The simulator calls OnFeedback synchronously, immediately before
+// the OnAccess that observed the outcome, so an online learner sees the
+// signal in trace order.
+type FeedbackPrefetcher interface {
+	Prefetcher
+	OnFeedback(Feedback)
+}
+
 // NoPrefetcher is the baseline.
 type NoPrefetcher struct{}
 
@@ -143,146 +175,217 @@ type pendingFill struct {
 	prefetched bool
 }
 
-// Run simulates the trace with the given prefetcher.
-func Run(recs []trace.Record, pf Prefetcher, cfg Config) Result {
+// Step reports what one simulated access did, for callers (the serving
+// engine, online trainers) that need per-access visibility rather than the
+// aggregate Result.
+type Step struct {
+	Hit        bool     // demand hit (line was resident)
+	Late       bool     // covered by an in-flight prefetch
+	Stall      float64  // cycles the core stalled on this access
+	Prefetches []uint64 // block addresses issued this step (post admission)
+}
+
+// Sim is the incremental form of Run: a long-lived simulator that consumes
+// one trace record at a time. The serving engine holds one Sim per session
+// and feeds it accesses as they arrive over the wire; Run is a loop over
+// Step, so a stepped session is bit-identical to an offline replay of the
+// same records.
+type Sim struct {
+	cfg Config
+	pf  Prefetcher
+	fb  FeedbackPrefetcher // non-nil when pf wants outcome feedback
+
+	llc      *Cache
+	res      Result
+	hide     float64
+	cycle    float64
+	dramFree float64 // next cycle DRAM can start a fill (bandwidth)
+
+	started               bool
+	firstInstr, lastInstr uint64
+	prevInstr             uint64
+
+	pending  []pendingFill
+	inFlight map[uint64]int // block -> index+1 in pending
+}
+
+// NewSim builds an incremental simulator. It panics on an invalid config,
+// matching Run.
+func NewSim(pf Prefetcher, cfg Config) *Sim {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	llc := NewCache(cfg.LLCBlocks, cfg.LLCWays)
-	res := Result{Prefetcher: pf.Name()}
-	// hideCapacity approximates the latency an OoO core overlaps with
-	// independent work: ROB entries retire at CoreWidth per cycle.
-	hide := float64(cfg.ROBSize) / float64(cfg.CoreWidth)
+	s := &Sim{
+		cfg:      cfg,
+		pf:       pf,
+		llc:      NewCache(cfg.LLCBlocks, cfg.LLCWays),
+		res:      Result{Prefetcher: pf.Name()},
+		hide:     float64(cfg.ROBSize) / float64(cfg.CoreWidth),
+		pending:  make([]pendingFill, 0, cfg.PrefetchQueue+cfg.LLCMSHRs),
+		inFlight: make(map[uint64]int, cfg.PrefetchQueue+cfg.LLCMSHRs),
+	}
+	s.fb, _ = pf.(FeedbackPrefetcher)
+	return s
+}
 
-	var cycle float64
-	var dramFree float64 // next cycle DRAM can start a fill (bandwidth)
-	var prevInstr uint64
-	pending := make([]pendingFill, 0, cfg.PrefetchQueue+cfg.LLCMSHRs)
-	inFlight := make(map[uint64]int, cfg.PrefetchQueue+cfg.LLCMSHRs) // block -> index+1 in pending
-
-	// materialize installs every fill completed by `now` into the LLC.
-	materialize := func(now float64) {
-		w := 0
-		for _, p := range pending {
-			if float64(p.ready) <= now {
-				llc.Insert(p.block, p.prefetched)
-				delete(inFlight, p.block)
-			} else {
-				pending[w] = p
-				w++
-			}
-		}
-		pending = pending[:w]
-		for i, p := range pending {
-			inFlight[p.block] = i + 1
+// materialize installs every fill completed by `now` into the LLC.
+func (s *Sim) materialize(now float64) {
+	w := 0
+	for _, p := range s.pending {
+		if float64(p.ready) <= now {
+			s.llc.Insert(p.block, p.prefetched)
+			delete(s.inFlight, p.block)
+		} else {
+			s.pending[w] = p
+			w++
 		}
 	}
+	s.pending = s.pending[:w]
+	for i, p := range s.pending {
+		s.inFlight[p.block] = i + 1
+	}
+}
 
-	dramFill := func(start float64) float64 {
-		if start < dramFree {
-			start = dramFree
+func (s *Sim) dramFill(start float64) float64 {
+	if start < s.dramFree {
+		start = s.dramFree
+	}
+	s.dramFree = start + float64(s.cfg.DRAMInterval)
+	return start + float64(s.cfg.DRAMLatency)
+}
+
+// Step advances the simulation by one LLC access.
+func (s *Sim) Step(r trace.Record) Step {
+	cfg := s.cfg
+	if !s.started {
+		s.started = true
+		s.firstInstr = r.InstrID
+		s.prevInstr = r.InstrID
+	}
+	// Core makes progress on the instructions between LLC accesses.
+	di := r.InstrID - s.prevInstr
+	s.prevInstr = r.InstrID
+	s.lastInstr = r.InstrID
+	s.cycle += float64(di) / float64(cfg.CoreWidth)
+	s.materialize(s.cycle)
+
+	block := r.Block()
+	s.res.Accesses++
+	var info Step
+	var stall float64
+	hit, firstUse := s.llc.Lookup(block, true)
+	switch {
+	case hit:
+		s.res.DemandHits++
+		if firstUse {
+			s.res.PrefetchUseful++
+			if s.fb != nil {
+				s.fb.OnFeedback(Feedback{Block: block, Kind: FeedbackUseful, Cycle: uint64(s.cycle)})
+			}
 		}
-		dramFree = start + float64(cfg.DRAMInterval)
-		return start + float64(cfg.DRAMLatency)
-	}
-
-	if len(recs) > 0 {
-		prevInstr = recs[0].InstrID
-	}
-	for _, r := range recs {
-		// Core makes progress on the instructions between LLC accesses.
-		di := r.InstrID - prevInstr
-		prevInstr = r.InstrID
-		cycle += float64(di) / float64(cfg.CoreWidth)
-		materialize(cycle)
-
-		block := r.Block()
-		res.Accesses++
-		var stall float64
-		hit, firstUse := llc.Lookup(block, true)
-		switch {
-		case hit:
-			res.DemandHits++
-			if firstUse {
-				res.PrefetchUseful++
-			}
-			lat := float64(cfg.LLCHitLatency)
-			if lat > hide {
-				stall = lat - hide
-			}
-		case inFlight[block] != 0:
-			// A fill (usually a prefetch) is already on the way: pay the
-			// remaining latency only.
-			p := pending[inFlight[block]-1]
-			remain := float64(p.ready) - cycle
-			if remain < 0 {
-				remain = 0
-			}
-			if p.prefetched {
-				res.LateCovered++
-				res.PrefetchUseful++
-			}
-			lat := remain + float64(cfg.LLCHitLatency)
-			if lat > hide {
-				stall = lat - hide
-			}
-			// Materialize it now as a demand line.
-			llc.Insert(block, false)
-			idx := inFlight[block] - 1
-			pending = append(pending[:idx], pending[idx+1:]...)
-			delete(inFlight, block)
-			for i, pp := range pending {
-				inFlight[pp.block] = i + 1
-			}
-		default:
-			res.DemandMisses++
-			// Demand fills are prioritised by the memory controller: they
-			// pay the DRAM latency but are not queued behind prefetch fills.
-			ready := cycle + float64(cfg.DRAMLatency)
-			lat := ready - cycle + float64(cfg.LLCHitLatency)
-			if lat > hide {
-				stall = lat - hide
-			}
-			llc.Insert(block, false)
+		lat := float64(cfg.LLCHitLatency)
+		if lat > s.hide {
+			stall = lat - s.hide
 		}
-		cycle += stall
-
-		// Prefetcher observes the demand access and may issue requests.
-		reqs := pf.OnAccess(Access{
-			Cycle:   uint64(cycle),
-			InstrID: r.InstrID,
-			PC:      r.PC,
-			Block:   block,
-			Hit:     hit,
-		})
-		issueAt := cycle + float64(pf.Latency())
-		degree := 0
-		for _, pb := range reqs {
-			if degree >= cfg.MaxDegree {
-				res.PrefetchDropped++
-				continue
-			}
-			if h, _ := llc.Lookup(pb, false); h || inFlight[pb] != 0 {
-				continue // already resident or in flight
-			}
-			if len(pending) >= cfg.PrefetchQueue {
-				res.PrefetchDropped++
-				continue
-			}
-			ready := dramFill(issueAt)
-			pending = append(pending, pendingFill{block: pb, ready: uint64(ready), prefetched: true})
-			inFlight[pb] = len(pending)
-			res.PrefetchIssued++
-			degree++
+	case s.inFlight[block] != 0:
+		// A fill (usually a prefetch) is already on the way: pay the
+		// remaining latency only.
+		p := s.pending[s.inFlight[block]-1]
+		remain := float64(p.ready) - s.cycle
+		if remain < 0 {
+			remain = 0
 		}
+		if p.prefetched {
+			s.res.LateCovered++
+			s.res.PrefetchUseful++
+			info.Late = true
+			if s.fb != nil {
+				s.fb.OnFeedback(Feedback{Block: block, Kind: FeedbackLate, Cycle: uint64(s.cycle)})
+			}
+		}
+		lat := remain + float64(cfg.LLCHitLatency)
+		if lat > s.hide {
+			stall = lat - s.hide
+		}
+		// Materialize it now as a demand line.
+		s.llc.Insert(block, false)
+		idx := s.inFlight[block] - 1
+		s.pending = append(s.pending[:idx], s.pending[idx+1:]...)
+		delete(s.inFlight, block)
+		for i, pp := range s.pending {
+			s.inFlight[pp.block] = i + 1
+		}
+	default:
+		s.res.DemandMisses++
+		// Demand fills are prioritised by the memory controller: they
+		// pay the DRAM latency but are not queued behind prefetch fills.
+		ready := s.cycle + float64(cfg.DRAMLatency)
+		lat := ready - s.cycle + float64(cfg.LLCHitLatency)
+		if lat > s.hide {
+			stall = lat - s.hide
+		}
+		s.llc.Insert(block, false)
 	}
-	res.Pollution = llc.EvictedUnusedPrefetches
-	if len(recs) > 0 {
-		res.Instructions = recs[len(recs)-1].InstrID - recs[0].InstrID + 1
+	s.cycle += stall
+	info.Hit = hit
+	info.Stall = stall
+
+	// Prefetcher observes the demand access and may issue requests.
+	reqs := s.pf.OnAccess(Access{
+		Cycle:   uint64(s.cycle),
+		InstrID: r.InstrID,
+		PC:      r.PC,
+		Block:   block,
+		Hit:     hit,
+	})
+	issueAt := s.cycle + float64(s.pf.Latency())
+	degree := 0
+	for _, pb := range reqs {
+		if degree >= cfg.MaxDegree {
+			s.res.PrefetchDropped++
+			continue
+		}
+		if h, _ := s.llc.Lookup(pb, false); h || s.inFlight[pb] != 0 {
+			continue // already resident or in flight
+		}
+		if len(s.pending) >= cfg.PrefetchQueue {
+			s.res.PrefetchDropped++
+			continue
+		}
+		ready := s.dramFill(issueAt)
+		s.pending = append(s.pending, pendingFill{block: pb, ready: uint64(ready), prefetched: true})
+		s.inFlight[pb] = len(s.pending)
+		s.res.PrefetchIssued++
+		degree++
+		info.Prefetches = append(info.Prefetches, pb)
 	}
-	res.Cycles = cycle
-	if cycle > 0 {
-		res.IPC = float64(res.Instructions) / cycle
+	return info
+}
+
+// Result snapshots the aggregate statistics so far. It derives the
+// instruction count, pollution, and IPC from the current state, so it can be
+// called mid-stream (the serving engine's stats endpoint) as well as at the
+// end of a trace; after the final Step it equals what Run returns.
+func (s *Sim) Result() Result {
+	res := s.res
+	res.Pollution = s.llc.EvictedUnusedPrefetches
+	if s.started {
+		res.Instructions = s.lastInstr - s.firstInstr + 1
+	}
+	res.Cycles = s.cycle
+	if s.cycle > 0 {
+		res.IPC = float64(res.Instructions) / s.cycle
 	}
 	return res
+}
+
+// Run simulates the trace with the given prefetcher. It is a loop over
+// Sim.Step, so offline replay and incremental (served) execution of the same
+// records produce bit-identical results.
+func Run(recs []trace.Record, pf Prefetcher, cfg Config) Result {
+	s := NewSim(pf, cfg)
+	for _, r := range recs {
+		s.Step(r)
+	}
+	return s.Result()
 }

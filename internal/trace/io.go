@@ -29,46 +29,98 @@ func WriteCSV(w io.Writer, recs []Record) error {
 	return bw.Flush()
 }
 
-// ReadCSV parses a trace written by WriteCSV (or produced externally in the
-// same format). The header line is optional; pc/addr accept hexadecimal
-// (0x-prefixed) or decimal.
-func ReadCSV(r io.Reader) ([]Record, error) {
+// Scanner streams a CSV trace record by record without materialising the
+// whole trace in memory — the iterator the serving engine's replay mode uses
+// to pump arbitrarily long workloads. The header line is optional; pc/addr
+// accept hexadecimal (0x-prefixed) or decimal.
+//
+//	sc := trace.NewScanner(r)
+//	for sc.Next() {
+//		rec := sc.Record()
+//		...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+type Scanner struct {
+	sc     *bufio.Scanner
+	rec    Record
+	err    error
+	lineNo int
+}
+
+// NewScanner wraps a reader in a streaming trace iterator.
+func NewScanner(r io.Reader) *Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var recs []Record
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+	return &Scanner{sc: sc}
+}
+
+// Next advances to the next record. It returns false at end of input or on
+// the first malformed line; Err distinguishes the two.
+func (s *Scanner) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	for s.sc.Scan() {
+		s.lineNo++
+		line := strings.TrimSpace(s.sc.Text())
 		if line == "" {
 			continue
 		}
-		if lineNo == 1 && strings.HasPrefix(line, "instr_id") {
+		if s.lineNo == 1 && strings.HasPrefix(line, "instr_id") {
 			continue
 		}
-		fields := strings.Split(line, ",")
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("trace: line %d has %d fields, want 4", lineNo, len(fields))
-		}
-		instr, err := strconv.ParseUint(strings.TrimSpace(fields[0]), 10, 64)
+		rec, err := parseLine(line, s.lineNo)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d instr_id: %w", lineNo, err)
+			s.err = err
+			return false
 		}
-		pc, err := parseAddr(fields[1])
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d pc: %w", lineNo, err)
-		}
-		addr, err := parseAddr(fields[2])
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d addr: %w", lineNo, err)
-		}
-		load := strings.TrimSpace(fields[3])
-		recs = append(recs, Record{
-			InstrID: instr,
-			PC:      pc,
-			Addr:    addr,
-			IsLoad:  load == "1" || strings.EqualFold(load, "true"),
-		})
+		s.rec = rec
+		return true
+	}
+	s.err = s.sc.Err()
+	return false
+}
+
+// Record returns the record parsed by the last successful Next.
+func (s *Scanner) Record() Record { return s.rec }
+
+// Err returns the first parse or read error, or nil at clean end of input.
+func (s *Scanner) Err() error { return s.err }
+
+// parseLine decodes one CSV trace line.
+func parseLine(line string, lineNo int) (Record, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) != 4 {
+		return Record{}, fmt.Errorf("trace: line %d has %d fields, want 4", lineNo, len(fields))
+	}
+	instr, err := strconv.ParseUint(strings.TrimSpace(fields[0]), 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: line %d instr_id: %w", lineNo, err)
+	}
+	pc, err := parseAddr(fields[1])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: line %d pc: %w", lineNo, err)
+	}
+	addr, err := parseAddr(fields[2])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: line %d addr: %w", lineNo, err)
+	}
+	load := strings.TrimSpace(fields[3])
+	return Record{
+		InstrID: instr,
+		PC:      pc,
+		Addr:    addr,
+		IsLoad:  load == "1" || strings.EqualFold(load, "true"),
+	}, nil
+}
+
+// ReadCSV parses a trace written by WriteCSV (or produced externally in the
+// same format) into memory. It is the Scanner collected into a slice.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	sc := NewScanner(r)
+	var recs []Record
+	for sc.Next() {
+		recs = append(recs, sc.Record())
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -26,6 +26,69 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCSVStreamRoundTrip: write → stream-read via the Scanner → compare,
+// without ever materialising the trace through ReadCSV.
+func TestCSVStreamRoundTrip(t *testing.T) {
+	recs := Generate(AppSpec{Name: "s", Pages: 80, Streams: 3, IrregularFrac: 0.2, Seed: 9}, 2000)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScanner(&buf)
+	n := 0
+	for sc.Next() {
+		if n >= len(recs) {
+			t.Fatalf("scanner produced more than %d records", len(recs))
+		}
+		if got := sc.Record(); got != recs[n] {
+			t.Fatalf("record %d: %+v != %+v", n, got, recs[n])
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs) {
+		t.Fatalf("streamed %d of %d records", n, len(recs))
+	}
+	// Exhausted scanner stays exhausted.
+	if sc.Next() {
+		t.Fatal("Next() returned true after end of input")
+	}
+}
+
+func TestScannerStopsAtFirstBadLine(t *testing.T) {
+	in := "1,0x1,0x40,1\nbogus line\n2,0x2,0x80,0\n"
+	sc := NewScanner(strings.NewReader(in))
+	if !sc.Next() {
+		t.Fatal("first record should parse")
+	}
+	if sc.Next() {
+		t.Fatal("second line should fail")
+	}
+	if sc.Err() == nil {
+		t.Fatal("scanner swallowed the parse error")
+	}
+	// Err is sticky and Next keeps returning false.
+	if sc.Next() {
+		t.Fatal("scanner advanced past a sticky error")
+	}
+}
+
+func TestScannerSkipsHeaderAndBlanks(t *testing.T) {
+	in := "instr_id,pc,addr,is_load\n\n7,0x10,0x400,1\n\n"
+	sc := NewScanner(strings.NewReader(in))
+	if !sc.Next() {
+		t.Fatalf("no record: %v", sc.Err())
+	}
+	if r := sc.Record(); r.InstrID != 7 || r.PC != 0x10 || r.Addr != 0x400 || !r.IsLoad {
+		t.Fatalf("record %+v", r)
+	}
+	if sc.Next() || sc.Err() != nil {
+		t.Fatalf("expected clean EOF, got Next=true or err=%v", sc.Err())
+	}
+}
+
 func TestReadCSVWithoutHeader(t *testing.T) {
 	in := "100,0x400000,0x10000040,1\n200,0x400004,0x10000080,0\n"
 	recs, err := ReadCSV(strings.NewReader(in))
