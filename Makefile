@@ -1,8 +1,10 @@
 GO ?= go
 BENCH_TOLERANCE ?= 1.5
 BENCH_MIN_SPEEDUP ?= 2.0
+COVER_MAX_DROP ?= 1.0
+BENCH_ONLINE = 'BenchmarkFeedbackIngest|BenchmarkModelSwap'
 
-.PHONY: build test short race vet lint bench bench-ci bench-serve ci
+.PHONY: build test short race vet lint bench bench-ci bench-serve bench-update cover cover-update ci
 
 build:
 	$(GO) build ./...
@@ -22,7 +24,8 @@ race:
 vet:
 	$(GO) vet ./...
 
-## lint: gofmt drift is an error (CI runs this as a separate job)
+## lint: gofmt drift is an error (CI runs this as a separate job, plus
+## pinned staticcheck + govulncheck when the tools are installed)
 lint: vet
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
@@ -34,20 +37,47 @@ bench:
 
 ## bench-ci: perf-regression gate — run the engine benchmarks with a fixed
 ## small iteration count and fail on regression vs BENCH_par.json (absolute,
-## with a generous tolerance for host differences) or on losing the
-## same-run par-vs-serial speedup (host-independent). -count 3 because the
-## checker keeps the per-benchmark minimum: the µs-scale grid points are
-## noisy at 5 iterations and min-of-3 filters scheduler interference.
+## with a generous tolerance for host differences), on losing the same-run
+## par-vs-serial speedup (host-independent), or on the online-training
+## benchmarks regressing vs BENCH_serve.json's "online" section. -count 3
+## because the checker keeps the per-benchmark minimum: the µs-scale grid
+## points are noisy at low iteration counts and min-of-3 filters scheduler
+## interference.
 bench-ci:
 	$(GO) test -run '^$$' -bench 'BenchmarkMatMul|BenchmarkHierarchyQueryBatch' -benchtime 5x -count 3 -benchmem \
 		./internal/mat ./internal/tabular > bench-ci.out || { cat bench-ci.out; exit 1; }
+	$(GO) test -run '^$$' -bench $(BENCH_ONLINE) -benchtime 50ms -count 3 \
+		./internal/online >> bench-ci.out || { cat bench-ci.out; exit 1; }
 	@cat bench-ci.out
-	$(GO) run ./cmd/dart-benchcheck -baseline BENCH_par.json \
+	$(GO) run ./cmd/dart-benchcheck -baseline BENCH_par.json -serve-baseline BENCH_serve.json \
 		-tolerance $(BENCH_TOLERANCE) -min-speedup $(BENCH_MIN_SPEEDUP) bench-ci.out
 
-## bench-serve: regenerate the serving-throughput baseline (BENCH_serve.json)
+## bench-serve: regenerate the serving-throughput report in BENCH_serve.json
+## (the "online" bench section is preserved; bench-update refreshes both)
 bench-serve:
 	$(GO) run ./cmd/dart-serve -replay -sessions 8 -n 20000 -prefetcher stride -verify \
 		-json BENCH_serve.json
+
+## bench-update: regenerate every serving baseline in one step — the replay
+## throughput report plus the online-training benchmark numbers the bench-ci
+## gate enforces
+bench-update: bench-serve
+	$(GO) test -run '^$$' -bench $(BENCH_ONLINE) -benchtime 2s \
+		./internal/online > bench-online.out || { cat bench-online.out; exit 1; }
+	@cat bench-online.out
+	$(GO) run ./cmd/dart-benchcheck -write-online BENCH_serve.json bench-online.out
+
+## cover: coverage ratchet — total statement coverage may not drop more than
+## COVER_MAX_DROP points below the committed COVERAGE.txt baseline
+cover:
+	$(GO) test -short -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out > coverage-func.txt
+	$(GO) run ./cmd/dart-covercheck -baseline COVERAGE.txt -max-drop $(COVER_MAX_DROP) coverage-func.txt
+
+## cover-update: ratchet the committed baseline up to the measured value
+cover-update:
+	$(GO) test -short -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out > coverage-func.txt
+	$(GO) run ./cmd/dart-covercheck -write -baseline COVERAGE.txt coverage-func.txt
 
 ci: vet build test race

@@ -18,6 +18,13 @@
 //     -min-speedup (default 2x, PR 1's acceptance bar). This holds on any
 //     host because both sides ran on it seconds apart.
 //
+// With -serve-baseline the gate also covers the online-training benchmarks
+// (feedback ingest, model swap) against the "online" section of
+// BENCH_serve.json. -write-online flips the tool into update mode: it
+// parses those benchmarks from the input and rewrites the "online" section
+// in place — `make bench-update` uses this to refresh every serving
+// baseline in one step.
+//
 // Exit status 0 when every check passes, 1 on regression, 2 on usage or
 // missing-data errors.
 package main
@@ -43,6 +50,19 @@ type baseline struct {
 	Tabular struct {
 		NsPerOp float64 `json:"ns_per_op"`
 	} `json:"tabular"`
+}
+
+// onlineBaseline is the "online" section of BENCH_serve.json: the
+// online-training benchmarks gated alongside the engine ones.
+type onlineBaseline struct {
+	FeedbackIngestNs float64 `json:"feedback_ingest_ns"`
+	SwapNs           float64 `json:"swap_ns"`
+}
+
+// onlineBenchNames maps the gated benchmarks to their baseline fields.
+var onlineBenchNames = map[string]func(onlineBaseline) float64{
+	"BenchmarkFeedbackIngest": func(b onlineBaseline) float64 { return b.FeedbackIngestNs },
+	"BenchmarkModelSwap":      func(b onlineBaseline) float64 { return b.SwapNs },
 }
 
 // benchLine matches e.g. "BenchmarkMatMul/par/n512/w4-8   100  11093275 ns/op".
@@ -132,8 +152,98 @@ func speedupCheck(got map[string]float64, minSpeedup float64) (check, bool) {
 	}, true
 }
 
+// serveChecks compares the online-training benchmarks against the "online"
+// section of the serve baseline file.
+func serveChecks(servePath string, got map[string]float64, tolerance float64, out io.Writer) (checks []check, missing []string, ok bool) {
+	raw, err := os.ReadFile(servePath)
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return nil, nil, false
+	}
+	var doc struct {
+		Online *onlineBaseline `json:"online"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fmt.Fprintf(out, "benchcheck: parsing %s: %v\n", servePath, err)
+		return nil, nil, false
+	}
+	if doc.Online == nil {
+		fmt.Fprintf(out, "benchcheck: %s has no \"online\" section (run `make bench-update`)\n", servePath)
+		return nil, nil, false
+	}
+	for name, field := range onlineBenchNames {
+		baseNs := field(*doc.Online)
+		if baseNs <= 0 {
+			missing = append(missing, name)
+			continue
+		}
+		ns, measured := got[name]
+		if !measured {
+			missing = append(missing, name)
+			continue
+		}
+		limit := baseNs * tolerance
+		checks = append(checks, check{name: name, measured: ns, limit: limit, ok: ns <= limit})
+	}
+	return checks, missing, true
+}
+
+// writeOnline rewrites the "online" section of the serve baseline file from
+// the measured benchmarks, leaving every other key untouched.
+func writeOnline(servePath string, got map[string]float64, out io.Writer) int {
+	for name := range onlineBenchNames {
+		if _, ok := got[name]; !ok {
+			fmt.Fprintf(out, "benchcheck: input has no %s result; not updating %s\n", name, servePath)
+			return 2
+		}
+	}
+	raw, err := os.ReadFile(servePath)
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fmt.Fprintf(out, "benchcheck: parsing %s: %v\n", servePath, err)
+		return 2
+	}
+	sec, err := json.Marshal(onlineBaseline{
+		FeedbackIngestNs: got["BenchmarkFeedbackIngest"],
+		SwapNs:           got["BenchmarkModelSwap"],
+	})
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	doc["online"] = sec
+	updated, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	if err := os.WriteFile(servePath, append(updated, '\n'), 0o644); err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(out, "benchcheck: %s online section updated (ingest %.1f ns, swap %.0f ns)\n",
+		servePath, got["BenchmarkFeedbackIngest"], got["BenchmarkModelSwap"])
+	return 0
+}
+
 // run executes the gate and returns the process exit code.
-func run(baselinePath string, tolerance, minSpeedup float64, in io.Reader, out io.Writer) int {
+func run(baselinePath, servePath, updateOnline string, tolerance, minSpeedup float64, in io.Reader, out io.Writer) int {
+	got, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(out, "benchcheck: no benchmark results in input")
+		return 2
+	}
+	if updateOnline != "" {
+		return writeOnline(updateOnline, got, out)
+	}
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintf(out, "benchcheck: %v\n", err)
@@ -144,19 +254,24 @@ func run(baselinePath string, tolerance, minSpeedup float64, in io.Reader, out i
 		fmt.Fprintf(out, "benchcheck: parsing %s: %v\n", baselinePath, err)
 		return 2
 	}
-	got, err := parseBench(in)
-	if err != nil {
-		fmt.Fprintf(out, "benchcheck: %v\n", err)
-		return 2
-	}
-	if len(got) == 0 {
-		fmt.Fprintln(out, "benchcheck: no benchmark results in input")
-		return 2
-	}
 
 	checks, missing := absoluteChecks(base, got, tolerance)
 	if sc, ok := speedupCheck(got, minSpeedup); ok {
 		checks = append(checks, sc)
+	}
+	if servePath != "" {
+		sChecks, sMissing, ok := serveChecks(servePath, got, tolerance, out)
+		if !ok {
+			return 2
+		}
+		if len(sMissing) > 0 {
+			// Fail closed: unlike the matmul grid (which CI may shrink),
+			// the online gate names exactly the benchmarks bench-ci runs —
+			// one going missing means the gate silently stopped gating.
+			fmt.Fprintf(out, "benchcheck: online benchmarks missing from input or baseline: %v\n", sMissing)
+			return 2
+		}
+		checks = append(checks, sChecks...)
 	}
 	if len(checks) == 0 {
 		// Fail closed: benchmark names drifting away from the baseline
@@ -187,6 +302,8 @@ func run(baselinePath string, tolerance, minSpeedup float64, in io.Reader, out i
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_par.json", "baseline JSON file")
+	servePath := flag.String("serve-baseline", "", "also gate online benchmarks against this file's \"online\" section (e.g. BENCH_serve.json)")
+	updateOnline := flag.String("write-online", "", "update mode: rewrite this file's \"online\" section from the measured benchmarks")
 	tolerance := flag.Float64("tolerance", 1.5, "allowed slowdown vs baseline")
 	minSpeedup := flag.Float64("min-speedup", 2.0, "required same-run speedup of par w4 over serial")
 	flag.Parse()
@@ -201,5 +318,5 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	os.Exit(run(*baselinePath, *tolerance, *minSpeedup, in, os.Stdout))
+	os.Exit(run(*baselinePath, *servePath, *updateOnline, *tolerance, *minSpeedup, in, os.Stdout))
 }

@@ -67,7 +67,7 @@ func writeBaseline(t *testing.T) string {
 
 func TestGatePassesWithinTolerance(t *testing.T) {
 	var out strings.Builder
-	code := run(writeBaseline(t), 1.5, 2.0, strings.NewReader(sampleBench), &out)
+	code := run(writeBaseline(t), "", "", 1.5, 2.0, strings.NewReader(sampleBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -82,7 +82,7 @@ func TestGateFailsOnRegression(t *testing.T) {
 		"BenchmarkMatMul/par/n512/w4-1    10  11200000 ns/op",
 		"BenchmarkMatMul/par/n512/w4-1    10  33000000 ns/op", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), 1.5, 2.0, strings.NewReader(slow), &out)
+	code := run(writeBaseline(t), "", "", 1.5, 2.0, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -99,7 +99,7 @@ func TestGateFailsOnLostSpeedup(t *testing.T) {
 BenchmarkMatMul/par/n512/w4-1 2 9000000 ns/op
 `
 	var out strings.Builder
-	code := run(writeBaseline(t), 1.5, 2.0, strings.NewReader(in), &out)
+	code := run(writeBaseline(t), "", "", 1.5, 2.0, strings.NewReader(in), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -132,7 +132,7 @@ BenchmarkMatMul/par/n64/w4-1 40 24000 ns/op
 BenchmarkHierarchyQueryBatch-1 100 1700000 ns/op
 `
 	var out strings.Builder
-	code := run(writeBaseline(t), 1.5, 2.0, strings.NewReader(small), &out)
+	code := run(writeBaseline(t), "", "", 1.5, 2.0, strings.NewReader(small), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -148,7 +148,7 @@ func TestGateFailsClosedWhenNothingMatches(t *testing.T) {
 BenchmarkSomethingElse-1 5 12345 ns/op
 `
 	var out strings.Builder
-	if code := run(writeBaseline(t), 1.5, 2.0, strings.NewReader(renamed), &out); code != 2 {
+	if code := run(writeBaseline(t), "", "", 1.5, 2.0, strings.NewReader(renamed), &out); code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "no measured benchmark matched") {
@@ -158,14 +158,14 @@ BenchmarkSomethingElse-1 5 12345 ns/op
 
 func TestGateErrorsOnEmptyInput(t *testing.T) {
 	var out strings.Builder
-	if code := run(writeBaseline(t), 1.5, 2.0, strings.NewReader("no benchmarks here"), &out); code != 2 {
+	if code := run(writeBaseline(t), "", "", 1.5, 2.0, strings.NewReader("no benchmarks here"), &out); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
 
 func TestGateErrorsOnMissingBaseline(t *testing.T) {
 	var out strings.Builder
-	if code := run(filepath.Join(t.TempDir(), "nope.json"), 1.5, 2.0, strings.NewReader(sampleBench), &out); code != 2 {
+	if code := run(filepath.Join(t.TempDir(), "nope.json"), "", "", 1.5, 2.0, strings.NewReader(sampleBench), &out); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
@@ -174,10 +174,118 @@ func TestGateErrorsOnMissingBaseline(t *testing.T) {
 // against drifting away from the schema the gate reads.
 func TestRealBaselineParses(t *testing.T) {
 	var out strings.Builder
-	code := run("../../BENCH_par.json", 1.5, 2.0, strings.NewReader(sampleBench), &out)
+	code := run("../../BENCH_par.json", "", "", 1.5, 2.0, strings.NewReader(sampleBench), &out)
 	// sampleBench numbers are far below the real baseline, so this passes
 	// unless the JSON fails to parse (exit 2).
 	if code == 2 {
 		t.Fatalf("BENCH_par.json no longer parses:\n%s", out.String())
+	}
+}
+
+const sampleServeBaseline = `{
+  "generated": "2026-07-30",
+  "online": {"feedback_ingest_ns": 20, "swap_ns": 30000},
+  "report": {"Throughput": 640000}
+}`
+
+const sampleOnlineBench = sampleBench + `BenchmarkFeedbackIngest-1  50000000  22.1 ns/op
+BenchmarkModelSwap-1  40000  31000 ns/op
+`
+
+func writeServeBaseline(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "serve.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOnlineGatePassesWithinTolerance(t *testing.T) {
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "",
+		1.5, 2.0, strings.NewReader(sampleOnlineBench), &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkFeedbackIngest") ||
+		!strings.Contains(out.String(), "BenchmarkModelSwap") {
+		t.Fatalf("online benchmarks not checked:\n%s", out.String())
+	}
+}
+
+func TestOnlineGateFailsOnRegression(t *testing.T) {
+	slow := sampleBench + `BenchmarkFeedbackIngest-1  1000000  95.0 ns/op
+BenchmarkModelSwap-1  40000  31000 ns/op
+`
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "",
+		1.5, 2.0, strings.NewReader(slow), &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkFeedbackIngest") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestOnlineGateFailsClosedOnMissingBenchmark(t *testing.T) {
+	// Input has the matmul grid but neither online benchmark: the serve
+	// gate must error rather than degrade to a warning.
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "",
+		1.5, 2.0, strings.NewReader(sampleBench), &out)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "missing") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestOnlineGateFailsClosedWithoutSection(t *testing.T) {
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, `{"report": {}}`), "",
+		1.5, 2.0, strings.NewReader(sampleOnlineBench), &out)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "online") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestWriteOnlinePreservesOtherKeys(t *testing.T) {
+	path := writeServeBaseline(t, sampleServeBaseline)
+	var out strings.Builder
+	code := run("", "", path, 1.5, 2.0, strings.NewReader(sampleOnlineBench), &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	updated, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(updated)
+	for _, want := range []string{`"feedback_ingest_ns": 22.1`, `"swap_ns": 31000`, `"generated"`, `"Throughput": 640000`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("updated file missing %q:\n%s", want, s)
+		}
+	}
+	// The refreshed file must pass its own gate.
+	code = run(writeBaseline(t), path, "", 1.5, 2.0, strings.NewReader(sampleOnlineBench), &out)
+	if code != 0 {
+		t.Fatalf("self-gate exit %d:\n%s", code, out.String())
+	}
+}
+
+func TestWriteOnlineRefusesPartialInput(t *testing.T) {
+	path := writeServeBaseline(t, sampleServeBaseline)
+	var out strings.Builder
+	// Missing BenchmarkModelSwap: must refuse rather than zero the baseline.
+	code := run("", "", path, 1.5, 2.0,
+		strings.NewReader("BenchmarkFeedbackIngest-1 100 20 ns/op\n"), &out)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
 }

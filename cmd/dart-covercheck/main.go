@@ -1,0 +1,117 @@
+// Command dart-covercheck is the CI coverage ratchet: it reads the total
+// statement coverage from `go tool cover -func` output and compares it
+// against the committed baseline in COVERAGE.txt, failing when coverage
+// drops more than -max-drop percentage points below it.
+//
+//	go test -short -coverprofile=coverage.out ./...
+//	go tool cover -func=coverage.out > coverage-func.txt
+//	dart-covercheck -baseline COVERAGE.txt coverage-func.txt
+//
+// The ratchet is one-way by convention: `make cover-update` (dart-covercheck
+// -write) rewrites the baseline to the measured value, so rising coverage
+// tightens the floor while CI only ever enforces "no more than -max-drop
+// below the committed number". A missing baseline file fails closed — commit
+// one with -write first.
+//
+// Exit status 0 when the check passes, 1 on a coverage drop, 2 on usage or
+// parse errors.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// totalLine matches the summary row of `go tool cover -func`, e.g.
+// "total:  (statements)  73.1%".
+var totalLine = regexp.MustCompile(`^total:\s+\(statements\)\s+([0-9.]+)%`)
+
+// parseTotal extracts the total statement-coverage percentage.
+func parseTotal(r io.Reader) (float64, error) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		if m := totalLine.FindStringSubmatch(strings.TrimSpace(sc.Text())); m != nil {
+			return strconv.ParseFloat(m[1], 64)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("no \"total: (statements) N%%\" line found (is this `go tool cover -func` output?)")
+}
+
+// readBaseline parses the committed baseline: the first non-comment token
+// that parses as a float, e.g. "73.1" (comments start with '#').
+func readBaseline(path string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return strconv.ParseFloat(strings.TrimSuffix(line, "%"), 64)
+	}
+	return 0, fmt.Errorf("no coverage number in %s", path)
+}
+
+// run executes the gate and returns the process exit code.
+func run(baselinePath string, maxDrop float64, write bool, in io.Reader, out io.Writer) int {
+	measured, err := parseTotal(in)
+	if err != nil {
+		fmt.Fprintf(out, "covercheck: %v\n", err)
+		return 2
+	}
+	if write {
+		content := fmt.Sprintf("# total statement coverage baseline (percent), maintained by `make cover-update`\n%.1f\n", measured)
+		if err := os.WriteFile(baselinePath, []byte(content), 0o644); err != nil {
+			fmt.Fprintf(out, "covercheck: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(out, "covercheck: baseline %s set to %.1f%%\n", baselinePath, measured)
+		return 0
+	}
+	baseline, err := readBaseline(baselinePath)
+	if err != nil {
+		// Fail closed: a missing baseline must not silently disable the gate.
+		fmt.Fprintf(out, "covercheck: %v (commit a baseline with -write)\n", err)
+		return 2
+	}
+	floor := baseline - maxDrop
+	fmt.Fprintf(out, "covercheck: measured %.1f%%, baseline %.1f%%, floor %.1f%%\n", measured, baseline, floor)
+	if measured < floor {
+		fmt.Fprintf(out, "covercheck: FAIL — coverage dropped %.1f points below the committed baseline\n", baseline-measured)
+		return 1
+	}
+	if measured > baseline {
+		fmt.Fprintf(out, "covercheck: coverage rose %.1f points — ratchet it with `make cover-update`\n", measured-baseline)
+	}
+	return 0
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "COVERAGE.txt", "committed coverage baseline file")
+	maxDrop := flag.Float64("max-drop", 1.0, "allowed drop below the baseline, in percentage points")
+	write := flag.Bool("write", false, "rewrite the baseline to the measured value instead of checking")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "covercheck: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	os.Exit(run(*baselinePath, *maxDrop, *write, in, os.Stdout))
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const coverFunc = `dart/internal/mat/mat.go:22:		New		100.0%
+dart/internal/mat/mat.go:30:		FromSlice	85.7%
+total:							(statements)	73.1%
+`
+
+func writeBaseline(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "COVERAGE.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseTotal(t *testing.T) {
+	got, err := parseTotal(strings.NewReader(coverFunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 73.1 {
+		t.Fatalf("parsed %.1f, want 73.1", got)
+	}
+	if _, err := parseTotal(strings.NewReader("no totals here\n")); err == nil {
+		t.Fatal("missing total line accepted")
+	}
+}
+
+func TestRatchet(t *testing.T) {
+	cases := []struct {
+		name     string
+		baseline string
+		maxDrop  float64
+		want     int
+	}{
+		{"within tolerance", "73.8\n", 1.0, 0},
+		{"exactly at floor", "74.1\n", 1.0, 0},
+		{"beyond tolerance", "74.5\n", 1.0, 1},
+		{"coverage rose", "# comment\n70.0\n", 1.0, 0},
+		{"tight ratchet", "73.4\n", 0.1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeBaseline(t, tc.baseline)
+			var out strings.Builder
+			got := run(path, tc.maxDrop, false, strings.NewReader(coverFunc), &out)
+			if got != tc.want {
+				t.Fatalf("exit %d, want %d\n%s", got, tc.want, out.String())
+			}
+		})
+	}
+}
+
+func TestMissingBaselineFailsClosed(t *testing.T) {
+	var out strings.Builder
+	if got := run(filepath.Join(t.TempDir(), "nope.txt"), 1.0, false, strings.NewReader(coverFunc), &out); got != 2 {
+		t.Fatalf("exit %d, want 2 (fail closed)\n%s", got, out.String())
+	}
+}
+
+func TestWriteBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "COVERAGE.txt")
+	var out strings.Builder
+	if got := run(path, 1.0, true, strings.NewReader(coverFunc), &out); got != 0 {
+		t.Fatalf("write exited %d\n%s", got, out.String())
+	}
+	v, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 73.1 {
+		t.Fatalf("written baseline %.1f, want 73.1", v)
+	}
+	// The freshly written baseline must pass its own check.
+	if got := run(path, 1.0, false, strings.NewReader(coverFunc), &out); got != 0 {
+		t.Fatalf("self-check exited %d\n%s", got, out.String())
+	}
+}

@@ -14,6 +14,14 @@
 // rule-based ones; sessions share the table hierarchy while the admission
 // layer coalesces their queries into batched lookups.
 //
+// With -online the daemon additionally runs the continual-learning loop of
+// internal/online: sessions opened with prefetcher "online" are served by a
+// neural model that is fine-tuned in the background from their prefetch-
+// outcome feedback and hot-swapped between inference batches. -checkpoint-dir
+// makes published versions durable (and recovers the newest good one on
+// restart); -swap-interval sets the auto-publish cadence. The wire protocol
+// gains model/swap/rollback verbs (see internal/online/README.md).
+//
 // Replay mode pumps synthetic workloads through the engine at a target rate
 // and reports accuracy, coverage, throughput, and request-latency
 // percentiles — the continuous-load evaluation the offline cmd/dart-sim
@@ -21,12 +29,19 @@
 //
 //	dart-serve -replay -sessions 8 -n 20000 -prefetcher stride -verify
 //	dart-serve -replay -sessions 16 -qps 50000 -prefetcher dart -dart
+//	dart-serve -replay -online -prefetcher online -soak 60s
+//
+// -soak repeats replay rounds until the duration elapses (fresh session ids
+// per round), the nightly-CI endurance mode. With -prefetcher online the
+// bit-identity check is replaced by a completeness check — the model changes
+// under training by design, but zero accesses may be dropped or reordered.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"os/signal"
@@ -37,7 +52,10 @@ import (
 
 	"dart/internal/config"
 	"dart/internal/core"
+	"dart/internal/dataprep"
 	"dart/internal/kd"
+	"dart/internal/nn"
+	"dart/internal/online"
 	"dart/internal/serve"
 	"dart/internal/trace"
 )
@@ -51,24 +69,31 @@ func main() {
 	queueDepth := flag.Int("queue", 64, "per-session inbox depth (backpressure bound)")
 	maxBatch := flag.Int("max-batch", 64, "admission batcher coalescing cap")
 
+	useOnline := flag.Bool("online", false, "run the continual-learning loop; sessions can open prefetcher \"online\"")
+	ckptDir := flag.String("checkpoint-dir", "", "online: directory for versioned model checkpoints (recovered on restart)")
+	swapInterval := flag.Duration("swap-interval", 30*time.Second, "online: auto-publish cadence (<0 disables; \"swap\" verb always works)")
+
 	replay := flag.Bool("replay", false, "replay synthetic workloads through the engine and exit")
 	sessions := flag.Int("sessions", 8, "replay: concurrent sessions")
 	n := flag.Int("n", 20000, "replay: accesses per session")
-	prefetcher := flag.String("prefetcher", "stride", "replay: prefetcher every session opens (none|bo|isb|stride|dart)")
+	prefetcher := flag.String("prefetcher", "stride", "replay: prefetcher every session opens (none|bo|isb|stride|dart|online)")
 	degree := flag.Int("degree", 4, "replay: prefetch degree")
 	qps := flag.Float64("qps", 0, "replay: aggregate target accesses/sec (0 = unthrottled)")
 	verify := flag.Bool("verify", true, "replay: require bit-identity with the offline simulator")
+	soak := flag.Duration("soak", 0, "replay: repeat rounds until this much wall time has elapsed")
 	jsonOut := flag.String("json", "", "replay: also write the report as JSON to this file")
 	flag.Parse()
 
 	cfg := serve.Config{QueueDepth: *queueDepth, MaxBatch: *maxBatch}
+	var art *core.Artifacts
 	if *useDart || *prefetcher == "dart" {
 		spec, ok := trace.AppByName(*app)
 		if !ok {
 			fatalf("unknown application %q", *app)
 		}
 		fmt.Printf("training DART on %s (%d accesses)...\n", spec.Name, *trainN)
-		art, err := core.BuildDART(trace.Generate(spec, *trainN), core.Options{
+		var err error
+		art, err = core.BuildDART(trace.Generate(spec, *trainN), core.Options{
 			Constraints:   config.Constraints{LatencyCycles: 100, StorageBytes: 1 << 20},
 			TeacherEpochs: 6,
 			KD:            kd.Config{Epochs: 6},
@@ -86,14 +111,31 @@ func main() {
 			art.F1DART, art.Chosen.Latency, art.Chosen.StorageBytes)
 	}
 
+	var learner *online.Learner
+	if *useOnline || *prefetcher == "online" {
+		var err error
+		learner, err = buildLearner(art, *ckptDir, *swapInterval)
+		if err != nil {
+			fatalf("online learner: %v", err)
+		}
+		for _, skip := range learner.Store().Skipped {
+			fmt.Printf("checkpoint skipped: %s\n", skip)
+		}
+		fmt.Printf("online learner ready: serving v%d (checkpoints: %s, swap interval %v)\n",
+			learner.Serving().Version, orNone(*ckptDir), *swapInterval)
+		learner.Start()
+		defer learner.Stop()
+		cfg.Online = learner
+	}
+
 	engine := serve.NewEngine(cfg)
 	if *replay {
-		runReplay(engine, *sessions, *n, serve.ReplayOptions{
+		runReplay(engine, learner, *sessions, *n, serve.ReplayOptions{
 			Prefetcher: *prefetcher,
 			Degree:     *degree,
 			QPS:        *qps,
 			Verify:     *verify,
-		}, *jsonOut)
+		}, *soak, *jsonOut)
 		return
 	}
 
@@ -125,9 +167,18 @@ func main() {
 			fmt.Printf("  %-12s accesses %d  IPC %.3f  accuracy %.1f%%\n",
 				id, res.Accesses, res.IPC, res.Accuracy()*100)
 		}
+		if learner != nil {
+			printLearner(learner)
+		}
 	}()
-	fmt.Printf("dart-serve listening on %s (prefetchers: none bo isb stride%s)\n",
-		ln.Addr(), map[bool]string{true: " dart", false: ""}[cfg.Model != nil])
+	extras := ""
+	if cfg.Model != nil {
+		extras += " dart"
+	}
+	if learner != nil {
+		extras += " online"
+	}
+	fmt.Printf("dart-serve listening on %s (prefetchers: none bo isb stride%s)\n", ln.Addr(), extras)
 	if err := srv.Serve(ln); err != nil {
 		fatalf("serve: %v", err)
 	}
@@ -136,46 +187,140 @@ func main() {
 	<-drained
 }
 
+// buildLearner wires the continual-learning subsystem: the architecture is
+// the DART student shape, warm-started from the trained student when -dart
+// also ran, random otherwise; a checkpoint in dir always wins (recovery).
+func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration) (*online.Learner, error) {
+	data := dataprep.Default()
+	tcfg := nn.TransformerConfig{
+		T: data.History, DIn: data.InputDim(),
+		DModel: 32, DFF: 64, DOut: data.OutputDim(), Heads: 2, Layers: 1,
+	}
+	var warm nn.Layer
+	latency, storage := 40, 1<<16
+	if art != nil {
+		data = art.Opt.Data
+		tcfg = nn.TransformerConfig{
+			T: data.History, DIn: data.InputDim(),
+			DModel: art.Chosen.Model.DA, DFF: art.Chosen.Model.DF,
+			DOut: data.OutputDim(), Heads: art.Chosen.Model.H, Layers: art.Chosen.Model.L,
+		}
+		warm = art.Student
+		latency = config.NNLatency(art.Chosen.Model)
+		storage = config.NNStorageBits(art.Chosen.Model, 32) / 8
+	}
+	return online.NewLearner(online.Config{
+		Data: data,
+		New: func() nn.Layer {
+			return nn.NewTransformerPredictor(tcfg, rand.New(rand.NewSource(7)))
+		},
+		Init:         warm,
+		Dir:          dir,
+		SwapInterval: swapInterval,
+		Latency:      latency,
+		StorageBytes: storage,
+		Seed:         7,
+	})
+}
+
 // runReplay generates one synthetic trace per session (cycling through the
 // benchmark apps with distinct seeds), replays them concurrently, and prints
-// the report.
-func runReplay(e *serve.Engine, sessions, n int, opt serve.ReplayOptions, jsonOut string) {
+// the report. With soak > 0 it repeats rounds (fresh session ids) until the
+// deadline passes. Every round is checked for completeness: the engine must
+// account for exactly the submitted accesses, dropped-free, whatever the
+// prefetcher — the online model changes under training, but delivery must
+// not.
+func runReplay(e *serve.Engine, learner *online.Learner, sessions, n int, opt serve.ReplayOptions, soak time.Duration, jsonOut string) {
+	if opt.Prefetcher == "online" && opt.Verify {
+		fmt.Println("verify: online model hot-swaps under training; checking completeness instead of bit-identity")
+		opt.Verify = false
+	}
 	apps := trace.Apps()
-	traces := make(map[string][]trace.Record, sessions)
-	for i := 0; i < sessions; i++ {
-		spec := apps[i%len(apps)]
-		spec.Seed += int64(1000 * (i/len(apps) + 1))
-		traces[fmt.Sprintf("core%02d-%s", i, spec.Name)] = trace.Generate(spec, n)
-	}
-	rep, err := serve.Replay(e, traces, opt)
-	if err != nil {
-		fatalf("replay: %v", err)
-	}
-	fmt.Print(rep)
-	if opt.Verify {
-		if !rep.Verified {
-			fatalf("VERIFY FAILED: served results are not bit-identical to the offline simulator")
+	deadline := time.Now().Add(soak)
+	var rep serve.Report
+	for round := 0; ; round++ {
+		traces := make(map[string][]trace.Record, sessions)
+		for i := 0; i < sessions; i++ {
+			spec := apps[i%len(apps)]
+			spec.Seed += int64(1000*(i/len(apps)+1) + 101*round)
+			id := fmt.Sprintf("core%02d-%s", i, spec.Name)
+			if soak > 0 {
+				id = fmt.Sprintf("r%03d-%s", round, id)
+			}
+			traces[id] = trace.Generate(spec, n)
 		}
-		fmt.Println("verify: all sessions bit-identical to offline sim")
+		var err error
+		rep, err = serve.Replay(e, traces, opt)
+		if err != nil {
+			fatalf("replay: %v", err)
+		}
+		if rep.Merged.Accesses != sessions*n {
+			fatalf("COMPLETENESS FAILED: engine accounted %d accesses, submitted %d",
+				rep.Merged.Accesses, sessions*n)
+		}
+		fmt.Print(rep)
+		if opt.Verify {
+			if !rep.Verified {
+				fatalf("VERIFY FAILED: served results are not bit-identical to the offline simulator")
+			}
+			fmt.Println("verify: all sessions bit-identical to offline sim")
+		} else {
+			fmt.Printf("completeness: %d sessions, %d/%d accesses delivered in order\n",
+				len(rep.Sessions), rep.Merged.Accesses, sessions*n)
+		}
+		if soak <= 0 || time.Now().After(deadline) {
+			break
+		}
+	}
+	if learner != nil {
+		printLearner(learner)
 	}
 	if jsonOut != "" {
 		writeJSON(jsonOut, rep)
 	}
 }
 
+// printLearner dumps the online learner's state for log scraping.
+func printLearner(l *online.Learner) {
+	st := l.Stats()
+	fmt.Printf("online: v%d (%d published)  ingested %d (%.0f/s, %d dropped)  useful %d late %d\n",
+		st.Version, st.Published, st.Ingested, st.PerSec, st.Dropped, st.Useful, st.Late)
+	fmt.Printf("online: examples %d  trained %d (%d steps)  loss %.4f (trend %+.4f)\n",
+		st.Examples, st.Trained, st.Steps, st.Loss, st.LossTrend)
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "disabled"
+	}
+	return s
+}
+
 // writeJSON dumps the replay report with enough host context to act as a
-// serving-throughput baseline (BENCH_serve.json).
+// serving-throughput baseline (BENCH_serve.json). The "online" section —
+// the bench-gate baselines maintained by `make bench-update` — is carried
+// over from the existing file so a replay refresh cannot drop it.
 func writeJSON(path string, rep serve.Report) {
+	var onlineSec json.RawMessage
+	if prev, err := os.ReadFile(path); err == nil {
+		var doc struct {
+			Online json.RawMessage `json:"online"`
+		}
+		if json.Unmarshal(prev, &doc) == nil {
+			onlineSec = doc.Online
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer f.Close()
 	doc := struct {
-		Generated string       `json:"generated"`
-		Command   string       `json:"command"`
-		Host      hostInfo     `json:"host"`
-		Report    serve.Report `json:"report"`
+		Generated string          `json:"generated"`
+		Command   string          `json:"command"`
+		Host      hostInfo        `json:"host"`
+		Online    json.RawMessage `json:"online,omitempty"`
+		Report    serve.Report    `json:"report"`
 	}{
 		Generated: time.Now().Format("2006-01-02"),
 		Command:   strings.Join(os.Args, " "),
@@ -183,6 +328,7 @@ func writeJSON(path string, rep serve.Report) {
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
 		},
+		Online: onlineSec,
 		Report: rep,
 	}
 	enc := json.NewEncoder(f)

@@ -33,9 +33,17 @@
 //	internal/core      the end-to-end DART pipeline and evaluation sweeps
 //	internal/serve     online multi-session serving engine: sharded session
 //	                   map, per-session actors with bounded inboxes and
-//	                   backpressure, an admission batcher coalescing model
-//	                   queries across sessions into Hierarchy.QueryBatch, a
-//	                   line-JSON wire server, and a QPS-paced replay driver
+//	                   backpressure, admission batchers coalescing model
+//	                   queries across sessions (Hierarchy.QueryBatch for the
+//	                   static tables, a versioned nn forward pass for the
+//	                   online model), a line-JSON wire server, and a
+//	                   QPS-paced replay driver with soak mode
+//	internal/online    continual learning: per-session lock-free feedback
+//	                   rings, streaming example assembly, duty-cycled
+//	                   nn.Trainer fine-tuning of a shadow model, and a
+//	                   versioned store (atomic snapshots, CRC-validated
+//	                   checkpoints) hot-swapped into serving with no batch
+//	                   ever mixing model versions
 //
 // Parallelism model: every hot path — blocked matmul, batched PQ encoding
 // (pq.EncodeBatch, behind the linear table kernels), batched hierarchy
@@ -50,8 +58,15 @@
 // simulated core or tenant — own their prefetcher state and an incremental
 // sim.Sim; served results are bit-identical to offline sim.Run over the same
 // records, so online numbers compare directly against the paper's offline
-// evaluation. See internal/serve/README.md for the architecture and wire
-// protocol, and BENCH_serve.json for the measured serving baseline.
+// evaluation. With -online the daemon also runs internal/online's continual-
+// learning loop: prefetch-outcome feedback from live sessions fine-tunes a
+// shadow model that is published as immutable versioned snapshots
+// (CRC-validated checkpoints under -checkpoint-dir, recovered on restart)
+// and hot-swapped between inference batches with zero downtime; the wire
+// protocol gains model/swap/rollback verbs. See internal/serve/README.md
+// for the architecture and wire protocol, internal/online/README.md for the
+// feedback→train→publish→swap lifecycle and its version-consistency
+// invariants, and BENCH_serve.json for the measured serving baseline.
 //
 // The benchmark files in this directory regenerate every table and figure of
 // the paper's evaluation section; see EXPERIMENTS.md for the index and

@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Checkpoint layout (all integers big-endian):
+//
+//	magic    [8]byte  "DARTCKP1"
+//	metaLen  uint32   length of the gob-encoded CheckpointMeta
+//	bodyLen  uint32   length of the gob-encoded parameter state
+//	crc      uint32   IEEE CRC-32 over meta ++ body
+//	meta     []byte
+//	body     []byte
+//
+// The CRC covers everything after the fixed header, so a truncated, bit-
+// flipped, or garbage file is rejected with a descriptive error instead of
+// being half-applied to a live model — the property the online model store
+// relies on to fall back to the last good version.
+var checkpointMagic = [8]byte{'D', 'A', 'R', 'T', 'C', 'K', 'P', '1'}
+
+// checkpointFormat is the current format revision, stamped into the metadata.
+const checkpointFormat = 1
+
+// maxCheckpointSection caps the declared meta/body lengths so a corrupt
+// header cannot trigger a multi-gigabyte allocation before the CRC check.
+const maxCheckpointSection = 1 << 30
+
+// CheckpointMeta is the header the online-learning subsystem stores alongside
+// model parameters: enough to identify the snapshot without decoding it.
+type CheckpointMeta struct {
+	Format   int     // checkpoint format revision (checkpointFormat)
+	Model    string  // architecture label (Layer.Name of the saved model)
+	Version  uint64  // model-store version number
+	Examples uint64  // cumulative training examples consumed
+	Steps    uint64  // cumulative optimizer steps taken
+	Loss     float64 // online loss EWMA at save time
+}
+
+// SaveCheckpoint writes a CRC-validated parameter snapshot with a metadata
+// header. meta.Format and meta.Model are filled in by this function.
+func SaveCheckpoint(w io.Writer, m Layer, meta CheckpointMeta) error {
+	meta.Format = checkpointFormat
+	meta.Model = m.Name()
+	var metaBuf, bodyBuf bytes.Buffer
+	if err := gob.NewEncoder(&metaBuf).Encode(meta); err != nil {
+		return fmt.Errorf("nn: encode checkpoint meta: %w", err)
+	}
+	if err := gob.NewEncoder(&bodyBuf).Encode(stateOf(m)); err != nil {
+		return fmt.Errorf("nn: encode checkpoint params: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(metaBuf.Bytes())
+	crc.Write(bodyBuf.Bytes())
+	var hdr [20]byte
+	copy(hdr[:8], checkpointMagic[:])
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(metaBuf.Len()))
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(bodyBuf.Len()))
+	binary.BigEndian.PutUint32(hdr[16:20], crc.Sum32())
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("nn: write checkpoint header: %w", err)
+	}
+	if _, err := w.Write(metaBuf.Bytes()); err != nil {
+		return fmt.Errorf("nn: write checkpoint meta: %w", err)
+	}
+	if _, err := w.Write(bodyBuf.Bytes()); err != nil {
+		return fmt.Errorf("nn: write checkpoint params: %w", err)
+	}
+	return nil
+}
+
+// PeekCheckpoint reads and validates a checkpoint, returning its metadata
+// without applying the parameters to a model. The CRC is verified before
+// anything is decoded.
+func PeekCheckpoint(r io.Reader) (CheckpointMeta, error) {
+	meta, _, err := readCheckpoint(r)
+	return meta, err
+}
+
+// readCheckpoint validates a checkpoint and decodes its two sections.
+func readCheckpoint(r io.Reader) (CheckpointMeta, modelState, error) {
+	var meta CheckpointMeta
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return meta, modelState{}, fmt.Errorf("nn: truncated checkpoint header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != checkpointMagic {
+		return meta, modelState{}, fmt.Errorf("nn: not a DART checkpoint (bad magic %q)", hdr[:8])
+	}
+	metaLen := binary.BigEndian.Uint32(hdr[8:12])
+	bodyLen := binary.BigEndian.Uint32(hdr[12:16])
+	wantCRC := binary.BigEndian.Uint32(hdr[16:20])
+	if metaLen > maxCheckpointSection || bodyLen > maxCheckpointSection {
+		return meta, modelState{}, fmt.Errorf("nn: checkpoint declares implausible section sizes (meta %d, body %d): header is corrupt", metaLen, bodyLen)
+	}
+	payload := make([]byte, int(metaLen)+int(bodyLen))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return meta, modelState{}, fmt.Errorf("nn: truncated checkpoint (want %d payload bytes): %w", len(payload), err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return meta, modelState{}, fmt.Errorf("nn: checkpoint CRC mismatch (stored %08x, computed %08x): file is corrupt", wantCRC, got)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload[:metaLen])).Decode(&meta); err != nil {
+		return meta, modelState{}, fmt.Errorf("nn: decode checkpoint meta: %w", err)
+	}
+	if meta.Format != checkpointFormat {
+		return meta, modelState{}, fmt.Errorf("nn: unsupported checkpoint format %d (this build reads format %d)", meta.Format, checkpointFormat)
+	}
+	var st modelState
+	if err := gob.NewDecoder(bytes.NewReader(payload[metaLen:])).Decode(&st); err != nil {
+		return meta, modelState{}, fmt.Errorf("nn: decode checkpoint params: %w", err)
+	}
+	return meta, st, nil
+}
+
+// LoadCheckpoint validates a checkpoint written by SaveCheckpoint and
+// restores its parameters into a model of the same architecture. The model
+// is untouched unless validation (magic, CRC, format, names, shapes) passes.
+func LoadCheckpoint(r io.Reader, m Layer) (CheckpointMeta, error) {
+	meta, st, err := readCheckpoint(r)
+	if err != nil {
+		return meta, err
+	}
+	if err := restoreState(m, st); err != nil {
+		return meta, err
+	}
+	return meta, nil
+}

@@ -13,10 +13,8 @@ type modelState struct {
 	Data   [][]float64
 }
 
-// SaveParams writes a model's parameters with encoding/gob. Only parameter
-// values are stored; the caller is responsible for reconstructing a model of
-// the same architecture before loading.
-func SaveParams(w io.Writer, m Layer) error {
+// stateOf snapshots a model's parameters.
+func stateOf(m Layer) modelState {
 	params := m.Params()
 	st := modelState{
 		Names:  make([]string, len(params)),
@@ -28,16 +26,12 @@ func SaveParams(w io.Writer, m Layer) error {
 		st.Shapes[i] = [2]int{p.W.Rows, p.W.Cols}
 		st.Data[i] = append([]float64(nil), p.W.Data...)
 	}
-	return gob.NewEncoder(w).Encode(st)
+	return st
 }
 
-// LoadParams restores parameters saved by SaveParams into a model of the
-// same architecture. It verifies names and shapes.
-func LoadParams(r io.Reader, m Layer) error {
-	var st modelState
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return fmt.Errorf("nn: decode params: %w", err)
-	}
+// restoreState copies a parameter snapshot into a model of the same
+// architecture, verifying names and shapes.
+func restoreState(m Layer, st modelState) error {
 	params := m.Params()
 	if len(params) != len(st.Names) {
 		return fmt.Errorf("nn: model has %d params, snapshot has %d", len(params), len(st.Names))
@@ -51,6 +45,48 @@ func LoadParams(r io.Reader, m Layer) error {
 				p.Name, p.W.Rows, p.W.Cols, st.Shapes[i][0], st.Shapes[i][1])
 		}
 		copy(p.W.Data, st.Data[i])
+	}
+	return nil
+}
+
+// SaveParams writes a model's parameters with encoding/gob. Only parameter
+// values are stored; the caller is responsible for reconstructing a model of
+// the same architecture before loading. For durable on-disk snapshots prefer
+// SaveCheckpoint, which adds a metadata header and CRC validation.
+func SaveParams(w io.Writer, m Layer) error {
+	return gob.NewEncoder(w).Encode(stateOf(m))
+}
+
+// LoadParams restores parameters saved by SaveParams into a model of the
+// same architecture. It verifies names and shapes.
+func LoadParams(r io.Reader, m Layer) error {
+	var st modelState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	return restoreState(m, st)
+}
+
+// CopyParams copies the parameter values of src into dst. Both models must
+// share the same architecture (same parameter names and shapes, as produced
+// by the same constructor); gradients and any optimizer state are untouched.
+// The online-learning model store uses this to clone a training shadow into
+// an immutable published snapshot.
+func CopyParams(dst, src Layer) error {
+	dp, sp := dst.Params(), src.Params()
+	if len(dp) != len(sp) {
+		return fmt.Errorf("nn: model has %d params, source has %d", len(dp), len(sp))
+	}
+	for i, d := range dp {
+		s := sp[i]
+		if d.Name != s.Name {
+			return fmt.Errorf("nn: param %d name %q != source %q", i, d.Name, s.Name)
+		}
+		if d.W.Rows != s.W.Rows || d.W.Cols != s.W.Cols {
+			return fmt.Errorf("nn: param %q shape %dx%d != source %dx%d",
+				d.Name, d.W.Rows, d.W.Cols, s.W.Rows, s.W.Cols)
+		}
+		copy(d.W.Data, s.W.Data)
 	}
 	return nil
 }

@@ -1,0 +1,55 @@
+package online
+
+import (
+	"testing"
+
+	"dart/internal/nn"
+	"dart/internal/sim"
+)
+
+// BenchmarkFeedbackIngest measures the serving-side cost of the online
+// feedback path: one ring push per access (what a session actor pays) plus
+// the amortised collector drain. This is the number the CI bench gate
+// (BENCH_serve.json "online" section) holds the line on — ingest must stay
+// cheap enough to be invisible at serving throughput.
+func BenchmarkFeedbackIngest(b *testing.B) {
+	r := NewRing(4096)
+	ev := Event{
+		Access:   sim.Access{InstrID: 1, PC: 0x400000, Block: 1 << 14},
+		HasFB:    true,
+		Feedback: sim.Feedback{Block: 1 << 14, Kind: sim.FeedbackUseful},
+	}
+	drop := func(Event) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Access.InstrID = uint64(i)
+		r.Push(ev)
+		if i&1023 == 1023 {
+			r.Drain(drop)
+		}
+	}
+}
+
+// BenchmarkModelSwap measures hot-swap latency: Publish deep-copies the
+// shadow into an immutable snapshot and atomically repoints the store (no
+// disk in the measured path — checkpointing is the daemon's async durability
+// cost, not the swap latency sessions observe).
+func BenchmarkModelSwap(b *testing.B) {
+	data := tinyData()
+	s, err := NewStore(tinyArch(data), "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	shadow := tinyArch(data)()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Publish(shadow, nn.CheckpointMeta{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s.Load() == nil {
+		b.Fatal("no model published")
+	}
+}

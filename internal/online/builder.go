@@ -1,0 +1,76 @@
+package online
+
+import (
+	"dart/internal/dataprep"
+	"dart/internal/prefetch"
+	"dart/internal/sim"
+)
+
+// example is one assembled training sample: a segmented history window and
+// its delta-bitmap label.
+type example struct {
+	x []float64 // History x InputDim, row-major (copied out of the builder)
+	y []float64 // OutputDim delta bitmap
+}
+
+// builder turns one session's access stream into training examples,
+// replicating dataprep.Build incrementally: every access with a full history
+// window opens a trigger whose input is NNPrefetcher.BuildInput of that
+// window, and the trigger's label collects the deltas of the next
+// LookForward accesses. A trigger whose window completes is emitted as an
+// example — identical, sample for sample, to what the offline dataprep would
+// produce on the same records (the builder additionally emits the final
+// window that dataprep's n = len-History-LookForward sizing leaves off; the
+// equivalence test pins both facts), so the online fine-tuning loss is
+// directly comparable to offline training loss.
+type builder struct {
+	cfg  dataprep.Config
+	pf   *prefetch.NNPrefetcher // BuildInput half only; its predictor is never queried
+	pend []pending
+}
+
+// pending is a trigger waiting for its look-forward window to fill.
+type pending struct {
+	x     []float64
+	block uint64
+	y     []float64
+	seen  int
+}
+
+func newBuilder(cfg dataprep.Config) *builder {
+	return &builder{
+		cfg: cfg,
+		pf:  prefetch.NewNNPrefetcher("online-builder", nil, cfg, 0, 0, 0),
+	}
+}
+
+// observe feeds one access through the builder, emitting every example whose
+// look-forward window it completes. Runs on the collector goroutine only.
+func (b *builder) observe(a sim.Access, emit func(example)) {
+	// Complete open triggers with this access's delta.
+	w := 0
+	for i := range b.pend {
+		p := &b.pend[i]
+		if bit := b.cfg.DeltaToBit(int64(a.Block) - int64(p.block)); bit >= 0 {
+			p.y[bit] = 1
+		}
+		p.seen++
+		if p.seen >= b.cfg.LookForward {
+			emit(example{x: p.x, y: p.y})
+			continue // retired: drop from pend
+		}
+		b.pend[w] = *p
+		w++
+	}
+	b.pend = b.pend[:w]
+
+	// Open a new trigger once the history window is full. BuildInput's
+	// buffer is reused across calls, so the window is copied out.
+	if x, ok := b.pf.BuildInput(a); ok {
+		b.pend = append(b.pend, pending{
+			x:     append([]float64(nil), x.Data...),
+			block: a.Block,
+			y:     make([]float64, b.cfg.OutputDim()),
+		})
+	}
+}

@@ -1,0 +1,439 @@
+// Package online closes the feedback→train→publish→swap loop around the
+// serving engine: a background continual-learning subsystem that turns the
+// prefetch-outcome feedback of live serve sessions into training minibatches,
+// fine-tunes a shadow copy of the neural predictor with nn.Trainer at a
+// bounded duty cycle, and publishes immutable versioned snapshots that the
+// engine's admission batcher hot-swaps between inference batches.
+//
+// Dataflow (see README.md for the invariants):
+//
+//	session actors ──Push──► per-session lock-free Ring (SPSC, lossy)
+//	                              │ Drain (collector tick)
+//	                              ▼
+//	                      builder: NNPrefetcher.BuildInput windows +
+//	                      look-forward delta-bitmap labels (≡ dataprep.Build)
+//	                              │ emit
+//	                              ▼
+//	                      example reservoir (overwrite-oldest recency bias)
+//	                              │ minibatch sample
+//	                              ▼
+//	                      nn.Trainer on the shadow model (duty-cycled)
+//	                              │ Publish (swap interval / forced)
+//	                              ▼
+//	                      Store: atomic.Pointer[Model] + CRC checkpoints
+//	                              │ Load (per inference batch)
+//	                              ▼
+//	                      serve admission batcher — one version per batch
+package online
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dart/internal/dataprep"
+	"dart/internal/mat"
+	"dart/internal/nn"
+	"dart/internal/sim"
+)
+
+// Config tunes the learner. Zero values select sensible defaults.
+type Config struct {
+	Data dataprep.Config // input/label construction (must match serving sessions)
+	New  func() nn.Layer // architecture factory; every call must produce identical shapes
+	Init nn.Layer        // optional warm start; params copied when no checkpoint is recovered
+	Dir  string          // checkpoint directory ("" = in-memory only)
+
+	BatchSize    int           // minibatch size (default 32)
+	LR           float64       // Adam learning rate (default 1e-3)
+	BufferCap    int           // example reservoir capacity (default 4096)
+	RingCap      int           // per-session event ring capacity (default 4096)
+	Duty         float64       // max fraction of wall time spent training (default 0.25)
+	Tick         time.Duration // collector cadence (default 2ms)
+	SwapInterval time.Duration // auto-publish cadence (default 30s; <0 disables auto-publish)
+
+	Latency      int // modelled inference latency of the online prefetcher (cycles)
+	StorageBytes int // modelled storage of the online prefetcher
+
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.BufferCap <= 0 {
+		c.BufferCap = 4096
+	}
+	if c.RingCap <= 0 {
+		c.RingCap = 4096
+	}
+	if c.Duty <= 0 {
+		c.Duty = 0.25
+	}
+	if c.Duty > 1 {
+		c.Duty = 1
+	}
+	if c.Tick <= 0 {
+		c.Tick = 2 * time.Millisecond
+	}
+	if c.SwapInterval == 0 {
+		c.SwapInterval = 30 * time.Second
+	}
+	if c.Data.History == 0 {
+		c.Data = dataprep.Default()
+	}
+	return c
+}
+
+// sessionTap is one attached session: its event ring and example builder.
+type sessionTap struct {
+	ring *Ring
+	bld  *builder
+}
+
+// Learner is the continual-learning subsystem. Create with NewLearner, wire
+// into a serve.Engine via serve.Config.Online, then Start. All exported
+// methods are safe for concurrent use.
+type Learner struct {
+	cfg   Config
+	store *Store
+
+	tapMu sync.Mutex
+	taps  map[string]*sessionTap
+
+	// trainMu guards the shadow model, its trainer, and the loss trend —
+	// shared between the background loop and forced Swap/Rollback calls.
+	trainMu    sync.Mutex
+	shadow     nn.Layer
+	tr         *nn.Trainer
+	rng        *rand.Rand
+	lossFast   float64 // EWMA, alpha 0.2
+	lossSlow   float64 // EWMA, alpha 0.02
+	lossSeeded bool
+	lastPub    time.Time
+	stepsAtPub uint64
+
+	// buf is the example reservoir; loop goroutine only.
+	buf   []example
+	bufW  int
+	bufN  int
+	fresh int // examples added since the last optimizer step
+
+	ingested      atomic.Uint64
+	detachedDrops atomic.Uint64
+	useful        atomic.Uint64
+	late          atomic.Uint64
+	assembled     atomic.Uint64
+	trained       atomic.Uint64
+	steps         atomic.Uint64
+	published     atomic.Uint64
+
+	start   time.Time
+	trainNs atomic.Int64 // cumulative time inside optimizer steps
+
+	quit chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewLearner builds a learner. When cfg.Dir holds a valid checkpoint, the
+// newest good version is recovered as both the serving model and the shadow
+// (continual learning across restarts); otherwise the shadow starts from
+// cfg.Init (when given) or cfg.New's initialisation, and is published as
+// version 1 so the serving path always has a model to load.
+func NewLearner(cfg Config) (*Learner, error) {
+	cfg = cfg.withDefaults()
+	if cfg.New == nil {
+		return nil, fmt.Errorf("online: Config.New architecture factory is required")
+	}
+	if err := cfg.Data.Validate(); err != nil {
+		return nil, err
+	}
+	store, err := NewStore(cfg.New, cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Learner{
+		cfg:   cfg,
+		store: store,
+		taps:  make(map[string]*sessionTap),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		buf:   make([]example, cfg.BufferCap),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	l.shadow = cfg.New()
+	if m := store.Load(); m != nil {
+		if err := nn.CopyParams(l.shadow, m.Net); err != nil {
+			return nil, fmt.Errorf("online: recovered checkpoint: %w", err)
+		}
+	} else {
+		if cfg.Init != nil {
+			if err := nn.CopyParams(l.shadow, cfg.Init); err != nil {
+				return nil, fmt.Errorf("online: warm start: %w", err)
+			}
+		}
+		if _, err := l.publishLocked(); err != nil {
+			return nil, err
+		}
+	}
+	l.tr = nn.NewTrainer(l.shadow, nn.NewAdam(cfg.LR), cfg.BatchSize, l.rng)
+	l.lastPub = time.Now()
+	l.start = time.Now()
+	return l, nil
+}
+
+// Data returns the input/label construction config sessions must share.
+func (l *Learner) Data() dataprep.Config { return l.cfg.Data }
+
+// Latency is the modelled inference latency of the online prefetcher.
+func (l *Learner) Latency() int { return l.cfg.Latency }
+
+// StorageBytes is the modelled storage of the online prefetcher.
+func (l *Learner) StorageBytes() int { return l.cfg.StorageBytes }
+
+// Store exposes the versioned model store (the serving path calls Load on
+// it once per inference batch).
+func (l *Learner) Store() *Store { return l.store }
+
+// Serving returns the current published model version. Never nil once
+// NewLearner has returned.
+func (l *Learner) Serving() *Model { return l.store.Load() }
+
+// Attach registers a session and returns the ring its actor pushes events
+// into. The caller must Detach with the same id when the session closes.
+func (l *Learner) Attach(id string) *Ring {
+	t := &sessionTap{ring: NewRing(l.cfg.RingCap), bld: newBuilder(l.cfg.Data)}
+	l.tapMu.Lock()
+	l.taps[id] = t
+	l.tapMu.Unlock()
+	return t.ring
+}
+
+// Detach unregisters a session. Events still in its ring are abandoned —
+// at session close there is nothing left worth a final training example.
+func (l *Learner) Detach(id string) {
+	l.tapMu.Lock()
+	if t, ok := l.taps[id]; ok {
+		l.detachedDrops.Add(t.ring.Dropped())
+		delete(l.taps, id)
+	}
+	l.tapMu.Unlock()
+}
+
+// Start launches the background collector/trainer loop.
+func (l *Learner) Start() {
+	go l.loop()
+}
+
+// Stop terminates the loop, waits for it to finish, and publishes a final
+// version when training advanced past the last published one — progress is
+// never lost on a clean shutdown. Stop is idempotent.
+func (l *Learner) Stop() {
+	l.once.Do(func() {
+		close(l.quit)
+		<-l.done
+		l.trainMu.Lock()
+		defer l.trainMu.Unlock()
+		if l.steps.Load() > l.stepsAtPub {
+			_, _ = l.publishLocked() // best-effort final flush
+		}
+	})
+}
+
+// loop is the collector/trainer: drain rings, assemble examples, take
+// duty-cycled optimizer steps, auto-publish on the swap interval.
+func (l *Learner) loop() {
+	defer close(l.done)
+	tick := time.NewTicker(l.cfg.Tick)
+	defer tick.Stop()
+	for {
+		select {
+		case <-l.quit:
+			l.drainAll() // pick up stragglers so Stop's final publish sees them
+			return
+		case <-tick.C:
+			l.drainAll()
+			l.maybeTrain()
+		}
+	}
+}
+
+// drainAll consumes every attached ring into the example reservoir.
+func (l *Learner) drainAll() {
+	l.tapMu.Lock()
+	taps := make([]*sessionTap, 0, len(l.taps))
+	for _, t := range l.taps {
+		taps = append(taps, t)
+	}
+	l.tapMu.Unlock()
+	for _, t := range taps {
+		t.ring.Drain(func(ev Event) {
+			l.ingested.Add(1)
+			if ev.HasFB {
+				if ev.Feedback.Kind == sim.FeedbackUseful {
+					l.useful.Add(1)
+				} else {
+					l.late.Add(1)
+				}
+			}
+			t.bld.observe(ev.Access, l.addExample)
+		})
+	}
+}
+
+// addExample inserts into the overwrite-oldest reservoir.
+func (l *Learner) addExample(ex example) {
+	l.buf[l.bufW] = ex
+	l.bufW = (l.bufW + 1) % len(l.buf)
+	if l.bufN < len(l.buf) {
+		l.bufN++
+	}
+	l.fresh++
+	l.assembled.Add(1)
+}
+
+// maybeTrain takes one optimizer step when enough fresh examples arrived and
+// the duty-cycle budget allows it.
+func (l *Learner) maybeTrain() {
+	if l.bufN < l.cfg.BatchSize || l.fresh == 0 {
+		return
+	}
+	wall := time.Since(l.start)
+	if float64(l.trainNs.Load()) > l.cfg.Duty*float64(wall.Nanoseconds()) {
+		return // over budget: let serving breathe
+	}
+	l.trainMu.Lock()
+	t0 := time.Now()
+	l.trainStepLocked()
+	l.trainNs.Add(time.Since(t0).Nanoseconds())
+	auto := l.cfg.SwapInterval > 0 &&
+		time.Since(l.lastPub) >= l.cfg.SwapInterval &&
+		l.steps.Load() > l.stepsAtPub
+	if auto {
+		_, _ = l.publishLocked() // on failure serving keeps the previous version
+	}
+	l.trainMu.Unlock()
+}
+
+// trainStepLocked samples a minibatch from the reservoir and fine-tunes the
+// shadow. Caller holds trainMu.
+func (l *Learner) trainStepLocked() {
+	b := l.cfg.BatchSize
+	din := l.cfg.Data.InputDim()
+	bx := mat.NewTensor(b, l.cfg.Data.History, din)
+	by := mat.NewTensor(b, 1, l.cfg.Data.OutputDim())
+	for i := 0; i < b; i++ {
+		ex := l.buf[l.rng.Intn(l.bufN)]
+		copy(bx.Sample(i).Data, ex.x)
+		copy(by.Sample(i).Data, ex.y)
+	}
+	l.fresh = 0
+	loss := l.tr.TrainEpoch(bx, by, nn.BCEWithLogits)
+	if !l.lossSeeded {
+		l.lossFast, l.lossSlow, l.lossSeeded = loss, loss, true
+	} else {
+		l.lossFast += 0.2 * (loss - l.lossFast)
+		l.lossSlow += 0.02 * (loss - l.lossSlow)
+	}
+	l.trained.Add(uint64(b))
+	l.steps.Add(1)
+}
+
+// publishLocked snapshots the shadow into the store. Caller holds trainMu
+// (or is the NewLearner constructor, before any concurrency exists).
+func (l *Learner) publishLocked() (*Model, error) {
+	m, err := l.store.Publish(l.shadow, nn.CheckpointMeta{
+		Examples: l.assembled.Load(),
+		Steps:    l.steps.Load(),
+		Loss:     l.lossFast,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l.published.Add(1)
+	l.stepsAtPub = l.steps.Load()
+	l.lastPub = time.Now()
+	return m, nil
+}
+
+// Swap force-publishes the current shadow as a new version immediately (the
+// serve protocol's "swap" verb). Serving picks it up at the next inference
+// batch.
+func (l *Learner) Swap() (*Model, error) {
+	l.trainMu.Lock()
+	defer l.trainMu.Unlock()
+	return l.publishLocked()
+}
+
+// Rollback reverts serving to the previously published version and resets
+// the shadow (and its optimizer state) to those weights, so training
+// continues from the rolled-back point rather than republishing the bad
+// ones.
+func (l *Learner) Rollback() (*Model, error) {
+	l.trainMu.Lock()
+	defer l.trainMu.Unlock()
+	m, err := l.store.Rollback()
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.CopyParams(l.shadow, m.Net); err != nil {
+		return nil, fmt.Errorf("online: rollback: %w", err)
+	}
+	l.tr = nn.NewTrainer(l.shadow, nn.NewAdam(l.cfg.LR), l.cfg.BatchSize, l.rng)
+	return m, nil
+}
+
+// Stats is a point-in-time snapshot of the learner.
+type Stats struct {
+	Version   uint64  // currently served model version
+	Published uint64  // versions published since start
+	Sessions  int     // attached sessions
+	Ingested  uint64  // events consumed from session rings
+	Dropped   uint64  // events lost to full rings
+	Useful    uint64  // FeedbackUseful events seen
+	Late      uint64  // FeedbackLate events seen
+	Examples  uint64  // training examples assembled
+	Trained   uint64  // examples consumed by optimizer steps
+	Steps     uint64  // optimizer steps taken
+	Loss      float64 // online loss EWMA (fast horizon)
+	LossTrend float64 // fast minus slow EWMA; negative = improving
+	PerSec    float64 // feedback-event ingest throughput since start
+}
+
+// Stats snapshots the learner's counters.
+func (l *Learner) Stats() Stats {
+	st := Stats{
+		Published: l.published.Load(),
+		Ingested:  l.ingested.Load(),
+		Useful:    l.useful.Load(),
+		Late:      l.late.Load(),
+		Examples:  l.assembled.Load(),
+		Trained:   l.trained.Load(),
+		Steps:     l.steps.Load(),
+	}
+	if m := l.store.Load(); m != nil {
+		st.Version = m.Version
+	}
+	st.Dropped = l.detachedDrops.Load()
+	l.tapMu.Lock()
+	st.Sessions = len(l.taps)
+	for _, t := range l.taps {
+		st.Dropped += t.ring.Dropped()
+	}
+	l.tapMu.Unlock()
+	l.trainMu.Lock()
+	st.Loss = l.lossFast
+	st.LossTrend = l.lossFast - l.lossSlow
+	l.trainMu.Unlock()
+	if el := time.Since(l.start).Seconds(); el > 0 {
+		st.PerSec = float64(st.Ingested) / el
+	}
+	return st
+}

@@ -1,0 +1,209 @@
+package online
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dart/internal/nn"
+)
+
+// Model is one immutable published version of the online predictor.
+//
+// Immutability is by convention and enforced by construction: Publish deep-
+// copies the trainer's shadow into a fresh network, and nothing writes Net's
+// parameters afterwards. Net.Forward still caches activations inside its
+// layers, so inference on a Model must be serialised — the serving engine's
+// admission batcher (one dispatch goroutine) is the only caller, which also
+// guarantees that a whole batch runs against exactly one version.
+type Model struct {
+	Version uint64
+	Net     nn.Layer
+	Meta    nn.CheckpointMeta
+}
+
+// keepVersions bounds the in-memory rollback history and the on-disk
+// checkpoint count; older versions are pruned as new ones are published.
+const keepVersions = 8
+
+// Store is the versioned model store: an atomic pointer to the current
+// immutable Model (lock-free Load on the serving path), a bounded rollback
+// history, and — when a directory is configured — one CRC-validated
+// checkpoint file per published version, written atomically (temp file +
+// rename) so a crash can never leave a half-written current checkpoint.
+type Store struct {
+	fresh func() nn.Layer // architecture factory for clones and reloads
+	dir   string          // "" disables checkpointing
+
+	cur atomic.Pointer[Model]
+
+	mu      sync.Mutex // serialises Publish/Rollback and guards history/next
+	history []*Model   // published versions, oldest first
+	next    uint64     // next version number to assign
+
+	// Skipped lists checkpoint files that were present but rejected during
+	// NewStore recovery (corrupt, truncated, wrong architecture), with the
+	// reason — the store fell back past them to the newest good version.
+	Skipped []string
+}
+
+// NewStore builds a store over the given architecture factory. When dir is
+// non-empty it is created if needed and scanned for checkpoints: every valid
+// one (up to keepVersions, newest first) is loaded into the rollback
+// history, the newest becomes the current version (continual learning across
+// daemon restarts — including Rollback straight after a restart), and
+// corrupt or mismatched files are recorded in Skipped and skipped over. A
+// store may start empty — Load returns nil until the first Publish.
+func NewStore(fresh func() nn.Layer, dir string) (*Store, error) {
+	if fresh == nil {
+		return nil, fmt.Errorf("online: store needs an architecture factory")
+	}
+	s := &Store{fresh: fresh, dir: dir, next: 1}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("online: checkpoint dir: %w", err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "ckpt-*.dart"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(paths))) // newest version first
+	var hist []*Model
+	for _, path := range paths {
+		if len(hist) == keepVersions {
+			break
+		}
+		m, err := s.readCheckpoint(path)
+		if err != nil {
+			s.Skipped = append(s.Skipped, fmt.Sprintf("%s: %v", filepath.Base(path), err))
+			continue
+		}
+		hist = append(hist, m)
+	}
+	if len(hist) > 0 {
+		for i, j := 0, len(hist)-1; i < j; i, j = i+1, j-1 {
+			hist[i], hist[j] = hist[j], hist[i] // oldest first, as Publish keeps it
+		}
+		s.history = hist
+		newest := hist[len(hist)-1]
+		s.next = newest.Version + 1
+		s.cur.Store(newest)
+	}
+	return s, nil
+}
+
+// readCheckpoint loads one checkpoint file into a fresh network.
+func (s *Store) readCheckpoint(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	net := s.fresh()
+	meta, err := nn.LoadCheckpoint(f, net)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Version: meta.Version, Net: net, Meta: meta}, nil
+}
+
+// Load returns the current model version, or nil before the first Publish
+// of an empty store. Lock-free; safe from any goroutine.
+func (s *Store) Load() *Model { return s.cur.Load() }
+
+// Publish deep-copies src into a fresh immutable network, assigns it the
+// next version number, checkpoints it to disk (when configured), and
+// atomically makes it the current version. src itself is only read, so the
+// caller may keep training it.
+func (s *Store) Publish(src nn.Layer, meta nn.CheckpointMeta) (*Model, error) {
+	net := s.fresh()
+	if err := nn.CopyParams(net, src); err != nil {
+		return nil, fmt.Errorf("online: publish: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	meta.Version = s.next
+	m := &Model{Version: s.next, Net: net, Meta: meta}
+	if s.dir != "" {
+		if err := s.writeCheckpoint(m, meta); err != nil {
+			return nil, err
+		}
+	}
+	s.next++
+	s.history = append(s.history, m)
+	if len(s.history) > keepVersions {
+		drop := s.history[:len(s.history)-keepVersions]
+		s.history = append([]*Model(nil), s.history[len(drop):]...)
+		for _, old := range drop {
+			if s.dir != "" {
+				os.Remove(s.checkpointPath(old.Version))
+			}
+		}
+	}
+	s.cur.Store(m)
+	return m, nil
+}
+
+// writeCheckpoint persists one version atomically: write to a temp file in
+// the same directory, fsync-free rename over the final name.
+func (s *Store) writeCheckpoint(m *Model, meta nn.CheckpointMeta) error {
+	path := s.checkpointPath(m.Version)
+	tmp, err := os.CreateTemp(s.dir, "ckpt-*.tmp")
+	if err != nil {
+		return fmt.Errorf("online: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := nn.SaveCheckpoint(tmp, m.Net, meta); err != nil {
+		tmp.Close()
+		return fmt.Errorf("online: checkpoint v%d: %w", m.Version, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("online: checkpoint v%d: %w", m.Version, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("online: checkpoint v%d: %w", m.Version, err)
+	}
+	return nil
+}
+
+// checkpointPath names version v's file; the fixed-width version keeps
+// lexicographic order equal to version order for recovery scans.
+func (s *Store) checkpointPath(v uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("ckpt-%012d.dart", v))
+}
+
+// Rollback reverts the current pointer to the previously published version
+// and drops the newest from the history (its checkpoint file is removed so
+// a restart cannot resurrect it). Future publishes continue with fresh,
+// strictly increasing version numbers.
+func (s *Store) Rollback() (*Model, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.history) < 2 {
+		return nil, fmt.Errorf("online: no previous version to roll back to (history %d)", len(s.history))
+	}
+	bad := s.history[len(s.history)-1]
+	s.history = s.history[:len(s.history)-1]
+	prev := s.history[len(s.history)-1]
+	if s.dir != "" {
+		os.Remove(s.checkpointPath(bad.Version))
+	}
+	s.cur.Store(prev)
+	return prev, nil
+}
+
+// Versions lists the published versions currently held, oldest first.
+func (s *Store) Versions() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, len(s.history))
+	for i, m := range s.history {
+		out[i] = m.Version
+	}
+	return out
+}

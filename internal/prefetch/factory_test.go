@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dart/internal/dataprep"
+	"dart/internal/mat"
 	"dart/internal/sim"
 )
 
@@ -29,6 +30,48 @@ func TestRegistryBuiltins(t *testing.T) {
 func TestRegistryUnknownName(t *testing.T) {
 	if _, err := NewRegistry().New("voyager-9000", 4); err == nil {
 		t.Fatal("no error for unknown prefetcher")
+	}
+}
+
+// constModel is a fixed-logit BitmapPredictor for factory tests.
+type constModel struct{ out []float64 }
+
+func (m constModel) Logits(*mat.Matrix) []float64 { return m.out }
+
+// TestRegistryMakeOnline: instances share the predictor but keep private
+// history state (fresh NNPrefetcher per New call).
+func TestRegistryMakeOnline(t *testing.T) {
+	r := NewRegistry()
+	cfg := dataprep.Default()
+	pred := constModel{out: make([]float64, cfg.OutputDim())}
+	r.MakeOnline("online", pred, cfg, 17, 1<<12)
+
+	a, err := r.New("online", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.New("online", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("MakeOnline factory returned a shared instance")
+	}
+	if a.Name() != "online" || a.Latency() != 17 || a.StorageBytes() != 1<<12 {
+		t.Fatalf("instance misconfigured: %q lat %d sto %d", a.Name(), a.Latency(), a.StorageBytes())
+	}
+	// Warming a's history must not advance b's.
+	acc := sim.Access{PC: 1, Block: 100}
+	for i := 0; i < cfg.History; i++ {
+		a.OnAccess(acc)
+	}
+	an, _ := a.(*NNPrefetcher)
+	bn, _ := b.(*NNPrefetcher)
+	if _, ok := an.BuildInput(acc); !ok {
+		t.Fatal("a's history did not fill")
+	}
+	if _, ok := bn.BuildInput(acc); ok {
+		t.Fatal("instances share history state")
 	}
 }
 

@@ -4,26 +4,40 @@ import (
 	"sync"
 
 	"dart/internal/mat"
-	"dart/internal/tabular"
 )
+
+// answer is one query's inference result plus the model version that
+// produced it (0 for unversioned models such as the static table hierarchy).
+type answer struct {
+	logits  []float64
+	version uint64
+}
 
 // query is one session's model input awaiting inference.
 type query struct {
 	x     *mat.Matrix
-	reply chan []float64
+	reply chan answer
 }
+
+// inferFn runs one coalesced batch and reports the model version used.
+// The batcher calls it from a single goroutine, so an implementation may
+// resolve a hot-swappable model once per call — which is exactly how the
+// version-consistency invariant is enforced: one inferFn call, one version,
+// one whole batch.
+type inferFn func(in *mat.Tensor) (*mat.Tensor, uint64)
 
 // batcher is the admission layer for model inference: sessions publish their
 // prepared inputs and block on the reply; the dispatch loop coalesces every
-// query that arrived while the previous batch was in flight into one
-// tabular.Hierarchy.QueryBatch call on the shared worker pool.
+// query that arrived while the previous batch was in flight into one inferFn
+// call (tabular.Hierarchy.QueryBatch for the static DART tables, a versioned
+// nn forward pass for the online model) on the shared worker pool.
 //
 // Greedy (adaptive) batching needs no flush timer: when the engine is idle a
 // query is dispatched alone with no added latency, and under concurrent load
 // batches grow to MaxBatch naturally because sessions queue up while the
-// previous QueryBatch runs.
+// previous batch runs.
 type batcher struct {
-	h        *tabular.Hierarchy
+	infer    inferFn
 	reqs     chan query
 	quit     chan struct{}
 	done     chan struct{}
@@ -35,9 +49,9 @@ type batcher struct {
 	biggest int
 }
 
-func newBatcher(h *tabular.Hierarchy, maxBatch int) *batcher {
+func newBatcher(infer inferFn, maxBatch int) *batcher {
 	b := &batcher{
-		h:        h,
+		infer:    infer,
 		reqs:     make(chan query, maxBatch),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -81,10 +95,13 @@ func (b *batcher) loop() {
 	}
 }
 
-// dispatch runs one coalesced batch through the shared hierarchy and fans
-// the per-sample logits back to the waiting sessions. Per-sample outputs are
-// exactly Hierarchy.Query of that sample (QueryBatch's contract), so a
-// batched session is bit-identical to one querying the model directly.
+// dispatch runs one coalesced batch through the model and fans the
+// per-sample logits back to the waiting sessions. Per-sample outputs are
+// exactly a single-sample query of that model (QueryBatch's contract, and
+// Forward batching for nn models), so a batched session is bit-identical to
+// one querying the model directly. The whole batch runs against one model
+// version — infer resolves the version exactly once per call — so a hot
+// swap can never split a batch across versions.
 func (b *batcher) dispatch(qs []query) {
 	if len(qs) == 0 {
 		return
@@ -94,9 +111,12 @@ func (b *batcher) dispatch(qs []query) {
 	for i, q := range qs {
 		copy(in.Sample(i).Data, q.x.Data)
 	}
-	out := b.h.QueryBatch(in)
+	out, version := b.infer(in)
 	for i, q := range qs {
-		q.reply <- append([]float64(nil), out.Sample(i).Data...)
+		q.reply <- answer{
+			logits:  append([]float64(nil), out.Sample(i).Data...),
+			version: version,
+		}
 	}
 	b.mu.Lock()
 	b.batches++
@@ -107,11 +127,13 @@ func (b *batcher) dispatch(qs []query) {
 	b.mu.Unlock()
 }
 
-// infer blocks until the batcher has run the input through the model.
-func (b *batcher) infer(x *mat.Matrix) []float64 {
-	q := query{x: x, reply: make(chan []float64, 1)}
+// inferOne blocks until the batcher has run the input through the model,
+// returning the logits and the model version that served them.
+func (b *batcher) inferOne(x *mat.Matrix) ([]float64, uint64) {
+	q := query{x: x, reply: make(chan answer, 1)}
 	b.reqs <- q
-	return <-q.reply
+	a := <-q.reply
+	return a.logits, a.version
 }
 
 // stats reports (batches dispatched, queries served, largest batch).
@@ -129,10 +151,31 @@ func (b *batcher) stop() {
 	<-b.done
 }
 
-// batchedModel adapts the batcher to prefetch.BitmapPredictor, the hook that
+// batchedModel adapts a batcher to prefetch.BitmapPredictor, the hook that
 // lets each session keep a private NNPrefetcher (history ring, degree) while
 // sharing one model and one admission batcher with every other session.
 type batchedModel struct{ b *batcher }
 
 // Logits routes the query through the admission batcher.
-func (m batchedModel) Logits(x *mat.Matrix) []float64 { return m.b.infer(x) }
+func (m batchedModel) Logits(x *mat.Matrix) []float64 {
+	logits, _ := m.b.inferOne(x)
+	return logits
+}
+
+// versionedModel is batchedModel plus version observation: the model version
+// that served each query is written to *ver, which is owned by the session
+// actor goroutine (Logits is only ever called from inside that session's
+// sim.Step). The actor reads it back after the step to tag responses — the
+// mechanism behind "sessions pick up a new version at step boundaries".
+type versionedModel struct {
+	b   *batcher
+	ver *uint64
+}
+
+// Logits routes the query through the admission batcher and records the
+// serving version.
+func (m versionedModel) Logits(x *mat.Matrix) []float64 {
+	logits, v := m.b.inferOne(x)
+	*m.ver = v
+	return logits
+}

@@ -32,6 +32,8 @@ import (
 	"sync/atomic"
 
 	"dart/internal/dataprep"
+	"dart/internal/mat"
+	"dart/internal/online"
 	"dart/internal/prefetch"
 	"dart/internal/sim"
 	"dart/internal/tabular"
@@ -53,6 +55,15 @@ type Config struct {
 	Data         dataprep.Config // input preprocessing for model sessions
 	ModelLatency int             // modelled inference latency (cycles)
 	ModelStorage int             // modelled storage (bytes)
+
+	// Online, when non-nil, enables the "online" prefetcher: a continually
+	// fine-tuned neural model served from the learner's versioned store
+	// with zero-downtime hot swap. Online sessions are tapped — their
+	// access/feedback stream feeds the learner's training loop — and their
+	// inference goes through a second admission batcher that resolves the
+	// model version once per batch, so no batch ever mixes versions. The
+	// learner's lifecycle (Start/Stop) belongs to the caller.
+	Online *online.Learner
 
 	// Registry resolves prefetcher names; defaults to the built-ins
 	// (none/bo/isb/stride) plus "dart" when Model is set.
@@ -88,6 +99,7 @@ type Response struct {
 	Hit        bool
 	Late       bool
 	Prefetches []uint64 // block addresses issued
+	Version    uint64   // online model version that served this access (0: not an online session, or no model query yet)
 }
 
 // item is one queued access plus its completion callback.
@@ -106,6 +118,16 @@ type session struct {
 	seq   uint64
 	res   sim.Result // final result, valid after done closes
 
+	// Online-session state, nil/zero otherwise. ver is written by the
+	// versionedModel predictor and read after each step; ring receives the
+	// access/feedback event stream; pendFB stages the feedback the
+	// simulator delivers synchronously inside Step. All of it is touched
+	// only on the actor goroutine.
+	ver    *uint64
+	ring   *online.Ring
+	pendFB sim.Feedback
+	hasFB  bool
+
 	// sendMu guards the inbox against close-while-sending: Submit sends
 	// under the read lock (many producers, possibly blocking on a full
 	// inbox), Close closes the channel under the write lock. The actor
@@ -122,19 +144,37 @@ func (s *session) run() {
 	for it := range s.inbox {
 		st := s.sim.Step(it.rec)
 		s.seq++
+		if s.ring != nil {
+			// Tap the access (and the outcome feedback sim delivered
+			// inside this Step, if any) into the learner's ring. Push is
+			// lock-free and lossy: training never backpressures serving.
+			ev := online.Event{Access: sim.Access{
+				InstrID: it.rec.InstrID, PC: it.rec.PC,
+				Block: it.rec.Block(), Hit: st.Hit,
+			}}
+			if s.hasFB {
+				ev.HasFB, ev.Feedback = true, s.pendFB
+				s.hasFB = false
+			}
+			s.ring.Push(ev)
+		}
 		if s.seq%256 == 0 {
 			s.snapMu.Lock()
 			s.snap = s.sim.Result()
 			s.snapMu.Unlock()
 		}
 		if it.fn != nil {
-			it.fn(Response{
+			resp := Response{
 				Session:    s.id,
 				Seq:        s.seq,
 				Hit:        st.Hit,
 				Late:       st.Late,
 				Prefetches: st.Prefetches,
-			})
+			}
+			if s.ver != nil {
+				resp.Version = *s.ver
+			}
+			it.fn(resp)
 		}
 	}
 	s.res = s.sim.Result()
@@ -150,31 +190,57 @@ type shard struct {
 type Engine struct {
 	cfg     Config
 	shards  []shard
-	batcher *batcher // nil when no model is configured
+	batcher *batcher        // nil when no table model is configured
+	onlineB *batcher        // nil when no online learner is configured
+	learner *online.Learner // == cfg.Online
 
 	accepted atomic.Uint64
 	draining atomic.Bool
 }
 
 // NewEngine builds an engine from the config. When cfg.Model is set, the
-// admission batcher starts and the "dart" prefetcher becomes available.
+// admission batcher starts and the "dart" prefetcher becomes available;
+// when cfg.Online is set, a second versioned batcher starts and the
+// "online" prefetcher becomes available.
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{cfg: cfg, shards: make([]shard, cfg.Shards)}
 	for i := range e.shards {
 		e.shards[i].m = make(map[string]*session)
 	}
-	if cfg.Model != nil {
-		e.batcher = newBatcher(cfg.Model, cfg.MaxBatch)
-		// Register "dart" on a private clone: the caller's registry must
-		// not be wired to this engine's batcher (two engines sharing a
-		// registry would otherwise cross-route each other's queries).
+	if cfg.Model != nil || cfg.Online != nil {
+		// Register model prefetchers on a private clone: the caller's
+		// registry must not be wired to this engine's batchers (two
+		// engines sharing a registry would otherwise cross-route each
+		// other's queries).
 		e.cfg.Registry = cfg.Registry.Clone()
+	}
+	if cfg.Model != nil {
+		e.batcher = newBatcher(func(in *mat.Tensor) (*mat.Tensor, uint64) {
+			return cfg.Model.QueryBatch(in), 0
+		}, cfg.MaxBatch)
 		e.cfg.Registry.Register("dart", func(degree int) sim.Prefetcher {
 			return prefetch.NewNNPrefetcher("DART",
 				batchedModel{b: e.batcher},
 				cfg.Data, cfg.ModelLatency, cfg.ModelStorage, degree)
 		})
+	}
+	if cfg.Online != nil {
+		e.learner = cfg.Online
+		// One inferFn call resolves the store's current version exactly
+		// once and runs the whole batch through it: a hot swap lands
+		// between batches, never inside one. The published Model is
+		// immutable and its Forward runs only on the batcher goroutine
+		// (nn layers cache activations, so Forward is not reentrant).
+		e.onlineB = newBatcher(func(in *mat.Tensor) (*mat.Tensor, uint64) {
+			m := e.learner.Serving()
+			return m.Net.Forward(in), m.Version
+		}, cfg.MaxBatch)
+		// Generic registry entry so "online" shows up in Names() and
+		// offline comparison runs can instantiate it; live sessions get a
+		// version-observing instance wired up in Open instead.
+		e.cfg.Registry.MakeOnline("online", batchedModel{b: e.onlineB},
+			e.learner.Data(), e.learner.Latency(), e.learner.StorageBytes())
 	}
 	return e
 }
@@ -199,21 +265,42 @@ func (e *Engine) lookup(id string) (*session, error) {
 }
 
 // Open creates a session with the named prefetcher. Every session gets a
-// fresh prefetcher instance and its own incremental simulator.
+// fresh prefetcher instance and its own incremental simulator. Sessions
+// opened with the "online" prefetcher (when the engine has a learner) are
+// additionally tapped: their access/feedback stream feeds online training,
+// and their responses carry the model version that served each access.
 func (e *Engine) Open(id, prefetcher string, degree int) error {
 	if id == "" {
 		return fmt.Errorf("serve: empty session id")
-	}
-	pf, err := e.cfg.Registry.New(prefetcher, degree)
-	if err != nil {
-		return err
 	}
 	s := &session{
 		id:    id,
 		inbox: make(chan item, e.cfg.QueueDepth),
 		done:  make(chan struct{}),
-		sim:   sim.NewSim(pf, e.cfg.SimCfg),
 	}
+	var pf sim.Prefetcher
+	if e.learner != nil && prefetcher == "online" {
+		if degree <= 0 {
+			degree = 4
+		}
+		s.ver = new(uint64)
+		base := prefetch.NewNNPrefetcher("online",
+			versionedModel{b: e.onlineB, ver: s.ver},
+			e.learner.Data(), e.learner.Latency(), e.learner.StorageBytes(), degree)
+		// The fan-out listener stages the feedback sim delivers inside
+		// Step; the actor pairs it with the access and pushes both into
+		// the learner's ring after the step.
+		pf = sim.FanOutFeedback(base, func(fb sim.Feedback) {
+			s.pendFB, s.hasFB = fb, true
+		})
+	} else {
+		var err error
+		pf, err = e.cfg.Registry.New(prefetcher, degree)
+		if err != nil {
+			return err
+		}
+	}
+	s.sim = sim.NewSim(pf, e.cfg.SimCfg)
 	sh := e.shardFor(id)
 	sh.mu.Lock()
 	// The draining check lives inside the shard lock: Drain sets the flag
@@ -230,6 +317,11 @@ func (e *Engine) Open(id, prefetcher string, degree int) error {
 	}
 	sh.m[id] = s
 	sh.mu.Unlock()
+	if s.ver != nil {
+		// Attach after the insert won the id (no duplicate taps), before
+		// the actor starts (the ring must exist for the first step).
+		s.ring = e.learner.Attach(id)
+	}
 	go s.run()
 	return nil
 }
@@ -289,6 +381,9 @@ func (e *Engine) Close(id string) (sim.Result, error) {
 	close(s.inbox)
 	s.sendMu.Unlock()
 	<-s.done
+	if s.ring != nil {
+		e.learner.Detach(id)
+	}
 
 	sh := e.shardFor(id)
 	sh.mu.Lock()
@@ -312,7 +407,8 @@ func (e *Engine) Sessions() []string {
 	return ids
 }
 
-// Stats is a mid-stream engine snapshot.
+// Stats is a mid-stream engine snapshot. The batch counters aggregate both
+// admission batchers (static "dart" tables and the versioned online model).
 type Stats struct {
 	Sessions   int
 	Accepted   uint64 // accesses admitted since start
@@ -320,6 +416,7 @@ type Stats struct {
 	Batched    uint64 // model queries served through batches
 	MaxBatch   int    // largest batch dispatched so far
 	PerSession map[string]sim.Result
+	Online     *online.Stats // nil unless the engine has a learner
 }
 
 // StatsSnapshot gathers per-session snapshots without stopping the actors.
@@ -340,11 +437,27 @@ func (e *Engine) StatsSnapshot() Stats {
 		}
 		sh.mu.RUnlock()
 	}
-	if e.batcher != nil {
-		st.Batches, st.Batched, st.MaxBatch = e.batcher.stats()
+	for _, b := range []*batcher{e.batcher, e.onlineB} {
+		if b == nil {
+			continue
+		}
+		batches, batched, biggest := b.stats()
+		st.Batches += batches
+		st.Batched += batched
+		if biggest > st.MaxBatch {
+			st.MaxBatch = biggest
+		}
+	}
+	if e.learner != nil {
+		ls := e.learner.Stats()
+		st.Online = &ls
 	}
 	return st
 }
+
+// Learner exposes the online learner (nil when the engine has none); the
+// wire server routes the model/swap/rollback verbs through it.
+func (e *Engine) Learner() *online.Learner { return e.learner }
 
 // Drain gracefully shuts the engine down: no new sessions are admitted,
 // every open session's inbox is closed and drained in turn, and the batcher
@@ -380,6 +493,9 @@ func (e *Engine) Drain() map[string]sim.Result {
 	}
 	if e.batcher != nil {
 		e.batcher.stop()
+	}
+	if e.onlineB != nil {
+		e.onlineB.stop()
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dart/internal/online"
 	"dart/internal/sim"
 	"dart/internal/trace"
 )
@@ -49,10 +50,13 @@ func (h *Hex64) UnmarshalJSON(b []byte) error {
 
 // Request is one line of the client→server protocol. Op selects the action:
 //
-//	open   {"op":"open","session":"s1","prefetcher":"stride","degree":4}
-//	access {"op":"access","session":"s1","instr_id":12,"pc":"0x400000","addr":"0x10000040","is_load":true}
-//	close  {"op":"close","session":"s1"}
-//	stats  {"op":"stats"}
+//	open     {"op":"open","session":"s1","prefetcher":"stride","degree":4}
+//	access   {"op":"access","session":"s1","instr_id":12,"pc":"0x400000","addr":"0x10000040","is_load":true}
+//	close    {"op":"close","session":"s1"}
+//	stats    {"op":"stats"}
+//	model    {"op":"model"}     online-learner snapshot (version, throughput, loss trend)
+//	swap     {"op":"swap"}      force-publish the training shadow as a new version
+//	rollback {"op":"rollback"}  revert serving to the previous version
 type Request struct {
 	Op         string `json:"op"`
 	Session    string `json:"session,omitempty"`
@@ -70,27 +74,68 @@ func (r Request) Record() trace.Record {
 }
 
 // Reply is one line of the server→client protocol. Every reply carries OK
-// (with Err set when false); access replies add Seq/Hit/Late/Prefetch, close
-// replies add the final Result, stats replies add Stats.
+// (with Err set when false); access replies add Seq/Hit/Late/Prefetch (and
+// Version on online sessions), close replies add the final Result, stats
+// replies add Stats, and model/swap/rollback replies add Online.
 type Reply struct {
-	OK       bool        `json:"ok"`
-	Err      string      `json:"error,omitempty"`
-	Session  string      `json:"session,omitempty"`
-	Seq      uint64      `json:"seq,omitempty"`
-	Hit      bool        `json:"hit,omitempty"`
-	Late     bool        `json:"late,omitempty"`
-	Prefetch []Hex64     `json:"prefetch,omitempty"`
-	Result   *sim.Result `json:"result,omitempty"`
-	Stats    *StatsReply `json:"stats,omitempty"`
+	OK       bool         `json:"ok"`
+	Err      string       `json:"error,omitempty"`
+	Session  string       `json:"session,omitempty"`
+	Seq      uint64       `json:"seq,omitempty"`
+	Hit      bool         `json:"hit,omitempty"`
+	Late     bool         `json:"late,omitempty"`
+	Prefetch []Hex64      `json:"prefetch,omitempty"`
+	Version  uint64       `json:"version,omitempty"`
+	Result   *sim.Result  `json:"result,omitempty"`
+	Stats    *StatsReply  `json:"stats,omitempty"`
+	Online   *OnlineReply `json:"online,omitempty"`
 }
 
 // StatsReply is the wire form of Stats.
 type StatsReply struct {
-	Sessions int    `json:"sessions"`
-	Accepted uint64 `json:"accepted"`
-	Batches  uint64 `json:"batches"`
-	Batched  uint64 `json:"batched"`
-	MaxBatch int    `json:"max_batch"`
+	Sessions int          `json:"sessions"`
+	Accepted uint64       `json:"accepted"`
+	Batches  uint64       `json:"batches"`
+	Batched  uint64       `json:"batched"`
+	MaxBatch int          `json:"max_batch"`
+	Online   *OnlineReply `json:"online,omitempty"`
+}
+
+// OnlineReply is the wire form of the online learner's state: the served
+// model version, feedback ingest throughput, and the online-loss trend.
+type OnlineReply struct {
+	Version   uint64  `json:"version"`
+	Published uint64  `json:"published"`
+	Sessions  int     `json:"sessions"`
+	Ingested  uint64  `json:"ingested"`
+	Dropped   uint64  `json:"dropped"`
+	Useful    uint64  `json:"useful"`
+	Late      uint64  `json:"late"`
+	Examples  uint64  `json:"examples"`
+	Trained   uint64  `json:"trained"`
+	Steps     uint64  `json:"steps"`
+	Loss      float64 `json:"loss"`
+	LossTrend float64 `json:"loss_trend"`
+	PerSec    float64 `json:"feedback_per_sec"`
+}
+
+// onlineReply converts learner stats to the wire form.
+func onlineReply(st online.Stats) *OnlineReply {
+	return &OnlineReply{
+		Version:   st.Version,
+		Published: st.Published,
+		Sessions:  st.Sessions,
+		Ingested:  st.Ingested,
+		Dropped:   st.Dropped,
+		Useful:    st.Useful,
+		Late:      st.Late,
+		Examples:  st.Examples,
+		Trained:   st.Trained,
+		Steps:     st.Steps,
+		Loss:      st.Loss,
+		LossTrend: st.LossTrend,
+		PerSec:    st.PerSec,
+	}
 }
 
 // errReply builds a failure line.

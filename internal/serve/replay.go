@@ -147,8 +147,16 @@ func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Rep
 			}
 		}
 	}
-	if e.batcher != nil {
-		rep.Batches, rep.Batched, rep.MaxBatch = e.batcher.stats()
+	for _, b := range []*batcher{e.batcher, e.onlineB} {
+		if b == nil {
+			continue
+		}
+		batches, batched, biggest := b.stats()
+		rep.Batches += batches
+		rep.Batched += batched
+		if biggest > rep.MaxBatch {
+			rep.MaxBatch = biggest
+		}
 	}
 	return rep, nil
 }

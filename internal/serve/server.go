@@ -170,6 +170,7 @@ func (s *Server) handle(conn net.Conn) {
 				send(Reply{
 					OK: true, Session: resp.Session, Seq: resp.Seq,
 					Hit: resp.Hit, Late: resp.Late, Prefetch: pf,
+					Version: resp.Version,
 				})
 			})
 			if err != nil {
@@ -186,13 +187,39 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		case "stats":
 			st := s.engine.StatsSnapshot()
-			send(Reply{OK: true, Stats: &StatsReply{
+			sr := &StatsReply{
 				Sessions: st.Sessions,
 				Accepted: st.Accepted,
 				Batches:  st.Batches,
 				Batched:  st.Batched,
 				MaxBatch: st.MaxBatch,
-			}})
+			}
+			if st.Online != nil {
+				sr.Online = onlineReply(*st.Online)
+			}
+			send(Reply{OK: true, Stats: sr})
+		case "model":
+			if l := s.engine.Learner(); l == nil {
+				send(Reply{OK: false, Err: "serve: no online learner configured"})
+			} else {
+				send(Reply{OK: true, Online: onlineReply(l.Stats())})
+			}
+		case "swap":
+			if l := s.engine.Learner(); l == nil {
+				send(Reply{OK: false, Err: "serve: no online learner configured"})
+			} else if m, err := l.Swap(); err != nil {
+				send(errReply("", err))
+			} else {
+				send(Reply{OK: true, Version: m.Version, Online: onlineReply(l.Stats())})
+			}
+		case "rollback":
+			if l := s.engine.Learner(); l == nil {
+				send(Reply{OK: false, Err: "serve: no online learner configured"})
+			} else if m, err := l.Rollback(); err != nil {
+				send(errReply("", err))
+			} else {
+				send(Reply{OK: true, Version: m.Version, Online: onlineReply(l.Stats())})
+			}
 		default:
 			send(Reply{OK: false, Err: "serve: unknown op " + req.Op})
 		}

@@ -1,0 +1,49 @@
+package sim
+
+// FeedbackFunc receives prefetch-outcome feedback.
+type FeedbackFunc func(Feedback)
+
+// feedbackFanOut tees the simulator's feedback stream: the wrapped
+// prefetcher (when it opts in) and every listener see each Feedback event.
+type feedbackFanOut struct {
+	pf        Prefetcher
+	inner     FeedbackPrefetcher // non-nil when pf itself wants feedback
+	listeners []FeedbackFunc
+}
+
+// FanOutFeedback wraps pf so that prefetch-outcome feedback reaches both the
+// wrapped prefetcher (when it is itself a FeedbackPrefetcher) and every
+// listener, in argument order. The wrapper implements FeedbackPrefetcher, so
+// the simulator delivers feedback even when pf alone would not opt in — the
+// serving engine uses this to tee a live session's outcome stream into the
+// online-training collector without the prefetcher knowing.
+//
+// Listeners run synchronously inside Sim.Step, on the goroutine driving the
+// simulator; they must not block.
+func FanOutFeedback(pf Prefetcher, listeners ...FeedbackFunc) FeedbackPrefetcher {
+	f := &feedbackFanOut{pf: pf, listeners: listeners}
+	f.inner, _ = pf.(FeedbackPrefetcher)
+	return f
+}
+
+// Name identifies the wrapped prefetcher.
+func (f *feedbackFanOut) Name() string { return f.pf.Name() }
+
+// OnAccess delegates to the wrapped prefetcher.
+func (f *feedbackFanOut) OnAccess(a Access) []uint64 { return f.pf.OnAccess(a) }
+
+// Latency delegates to the wrapped prefetcher.
+func (f *feedbackFanOut) Latency() int { return f.pf.Latency() }
+
+// StorageBytes delegates to the wrapped prefetcher.
+func (f *feedbackFanOut) StorageBytes() int { return f.pf.StorageBytes() }
+
+// OnFeedback fans the event out to the wrapped prefetcher and the listeners.
+func (f *feedbackFanOut) OnFeedback(fb Feedback) {
+	if f.inner != nil {
+		f.inner.OnFeedback(fb)
+	}
+	for _, fn := range f.listeners {
+		fn(fb)
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+// TestFanOutFeedback: listeners and the wrapped FeedbackPrefetcher must both
+// see every event, and the wrapper must leave the simulation bit-identical.
+func TestFanOutFeedback(t *testing.T) {
+	recs := testTrace(5, 8000)
+	cfg := DefaultConfig()
+	cfg.LLCBlocks = 4096
+
+	inner := &feedbackRecorder{Prefetcher: &steppedStride{degree: 3}}
+	var tapped1, tapped2 []Feedback
+	wrapped := FanOutFeedback(inner,
+		func(fb Feedback) { tapped1 = append(tapped1, fb) },
+		func(fb Feedback) { tapped2 = append(tapped2, fb) },
+	)
+	got := Run(recs, wrapped, cfg)
+	want := Run(recs, &feedbackRecorder{Prefetcher: &steppedStride{degree: 3}}, cfg)
+	if got != want {
+		t.Fatalf("fan-out wrapper changed the result:\n got %+v\nwant %+v", got, want)
+	}
+	if len(inner.events) == 0 {
+		t.Fatal("trace produced no feedback; fan-out untested")
+	}
+	if len(tapped1) != len(inner.events) || len(tapped2) != len(inner.events) {
+		t.Fatalf("listener saw %d/%d events, inner saw %d",
+			len(tapped1), len(tapped2), len(inner.events))
+	}
+	for i, fb := range inner.events {
+		if tapped1[i] != fb || tapped2[i] != fb {
+			t.Fatalf("event %d diverged: inner %+v listeners %+v/%+v", i, fb, tapped1[i], tapped2[i])
+		}
+	}
+}
+
+// TestFanOutFeedbackPlainPrefetcher: wrapping a prefetcher that does not
+// itself consume feedback still delivers events to the listeners.
+func TestFanOutFeedbackPlainPrefetcher(t *testing.T) {
+	recs := testTrace(7, 8000)
+	cfg := DefaultConfig()
+	cfg.LLCBlocks = 4096
+
+	var events []Feedback
+	wrapped := FanOutFeedback(&steppedStride{degree: 3}, func(fb Feedback) { events = append(events, fb) })
+	res := Run(recs, wrapped, cfg)
+	if res.PrefetchUseful == 0 {
+		t.Fatal("trace produced no useful prefetches")
+	}
+	if len(events) != res.PrefetchUseful {
+		t.Fatalf("listener saw %d events, want %d", len(events), res.PrefetchUseful)
+	}
+}
