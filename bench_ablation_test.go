@@ -101,7 +101,10 @@ func BenchmarkAblation_KDTemperature(b *testing.B) {
 				DModel: l.art.Chosen.Model.DA, DFF: l.art.Chosen.Model.DF,
 				DOut: l.art.Opt.Data.OutputDim(), Heads: l.art.Chosen.Model.H, Layers: l.art.Chosen.Model.L,
 			}, rng)
-			d := kd.NewDistiller(l.art.Teacher, student, kd.Config{Temperature: temp, Epochs: 3}, rng)
+			kdc := kd.DefaultConfig()
+			kdc.Temperature = temp
+			kdc.Epochs = 3
+			d := kd.NewDistiller(l.art.Teacher, student, kdc, rng)
 			d.Run(l.art.Train.X, l.art.Train.Y)
 			return core.EvaluateModelF1(student, l.art.Test)
 		}))

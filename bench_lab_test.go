@@ -40,7 +40,7 @@ func labOptions() core.Options {
 		TeacherHeads:     4,
 		TeacherLayers:    2,
 		TeacherEpochs:    6,
-		KD:               kd.Config{Epochs: 8},
+		KD:               kdEpochs(8),
 		FineTune:         true,
 		FineTuneEpochs:   20,
 		FitSamples:       256,
@@ -79,6 +79,13 @@ var (
 	labMap  = map[string]*appLab{}
 	prnOnce sync.Map
 )
+
+// kdEpochs is kd.DefaultConfig with the epoch count overridden.
+func kdEpochs(n int) kd.Config {
+	c := kd.DefaultConfig()
+	c.Epochs = n
+	return c
+}
 
 // printOnce guards experiment-row printing against benchmark re-invocation
 // with growing b.N.

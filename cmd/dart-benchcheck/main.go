@@ -18,12 +18,15 @@
 //     -min-speedup (default 2x, PR 1's acceptance bar). This holds on any
 //     host because both sides ran on it seconds apart.
 //
-// With -serve-baseline the gate also covers the online-training benchmarks
-// (feedback ingest, model swap) against the "online" section of
-// BENCH_serve.json. -write-online flips the tool into update mode: it
-// parses those benchmarks from the input and rewrites the "online" section
-// in place — `make bench-update` uses this to refresh every serving
-// baseline in one step.
+// With -serve-baseline the gate also covers the online-training and
+// distilled-student benchmarks (feedback ingest, model swap, teacher/student
+// inference, distill cycle) against the "online" section of BENCH_serve.json,
+// plus two host-independent same-run checks: the student must be strictly
+// faster than the teacher (ns/op) and strictly smaller (the storage_bytes
+// metric the infer benchmarks report). -write-online flips the tool into
+// update mode: it parses those benchmarks from the input and rewrites the
+// "online" section in place — `make bench-update` uses this to refresh every
+// serving baseline in one step.
 //
 // Exit status 0 when every check passes, 1 on regression, 2 on usage or
 // missing-data errors.
@@ -53,24 +56,39 @@ type baseline struct {
 }
 
 // onlineBaseline is the "online" section of BENCH_serve.json: the
-// online-training benchmarks gated alongside the engine ones.
+// online-training and distilled-student benchmarks gated alongside the
+// engine ones.
 type onlineBaseline struct {
-	FeedbackIngestNs float64 `json:"feedback_ingest_ns"`
-	SwapNs           float64 `json:"swap_ns"`
+	FeedbackIngestNs    float64 `json:"feedback_ingest_ns"`
+	SwapNs              float64 `json:"swap_ns"`
+	TeacherInferNs      float64 `json:"teacher_infer_ns"`
+	StudentInferNs      float64 `json:"student_infer_ns"`
+	DistillCycleNs      float64 `json:"distill_cycle_ns"`
+	TeacherStorageBytes float64 `json:"teacher_storage_bytes"`
+	StudentStorageBytes float64 `json:"student_storage_bytes"`
 }
 
 // onlineBenchNames maps the gated benchmarks to their baseline fields.
 var onlineBenchNames = map[string]func(onlineBaseline) float64{
 	"BenchmarkFeedbackIngest": func(b onlineBaseline) float64 { return b.FeedbackIngestNs },
 	"BenchmarkModelSwap":      func(b onlineBaseline) float64 { return b.SwapNs },
+	"BenchmarkTeacherInfer":   func(b onlineBaseline) float64 { return b.TeacherInferNs },
+	"BenchmarkStudentInfer":   func(b onlineBaseline) float64 { return b.StudentInferNs },
+	"BenchmarkDistillCycle":   func(b onlineBaseline) float64 { return b.DistillCycleNs },
 }
 
 // benchLine matches e.g. "BenchmarkMatMul/par/n512/w4-8   100  11093275 ns/op".
 // The -N GOMAXPROCS suffix is optional: go test omits it when GOMAXPROCS=1.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
-// parseBench extracts name -> ns/op from go test -bench output. Repeated
-// names (e.g. from -count) keep the minimum, the standard noise filter.
+// storageMetric matches the custom "storage_bytes" metric the infer
+// benchmarks report (b.ReportMetric); the value lands in the parse map under
+// "<name>@storage_bytes".
+var storageMetric = regexp.MustCompile(`([0-9.]+) storage_bytes`)
+
+// parseBench extracts name -> ns/op (plus "<name>@storage_bytes" for custom
+// storage metrics) from go test -bench output. Repeated names (e.g. from
+// -count) keep the minimum, the standard noise filter.
 func parseBench(r io.Reader) (map[string]float64, error) {
 	out := make(map[string]float64)
 	sc := bufio.NewScanner(r)
@@ -85,6 +103,13 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		}
 		if prev, ok := out[m[1]]; !ok || ns < prev {
 			out[m[1]] = ns
+		}
+		if sm := storageMetric.FindStringSubmatch(sc.Text()); sm != nil {
+			v, err := strconv.ParseFloat(sm[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad storage_bytes in %q: %w", sc.Text(), err)
+			}
+			out[m[1]+"@storage_bytes"] = v
 		}
 	}
 	return out, sc.Err()
@@ -185,13 +210,51 @@ func serveChecks(servePath string, got map[string]float64, tolerance float64, ou
 		limit := baseNs * tolerance
 		checks = append(checks, check{name: name, measured: ns, limit: limit, ok: ns <= limit})
 	}
+	sc, sMissing := studentChecks(got)
+	checks = append(checks, sc...)
+	missing = append(missing, sMissing...)
 	return checks, missing, true
+}
+
+// studentChecks are the host-independent student-vs-teacher comparisons:
+// within the same run, the distilled student must be strictly faster than
+// the teacher and its reported parameter storage strictly smaller — the
+// serving tier's whole reason to exist. Both sides ran seconds apart on the
+// same host, so no tolerance applies.
+func studentChecks(got map[string]float64) (checks []check, missing []string) {
+	type rel struct {
+		name, num, den string
+	}
+	for _, r := range []rel{
+		{"speedup(student vs teacher infer, same run)", "BenchmarkTeacherInfer", "BenchmarkStudentInfer"},
+		{"shrink(student vs teacher storage_bytes)", "BenchmarkTeacherInfer@storage_bytes", "BenchmarkStudentInfer@storage_bytes"},
+	} {
+		num, ok1 := got[r.num]
+		den, ok2 := got[r.den]
+		if !ok1 {
+			missing = append(missing, r.num)
+		}
+		if !ok2 {
+			missing = append(missing, r.den)
+		}
+		if !ok1 || !ok2 {
+			continue
+		}
+		ratio := num / den
+		checks = append(checks, check{name: r.name, measured: ratio, limit: 1, ok: ratio > 1})
+	}
+	return checks, missing
 }
 
 // writeOnline rewrites the "online" section of the serve baseline file from
 // the measured benchmarks, leaving every other key untouched.
 func writeOnline(servePath string, got map[string]float64, out io.Writer) int {
+	need := make([]string, 0, len(onlineBenchNames)+2)
 	for name := range onlineBenchNames {
+		need = append(need, name)
+	}
+	need = append(need, "BenchmarkTeacherInfer@storage_bytes", "BenchmarkStudentInfer@storage_bytes")
+	for _, name := range need {
 		if _, ok := got[name]; !ok {
 			fmt.Fprintf(out, "benchcheck: input has no %s result; not updating %s\n", name, servePath)
 			return 2
@@ -208,8 +271,13 @@ func writeOnline(servePath string, got map[string]float64, out io.Writer) int {
 		return 2
 	}
 	sec, err := json.Marshal(onlineBaseline{
-		FeedbackIngestNs: got["BenchmarkFeedbackIngest"],
-		SwapNs:           got["BenchmarkModelSwap"],
+		FeedbackIngestNs:    got["BenchmarkFeedbackIngest"],
+		SwapNs:              got["BenchmarkModelSwap"],
+		TeacherInferNs:      got["BenchmarkTeacherInfer"],
+		StudentInferNs:      got["BenchmarkStudentInfer"],
+		DistillCycleNs:      got["BenchmarkDistillCycle"],
+		TeacherStorageBytes: got["BenchmarkTeacherInfer@storage_bytes"],
+		StudentStorageBytes: got["BenchmarkStudentInfer@storage_bytes"],
 	})
 	if err != nil {
 		fmt.Fprintf(out, "benchcheck: %v\n", err)

@@ -184,12 +184,19 @@ func TestRealBaselineParses(t *testing.T) {
 
 const sampleServeBaseline = `{
   "generated": "2026-07-30",
-  "online": {"feedback_ingest_ns": 20, "swap_ns": 30000},
+  "online": {
+    "feedback_ingest_ns": 20, "swap_ns": 30000,
+    "teacher_infer_ns": 550000, "student_infer_ns": 320000, "distill_cycle_ns": 3000000,
+    "teacher_storage_bytes": 44032, "student_storage_bytes": 13952
+  },
   "report": {"Throughput": 640000}
 }`
 
 const sampleOnlineBench = sampleBench + `BenchmarkFeedbackIngest-1  50000000  22.1 ns/op
 BenchmarkModelSwap-1  40000  31000 ns/op
+BenchmarkTeacherInfer-1  434  553897 ns/op  44032 storage_bytes
+BenchmarkStudentInfer-1  712  321442 ns/op  13952 storage_bytes
+BenchmarkDistillCycle-1  84  3096250 ns/op
 `
 
 func writeServeBaseline(t *testing.T, content string) string {
@@ -215,9 +222,9 @@ func TestOnlineGatePassesWithinTolerance(t *testing.T) {
 }
 
 func TestOnlineGateFailsOnRegression(t *testing.T) {
-	slow := sampleBench + `BenchmarkFeedbackIngest-1  1000000  95.0 ns/op
-BenchmarkModelSwap-1  40000  31000 ns/op
-`
+	slow := strings.Replace(sampleOnlineBench,
+		"BenchmarkFeedbackIngest-1  50000000  22.1 ns/op",
+		"BenchmarkFeedbackIngest-1  1000000  95.0 ns/op", 1)
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "",
 		1.5, 2.0, strings.NewReader(slow), &out)
@@ -276,6 +283,64 @@ func TestWriteOnlinePreservesOtherKeys(t *testing.T) {
 	code = run(writeBaseline(t), path, "", 1.5, 2.0, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("self-gate exit %d:\n%s", code, out.String())
+	}
+}
+
+func TestParseBenchStorageMetric(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOnlineBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkStudentInfer@storage_bytes"] != 13952 {
+		t.Fatalf("student storage = %v, want 13952", got["BenchmarkStudentInfer@storage_bytes"])
+	}
+	if got["BenchmarkTeacherInfer@storage_bytes"] != 44032 {
+		t.Fatalf("teacher storage = %v, want 44032", got["BenchmarkTeacherInfer@storage_bytes"])
+	}
+}
+
+func TestStudentGateFailsWhenNotFaster(t *testing.T) {
+	// Student infer as slow as the teacher: absolute baselines may still
+	// pass (tolerance), but the same-run speedup check must fail.
+	slow := strings.Replace(sampleOnlineBench,
+		"BenchmarkStudentInfer-1  712  321442 ns/op  13952 storage_bytes",
+		"BenchmarkStudentInfer-1  712  560000 ns/op  13952 storage_bytes", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "",
+		2.0, 2.0, strings.NewReader(slow), &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL speedup(student vs teacher infer") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestStudentGateFailsWhenNotSmaller(t *testing.T) {
+	bloated := strings.Replace(sampleOnlineBench,
+		"BenchmarkStudentInfer-1  712  321442 ns/op  13952 storage_bytes",
+		"BenchmarkStudentInfer-1  712  321442 ns/op  44032 storage_bytes", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "",
+		1.5, 2.0, strings.NewReader(bloated), &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL shrink(student vs teacher storage_bytes)") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestStudentGateFailsClosedOnMissingStudentBench(t *testing.T) {
+	// The student benchmarks disappearing from the input must error, not
+	// silently stop gating the tier.
+	noStudent := strings.Replace(sampleOnlineBench,
+		"BenchmarkStudentInfer-1  712  321442 ns/op  13952 storage_bytes\n", "", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "",
+		1.5, 2.0, strings.NewReader(noStudent), &out)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
 }
 

@@ -22,6 +22,16 @@
 // restart); -swap-interval sets the auto-publish cadence. The wire protocol
 // gains model/swap/rollback verbs (see internal/online/README.md).
 //
+// With -student (implies -online) the daemon also runs the distilled-student
+// tier: a compact student (nn.StudentConfig of the teacher architecture) is
+// continually distilled from the published teacher with the paper's KD loss
+// (Eqs. 24-25) and published as the "student" model class; sessions opened
+// with prefetcher "student" are served by it — lower modelled latency and
+// storage — with teacher fallback, and -distill-interval sets its publish
+// cadence. -ab enables shadow-compare mode: student batches are also run
+// through the teacher and the per-label agreement is reported (the "ab"
+// section of stats, and the replay report).
+//
 // Replay mode pumps synthetic workloads through the engine at a target rate
 // and reports accuracy, coverage, throughput, and request-latency
 // percentiles — the continuous-load evaluation the offline cmd/dart-sim
@@ -73,10 +83,14 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "online: directory for versioned model checkpoints (recovered on restart)")
 	swapInterval := flag.Duration("swap-interval", 30*time.Second, "online: auto-publish cadence (<0 disables; \"swap\" verb always works)")
 
+	useStudent := flag.Bool("student", false, "run the distilled-student tier (implies -online); sessions can open prefetcher \"student\"")
+	distillInterval := flag.Duration("distill-interval", 30*time.Second, "student: auto-publish cadence (<0 disables; \"swap\" with class \"student\" always works)")
+	shadowCompare := flag.Bool("ab", false, "student: A/B shadow-compare mode — run student batches through the teacher too and report per-label agreement")
+
 	replay := flag.Bool("replay", false, "replay synthetic workloads through the engine and exit")
 	sessions := flag.Int("sessions", 8, "replay: concurrent sessions")
 	n := flag.Int("n", 20000, "replay: accesses per session")
-	prefetcher := flag.String("prefetcher", "stride", "replay: prefetcher every session opens (none|bo|isb|stride|dart|online)")
+	prefetcher := flag.String("prefetcher", "stride", "replay: prefetcher every session opens (none|bo|isb|stride|dart|online|student)")
 	degree := flag.Int("degree", 4, "replay: prefetch degree")
 	qps := flag.Float64("qps", 0, "replay: aggregate target accesses/sec (0 = unthrottled)")
 	verify := flag.Bool("verify", true, "replay: require bit-identity with the offline simulator")
@@ -93,10 +107,12 @@ func main() {
 		}
 		fmt.Printf("training DART on %s (%d accesses)...\n", spec.Name, *trainN)
 		var err error
+		kdc := kd.DefaultConfig()
+		kdc.Epochs = 6
 		art, err = core.BuildDART(trace.Generate(spec, *trainN), core.Options{
 			Constraints:   config.Constraints{LatencyCycles: 100, StorageBytes: 1 << 20},
 			TeacherEpochs: 6,
-			KD:            kd.Config{Epochs: 6},
+			KD:            kdc,
 			FineTune:      true,
 			Seed:          1,
 		})
@@ -112,9 +128,13 @@ func main() {
 	}
 
 	var learner *online.Learner
+	if *useStudent || *prefetcher == "student" {
+		*useOnline = true // the distiller needs the teacher loop
+	}
 	if *useOnline || *prefetcher == "online" {
 		var err error
-		learner, err = buildLearner(art, *ckptDir, *swapInterval)
+		learner, err = buildLearner(art, *ckptDir, *swapInterval,
+			*useStudent || *prefetcher == "student", *distillInterval)
 		if err != nil {
 			fatalf("online learner: %v", err)
 		}
@@ -123,9 +143,17 @@ func main() {
 		}
 		fmt.Printf("online learner ready: serving v%d (checkpoints: %s, swap interval %v)\n",
 			learner.Serving().Version, orNone(*ckptDir), *swapInterval)
+		if learner.HasStudent() {
+			for _, skip := range learner.StudentStore().Skipped {
+				fmt.Printf("student checkpoint skipped: %s\n", skip)
+			}
+			fmt.Printf("student tier ready: serving student v%d (distill interval %v, A/B %v)\n",
+				learner.StudentServing().Version, *distillInterval, *shadowCompare)
+		}
 		learner.Start()
 		defer learner.Stop()
 		cfg.Online = learner
+		cfg.ShadowCompare = *shadowCompare
 	}
 
 	engine := serve.NewEngine(cfg)
@@ -177,6 +205,9 @@ func main() {
 	}
 	if learner != nil {
 		extras += " online"
+		if learner.HasStudent() {
+			extras += " student"
+		}
 	}
 	fmt.Printf("dart-serve listening on %s (prefetchers: none bo isb stride%s)\n", ln.Addr(), extras)
 	if err := srv.Serve(ln); err != nil {
@@ -190,7 +221,10 @@ func main() {
 // buildLearner wires the continual-learning subsystem: the architecture is
 // the DART student shape, warm-started from the trained student when -dart
 // also ran, random otherwise; a checkpoint in dir always wins (recovery).
-func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration) (*online.Learner, error) {
+// With student set, the distilled-student tier is enabled on a compact
+// architecture derived from the teacher's (nn.StudentConfig), its latency
+// and storage modelled with the same systolic-array complexity model.
+func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration, student bool, distillInterval time.Duration) (*online.Learner, error) {
 	data := dataprep.Default()
 	tcfg := nn.TransformerConfig{
 		T: data.History, DIn: data.InputDim(),
@@ -209,7 +243,7 @@ func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration) (
 		latency = config.NNLatency(art.Chosen.Model)
 		storage = config.NNStorageBits(art.Chosen.Model, 32) / 8
 	}
-	return online.NewLearner(online.Config{
+	cfg := online.Config{
 		Data: data,
 		New: func() nn.Layer {
 			return nn.NewTransformerPredictor(tcfg, rand.New(rand.NewSource(7)))
@@ -220,7 +254,21 @@ func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration) (
 		Latency:      latency,
 		StorageBytes: storage,
 		Seed:         7,
-	})
+	}
+	if student {
+		scfg := nn.StudentConfig(tcfg)
+		smodel := config.ModelConfig{
+			T: scfg.T, DI: scfg.DIn, DA: scfg.DModel, DF: scfg.DFF,
+			DO: scfg.DOut, H: scfg.Heads, L: scfg.Layers,
+		}
+		cfg.Student = func() nn.Layer {
+			return nn.NewTransformerPredictor(scfg, rand.New(rand.NewSource(13)))
+		}
+		cfg.DistillInterval = distillInterval
+		cfg.StudentLatency = config.NNLatency(smodel)
+		cfg.StudentStorageBytes = config.NNStorageBits(smodel, 32) / 8
+	}
+	return online.NewLearner(cfg)
 }
 
 // runReplay generates one synthetic trace per session (cycling through the
@@ -231,7 +279,7 @@ func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration) (
 // prefetcher — the online model changes under training, but delivery must
 // not.
 func runReplay(e *serve.Engine, learner *online.Learner, sessions, n int, opt serve.ReplayOptions, soak time.Duration, jsonOut string) {
-	if opt.Prefetcher == "online" && opt.Verify {
+	if (opt.Prefetcher == "online" || opt.Prefetcher == "student") && opt.Verify {
 		fmt.Println("verify: online model hot-swaps under training; checking completeness instead of bit-identity")
 		opt.Verify = false
 	}
@@ -287,6 +335,11 @@ func printLearner(l *online.Learner) {
 		st.Version, st.Published, st.Ingested, st.PerSec, st.Dropped, st.Useful, st.Late)
 	fmt.Printf("online: examples %d  trained %d (%d steps)  loss %.4f (trend %+.4f)\n",
 		st.Examples, st.Trained, st.Steps, st.Loss, st.LossTrend)
+	if l.HasStudent() {
+		fmt.Printf("student: v%d (%d published)  distilled %d (%d steps)  kd-loss %.4f (trend %+.4f)\n",
+			st.StudentVersion, st.StudentPublished, st.Distilled, st.DistillSteps,
+			st.DistillLoss, st.DistillTrend)
+	}
 }
 
 func orNone(s string) string {

@@ -48,10 +48,12 @@ func main() {
 
 func runApp(spec trace.AppSpec, n, degree int) {
 	recs := trace.Generate(spec, n)
+	kdc := kd.DefaultConfig()
+	kdc.Epochs = 6
 	art, err := core.BuildDART(recs, core.Options{
 		Constraints:   config.Constraints{LatencyCycles: 100, StorageBytes: 1 << 20},
 		TeacherEpochs: 6,
-		KD:            kd.Config{Epochs: 6},
+		KD:            kdc,
 		FineTune:      true,
 		Seed:          1,
 	})

@@ -6,18 +6,38 @@
 // Usage:
 //
 //	dart-train [-app mcf] [-n accesses] [-epochs N] [-tau cycles] [-storage bytes]
+//
+// With -distill the pipeline additionally distills the serving tier's
+// compact student (nn.StudentConfig of the configured architecture) from the
+// trained teacher, reporting its F1 next to the pipeline stages; -out
+// publishes both model classes — the configured network as the online
+// teacher and the compact one as the "student" class — into a versioned
+// checkpoint directory that `dart-serve -dart -online -student
+// -checkpoint-dir DIR` recovers on startup, bridging offline distillation
+// into the serving tier. (Without -dart the daemon's default architecture
+// differs and the recovery scan will skip the mismatched files.)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"dart/internal/config"
 	"dart/internal/core"
 	"dart/internal/kd"
+	"dart/internal/nn"
+	"dart/internal/online"
 	"dart/internal/trace"
 )
+
+// kdEpochs is kd.DefaultConfig with the epoch count overridden.
+func kdEpochs(n int) kd.Config {
+	c := kd.DefaultConfig()
+	c.Epochs = n
+	return c
+}
 
 func main() {
 	app := flag.String("app", "462.libquantum", "application (suffix match)")
@@ -27,6 +47,8 @@ func main() {
 	storage := flag.Int("storage", 1<<20, "storage constraint s in bytes")
 	fineTune := flag.Bool("finetune", true, "enable layer fine-tuning")
 	traceFile := flag.String("trace", "", "load a CSV LLC trace instead of generating one")
+	distill := flag.Bool("distill", false, "also distill the serving tier's compact student from the teacher")
+	out := flag.String("out", "", "distill: publish teacher+student model classes as versioned checkpoints into this directory")
 	flag.Parse()
 
 	var recs []trace.Record
@@ -56,7 +78,7 @@ func main() {
 	art, err := core.BuildDART(recs, core.Options{
 		Constraints:      config.Constraints{LatencyCycles: *tau, StorageBytes: *storage},
 		TeacherEpochs:    *epochs,
-		KD:               kd.Config{Epochs: *epochs},
+		KD:               kdEpochs(*epochs),
 		FineTune:         *fineTune,
 		TrainStudentNoKD: true,
 		Seed:             1,
@@ -76,4 +98,64 @@ func main() {
 	fmt.Printf("%-22s %8.3f\n", "Student w/o KD", art.F1StudentNoKD)
 	fmt.Printf("%-22s %8.3f\n", "Student (KD)", art.F1Student)
 	fmt.Printf("%-22s %8.3f\n", "DART (tables)", art.F1DART)
+
+	if *distill {
+		if err := distillServeStudent(art, *epochs, *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// distillServeStudent reuses the pipeline's teacher and data split to distill
+// the serving tier's compact student, and optionally publishes both model
+// classes into a dart-serve checkpoint directory.
+func distillServeStudent(art *core.Artifacts, epochs int, out string) error {
+	data := art.Opt.Data
+	tcfg := nn.TransformerConfig{
+		T: data.History, DIn: data.InputDim(),
+		DModel: art.Chosen.Model.DA, DFF: art.Chosen.Model.DF,
+		DOut: data.OutputDim(), Heads: art.Chosen.Model.H, Layers: art.Chosen.Model.L,
+	}
+	scfg := nn.StudentConfig(tcfg)
+	smodel := config.ModelConfig{
+		T: scfg.T, DI: scfg.DIn, DA: scfg.DModel, DF: scfg.DFF,
+		DO: scfg.DOut, H: scfg.Heads, L: scfg.Layers,
+	}
+	// Seed 13 matches dart-serve's student factory so recovered checkpoints
+	// restore into an identically-shaped network.
+	student := nn.NewTransformerPredictor(scfg, rand.New(rand.NewSource(13)))
+	d := kd.NewDistiller(art.Teacher, student, kdEpochs(epochs), rand.New(rand.NewSource(3)))
+	d.Run(art.Train.X, art.Train.Y)
+	f1 := core.EvaluateModelF1(student, art.Test)
+	fmt.Printf("%-22s %8.3f   (%d params, latency %d cycles, %.1f KB)\n",
+		"Serve student (KD)", f1, nn.ParamCount(student),
+		config.NNLatency(smodel), float64(config.NNStorageBits(smodel, 32))/8/1024)
+
+	if out == "" {
+		return nil
+	}
+	tStore, err := online.NewStore(func() nn.Layer {
+		return nn.NewTransformerPredictor(tcfg, rand.New(rand.NewSource(7)))
+	}, out)
+	if err != nil {
+		return err
+	}
+	tm, err := tStore.Publish(art.Student, nn.CheckpointMeta{Loss: 1 - art.F1Student})
+	if err != nil {
+		return err
+	}
+	sStore, err := online.NewClassStore(func() nn.Layer {
+		return nn.NewTransformerPredictor(scfg, rand.New(rand.NewSource(13)))
+	}, out, online.StudentClass)
+	if err != nil {
+		return err
+	}
+	sm, err := sStore.Publish(student, nn.CheckpointMeta{Loss: 1 - f1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npublished teacher v%d and student v%d to %s\n", tm.Version, sm.Version, out)
+	fmt.Printf("serve them with: dart-serve -dart -online -student -checkpoint-dir %s\n", out)
+	return nil
 }

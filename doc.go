@@ -40,10 +40,12 @@
 //	                   QPS-paced replay driver with soak mode
 //	internal/online    continual learning: per-session lock-free feedback
 //	                   rings, streaming example assembly, duty-cycled
-//	                   nn.Trainer fine-tuning of a shadow model, and a
-//	                   versioned store (atomic snapshots, CRC-validated
-//	                   checkpoints) hot-swapped into serving with no batch
-//	                   ever mixing model versions
+//	                   nn.Trainer fine-tuning of a shadow model, an online
+//	                   teacher→student distiller (kd.Loss over the same
+//	                   stream), and a versioned store with independent model
+//	                   classes (atomic snapshots, CRC-validated checkpoints)
+//	                   hot-swapped into serving with no batch ever mixing
+//	                   model versions
 //
 // Parallelism model: every hot path — blocked matmul, batched PQ encoding
 // (pq.EncodeBatch, behind the linear table kernels), batched hierarchy
@@ -63,10 +65,17 @@
 // shadow model that is published as immutable versioned snapshots
 // (CRC-validated checkpoints under -checkpoint-dir, recovered on restart)
 // and hot-swapped between inference batches with zero downtime; the wire
-// protocol gains model/swap/rollback verbs. See internal/serve/README.md
-// for the architecture and wire protocol, internal/online/README.md for the
-// feedback→train→publish→swap lifecycle and its version-consistency
-// invariants, and BENCH_serve.json for the measured serving baseline.
+// protocol gains model/swap/rollback verbs with a model-class selector.
+// With -student the daemon also serves the paper's deployment model (Sec.
+// VI-D): a compact student continually distilled from the published teacher
+// with the T-Sigmoid/Bernoulli-KL loss, published as an independent
+// "student" model class, served with teacher fallback and an optional A/B
+// shadow-compare mode reporting student-vs-teacher agreement; dart-train
+// -distill bridges offline distillation into the same checkpoint
+// directories. See internal/serve/README.md for the architecture and wire
+// protocol, internal/online/README.md for the feedback→train→publish→swap
+// lifecycle, its model classes, and version-consistency invariants, and
+// BENCH_serve.json for the measured serving baseline.
 //
 // The benchmark files in this directory regenerate every table and figure of
 // the paper's evaluation section; see EXPERIMENTS.md for the index and

@@ -22,10 +22,12 @@ func main() {
 	spec, _ := trace.AppByName("410.bwaves")
 	recs := trace.Generate(spec, 12000)
 
+	kdc := kd.DefaultConfig()
+	kdc.Epochs = 6
 	art, err := core.BuildDART(recs, core.Options{
 		Constraints:   config.Constraints{LatencyCycles: 100, StorageBytes: 1 << 20},
 		TeacherEpochs: 6,
-		KD:            kd.Config{Epochs: 6},
+		KD:            kdc,
 		FineTune:      true,
 		Seed:          1,
 	})

@@ -56,6 +56,9 @@ func (o Options) withDefaults() Options {
 	if o.Constraints.LatencyCycles == 0 {
 		o.Constraints = config.Constraints{LatencyCycles: 100, StorageBytes: 1 << 20}
 	}
+	if o.KD == (kd.Config{}) {
+		o.KD = kd.DefaultConfig()
+	}
 	if o.TeacherDModel == 0 {
 		o.TeacherDModel = 64
 	}

@@ -6,6 +6,7 @@
 package kd
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -38,32 +39,54 @@ func clamp(x, lo, hi float64) float64 {
 	return x
 }
 
-// Config holds the distillation hyperparameters.
+// Config holds the distillation hyperparameters. Lambda and Temperature are
+// taken literally — λ = 0 requests pure hard-loss training and λ = 1 pure KD,
+// both legitimate boundary settings of Eq. 25 — so callers wanting the
+// experiment defaults start from DefaultConfig and override fields, or set a
+// field to NaN to select its default explicitly. A zero Temperature is a
+// configuration error (the T-Sigmoid divides by it), reported by panic rather
+// than silently replaced.
 type Config struct {
-	Lambda      float64 // weight of the soft KD loss in Eq. 25
-	Temperature float64 // T in the T-Sigmoid
+	Lambda      float64 // weight of the soft KD loss in Eq. 25; NaN selects the default
+	Temperature float64 // T in the T-Sigmoid; NaN selects the default
 	LR          float64
 	Batch       int
 	Epochs      int
 }
 
-// withDefaults fills unset hyperparameters with the values used in our
-// experiments.
+// DefaultConfig returns the hyperparameters used in our experiments:
+// λ = 0.5, T = 2, Adam at 1e-3, batch 32, 10 epochs.
+func DefaultConfig() Config {
+	return Config{Lambda: 0.5, Temperature: 2, LR: 1e-3, Batch: 32, Epochs: 10}
+}
+
+// withDefaults resolves NaN sentinels and fills the remaining unset
+// hyperparameters (whose zero values are meaningless) with the DefaultConfig
+// values. Lambda and Temperature are validated, not defaulted, on zero: an
+// earlier revision treated 0 as "unset", which made pure hard-loss training
+// (λ = 0) impossible to request.
 func (c Config) withDefaults() Config {
-	if c.Lambda == 0 {
-		c.Lambda = 0.5
+	def := DefaultConfig()
+	if math.IsNaN(c.Lambda) {
+		c.Lambda = def.Lambda
 	}
-	if c.Temperature == 0 {
-		c.Temperature = 2
+	if c.Lambda < 0 || c.Lambda > 1 {
+		panic(fmt.Sprintf("kd: Lambda %v outside [0, 1]", c.Lambda))
+	}
+	if math.IsNaN(c.Temperature) {
+		c.Temperature = def.Temperature
+	}
+	if c.Temperature <= 0 {
+		panic(fmt.Sprintf("kd: Temperature %v must be positive (the zero value no longer selects the default; start from kd.DefaultConfig)", c.Temperature))
 	}
 	if c.LR == 0 {
-		c.LR = 1e-3
+		c.LR = def.LR
 	}
 	if c.Batch == 0 {
-		c.Batch = 32
+		c.Batch = def.Batch
 	}
 	if c.Epochs == 0 {
-		c.Epochs = 10
+		c.Epochs = def.Epochs
 	}
 	return c
 }

@@ -135,7 +135,9 @@ func TestDistillationLossDecreases(t *testing.T) {
 	student := nn.NewTransformerPredictor(nn.TransformerConfig{
 		T: 4, DIn: 4, DModel: 8, DFF: 8, DOut: 4, Heads: 2, Layers: 1,
 	}, rng)
-	d := NewDistiller(teacher, student, Config{Epochs: 12, LR: 0.005}, rng)
+	cfg := DefaultConfig()
+	cfg.Epochs, cfg.LR = 12, 0.005
+	d := NewDistiller(teacher, student, cfg, rng)
 	losses := d.Run(x, y)
 	if len(losses) != 12 {
 		t.Fatalf("expected 12 epoch losses, got %d", len(losses))
@@ -153,7 +155,9 @@ func TestDistilledStudentTracksTeacher(t *testing.T) {
 	}, rng)
 	tl := teacher.Forward(x)
 	before := mat.CosineSimilarity(student.Forward(x).AsMatrix(), tl.AsMatrix())
-	d := NewDistiller(teacher, student, Config{Epochs: 20, LR: 0.005, Lambda: 0.8}, rng)
+	cfg := DefaultConfig()
+	cfg.Epochs, cfg.LR, cfg.Lambda = 20, 0.005, 0.8
+	d := NewDistiller(teacher, student, cfg, rng)
 	d.Run(x, y)
 	after := mat.CosineSimilarity(student.Forward(x).AsMatrix(), tl.AsMatrix())
 	if after <= before {
@@ -165,8 +169,94 @@ func TestDistilledStudentTracksTeacher(t *testing.T) {
 }
 
 func TestConfigDefaults(t *testing.T) {
-	c := Config{}.withDefaults()
-	if c.Lambda == 0 || c.Temperature == 0 || c.LR == 0 || c.Batch == 0 || c.Epochs == 0 {
-		t.Fatalf("defaults not applied: %+v", c)
+	// NaN sentinels select the defaults; LR/Batch/Epochs still zero-fill.
+	c := Config{Lambda: math.NaN(), Temperature: math.NaN()}.withDefaults()
+	def := DefaultConfig()
+	if c != def {
+		t.Fatalf("NaN sentinels resolved to %+v, want %+v", c, def)
 	}
+	if def.Lambda != 0.5 || def.Temperature != 2 {
+		t.Fatalf("unexpected experiment defaults: %+v", def)
+	}
+}
+
+// TestLambdaBoundariesHonored is the regression test for the zero-sentinel
+// bug: an explicitly-set Lambda of 0 (pure hard loss) used to be clobbered to
+// 0.5 by withDefaults, and Temperature 0 silently became 2. Both boundary
+// lambdas must now survive config resolution intact.
+func TestLambdaBoundariesHonored(t *testing.T) {
+	for _, lambda := range []float64{0, 1} {
+		c := Config{Lambda: lambda, Temperature: 2}.withDefaults()
+		if c.Lambda != lambda {
+			t.Fatalf("Lambda %v clobbered to %v", lambda, c.Lambda)
+		}
+	}
+	// The distiller must keep the boundary value too (it resolves defaults
+	// in its constructor).
+	rng := rand.New(rand.NewSource(1))
+	cfg := nn.TransformerConfig{T: 2, DIn: 2, DModel: 4, DFF: 4, DOut: 2, Heads: 2, Layers: 1}
+	teacher := nn.NewTransformerPredictor(cfg, rng)
+	student := nn.NewTransformerPredictor(cfg, rng)
+	d := NewDistiller(teacher, student, Config{Lambda: 0, Temperature: 2, Epochs: 1}, rng)
+	if d.Cfg.Lambda != 0 {
+		t.Fatalf("NewDistiller clobbered Lambda 0 to %v", d.Cfg.Lambda)
+	}
+}
+
+// TestPureHardLossTrainsLikeBCE: with λ = 0 the distiller's epoch loss must
+// equal plain BCE training of the same student — the teacher contributes
+// nothing. This fails on the pre-fix code, which silently trained at λ = 0.5.
+func TestPureHardLossTrainsLikeBCE(t *testing.T) {
+	teacher, x, y := distillationSetup(7)
+	arch := nn.TransformerConfig{T: 4, DIn: 4, DModel: 8, DFF: 8, DOut: 4, Heads: 2, Layers: 1}
+	mkStudent := func() *nn.Sequential {
+		return nn.NewTransformerPredictor(arch, rand.New(rand.NewSource(9)))
+	}
+	a, b := mkStudent(), mkStudent()
+
+	d := NewDistiller(teacher, a, Config{Lambda: 0, Temperature: 2, Epochs: 2, LR: 0.005}, rand.New(rand.NewSource(5)))
+	kdLosses := d.Run(x, y)
+
+	tr := nn.NewTrainer(b, nn.NewAdam(0.005), 32, rand.New(rand.NewSource(5)))
+	for e := 0; e < 2; e++ {
+		bce := tr.TrainEpoch(x, y, nn.BCEWithLogits)
+		if math.Abs(kdLosses[e]-bce) > 1e-12 {
+			t.Fatalf("epoch %d: λ=0 distillation loss %v != plain BCE %v", e, kdLosses[e], bce)
+		}
+	}
+}
+
+// TestPureSoftLossIgnoresTargets: at λ = 1 the loss must not depend on the
+// hard targets at all.
+func TestPureSoftLossIgnoresTargets(t *testing.T) {
+	s := mat.TensorFromSlice(1, 1, 3, []float64{0.5, -1, 2})
+	tt := mat.TensorFromSlice(1, 1, 3, []float64{1.5, 0, 1})
+	y1 := mat.TensorFromSlice(1, 1, 3, []float64{1, 0, 1})
+	y2 := mat.TensorFromSlice(1, 1, 3, []float64{0, 1, 0})
+	l1, g1 := Loss(s, tt, y1, 1, 2)
+	l2, g2 := Loss(s, tt, y2, 1, 2)
+	if l1 != l2 {
+		t.Fatalf("λ=1 loss depends on targets: %v vs %v", l1, l2)
+	}
+	for i := range g1.Data {
+		if g1.Data[i] != g2.Data[i] {
+			t.Fatal("λ=1 gradient depends on targets")
+		}
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	expectPanic := func(name string, c Config) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: withDefaults did not panic", name)
+			}
+		}()
+		c.withDefaults()
+	}
+	expectPanic("zero temperature", Config{Lambda: 0.5})
+	expectPanic("negative temperature", Config{Lambda: 0.5, Temperature: -1})
+	expectPanic("lambda above 1", Config{Lambda: 1.5, Temperature: 2})
+	expectPanic("negative lambda", Config{Lambda: -0.1, Temperature: 2})
 }

@@ -42,9 +42,11 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(len(h.samples))
 }
 
-// Merge folds other's samples into h.
+// Merge folds other's samples into h. Merging a histogram into itself is a
+// no-op: h already contains its own samples, and the unguarded append would
+// silently double every sample and the sum.
 func (h *Histogram) Merge(other *Histogram) {
-	if other == nil || len(other.samples) == 0 {
+	if other == nil || other == h || len(other.samples) == 0 {
 		return
 	}
 	h.samples = append(h.samples, other.samples...)

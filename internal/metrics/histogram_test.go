@@ -125,6 +125,27 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramSelfMergeIsNoOp is the regression test for the aliasing bug:
+// h.Merge(h) used to append the sample slice to itself and double the sum,
+// silently double-counting every observation.
+func TestHistogramSelfMergeIsNoOp(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		h.Observe(v)
+	}
+	count, sum, p50 := h.Count(), h.Sum(), h.Percentile(50)
+	h.Merge(&h)
+	if h.Count() != count {
+		t.Fatalf("self-merge double-counted samples: %d, want %d", h.Count(), count)
+	}
+	if h.Sum() != sum {
+		t.Fatalf("self-merge doubled sum: %v, want %v", h.Sum(), sum)
+	}
+	if h.Percentile(50) != p50 {
+		t.Fatalf("self-merge changed P50: %v, want %v", h.Percentile(50), p50)
+	}
+}
+
 func TestObserveDuration(t *testing.T) {
 	var h Histogram
 	h.ObserveDuration(1500 * time.Microsecond)

@@ -33,9 +33,13 @@ const maxCheckpointSection = 1 << 30
 
 // CheckpointMeta is the header the online-learning subsystem stores alongside
 // model parameters: enough to identify the snapshot without decoding it.
+// Class was added for the distilled-student serving tier; gob decoding leaves
+// it empty on checkpoints written before it existed, which the store treats
+// as the default class.
 type CheckpointMeta struct {
 	Format   int     // checkpoint format revision (checkpointFormat)
 	Model    string  // architecture label (Layer.Name of the saved model)
+	Class    string  // model class ("" = online teacher, "student" = distilled student)
 	Version  uint64  // model-store version number
 	Examples uint64  // cumulative training examples consumed
 	Steps    uint64  // cumulative optimizer steps taken

@@ -297,3 +297,38 @@ func TestSequentialForwardUpTo(t *testing.T) {
 		t.Fatal("ForwardUpTo(len) != Forward")
 	}
 }
+
+// TestStudentConfigCompact: the derived student must be a valid transformer
+// config that is strictly smaller than its teacher for every teacher in the
+// configurator's design space, and idempotent shrinking must bottom out
+// rather than producing a degenerate architecture.
+func TestStudentConfigCompact(t *testing.T) {
+	teachers := []TransformerConfig{
+		{T: 8, DIn: 10, DModel: 64, DFF: 128, DOut: 64, Heads: 4, Layers: 2},
+		{T: 8, DIn: 10, DModel: 32, DFF: 64, DOut: 64, Heads: 2, Layers: 1},
+		{T: 4, DIn: 5, DModel: 16, DFF: 64, DOut: 16, Heads: 2, Layers: 2},
+	}
+	for _, tc := range teachers {
+		s := StudentConfig(tc)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("student of %+v invalid: %v", tc, err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		tp := ParamCount(NewTransformerPredictor(tc, rng))
+		sp := ParamCount(NewTransformerPredictor(s, rng))
+		if sp >= tp {
+			t.Fatalf("student of %+v not smaller: %d params vs teacher %d", tc, sp, tp)
+		}
+		if s.T != tc.T || s.DIn != tc.DIn || s.DOut != tc.DOut {
+			t.Fatalf("student changed interface dims: %+v -> %+v", tc, s)
+		}
+	}
+	// Repeated shrinking must stay valid (bottoms out at 2 heads x 2 dims).
+	c := teachers[0]
+	for i := 0; i < 6; i++ {
+		c = StudentConfig(c)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("shrink %d invalid: %v (%+v)", i, err, c)
+		}
+	}
+}

@@ -34,6 +34,29 @@ func (c TransformerConfig) Validate() error {
 	return nil
 }
 
+// StudentConfig derives the compact student architecture the distillation
+// tier serves from a teacher's: half the encoder depth, attention width, and
+// feed-forward width, clamped so the result stays a valid (head-divisible)
+// transformer. The shrink is the knob behind the serving tier's latency and
+// storage win — roughly 4x fewer parameters per halving of DModel/DFF.
+func StudentConfig(t TransformerConfig) TransformerConfig {
+	s := t
+	s.Layers = (t.Layers + 1) / 2
+	if s.Heads > 2 {
+		s.Heads = 2
+	}
+	s.DModel = t.DModel / 2
+	if min := 2 * s.Heads; s.DModel < min {
+		s.DModel = min
+	}
+	s.DModel -= s.DModel % s.Heads
+	s.DFF = t.DFF / 2
+	if s.DFF < s.DModel {
+		s.DFF = s.DModel
+	}
+	return s
+}
+
 // NewTransformerPredictor builds the predictor as a flat Sequential whose
 // layer sequence mirrors Algorithm 1's tabularization walk:
 //

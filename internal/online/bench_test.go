@@ -1,8 +1,13 @@
 package online
 
 import (
+	"math/rand"
 	"testing"
 
+	"dart/internal/config"
+	"dart/internal/dataprep"
+	"dart/internal/kd"
+	"dart/internal/mat"
 	"dart/internal/nn"
 	"dart/internal/sim"
 )
@@ -28,6 +33,88 @@ func BenchmarkFeedbackIngest(b *testing.B) {
 		if i&1023 == 1023 {
 			r.Drain(drop)
 		}
+	}
+}
+
+// benchTeacherCfg is the daemon's default online-teacher architecture over
+// the default data config — the model class the student tier distills from.
+func benchTeacherCfg() (dataprep.Config, nn.TransformerConfig) {
+	data := dataprep.Default()
+	return data, nn.TransformerConfig{
+		T: data.History, DIn: data.InputDim(),
+		DModel: 32, DFF: 64, DOut: data.OutputDim(), Heads: 2, Layers: 1,
+	}
+}
+
+// modelOf converts a transformer config to the complexity model's notation.
+func modelOf(c nn.TransformerConfig) config.ModelConfig {
+	return config.ModelConfig{T: c.T, DI: c.DIn, DA: c.DModel, DF: c.DFF, DO: c.DOut, H: c.Heads, L: c.Layers}
+}
+
+// benchInfer measures one admission-batcher-sized forward pass of the given
+// architecture and reports its modelled parameter storage as a custom metric
+// — dart-benchcheck's serve gate reads both numbers to hold the "student
+// strictly faster and smaller than teacher" line.
+func benchInfer(b *testing.B, cfg nn.TransformerConfig) {
+	net := nn.NewTransformerPredictor(cfg, rand.New(rand.NewSource(5)))
+	const batch = 16
+	in := mat.NewTensor(batch, cfg.T, cfg.DIn)
+	rng := rand.New(rand.NewSource(6))
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(in)
+	}
+	b.ReportMetric(float64(config.NNStorageBits(modelOf(cfg), 32)/8), "storage_bytes")
+}
+
+// BenchmarkTeacherInfer is the teacher-class baseline of the student tier's
+// latency/storage win: one batched forward pass of the online teacher.
+func BenchmarkTeacherInfer(b *testing.B) {
+	_, tcfg := benchTeacherCfg()
+	benchInfer(b, tcfg)
+}
+
+// BenchmarkStudentInfer is the number the deployment story rests on: the
+// distilled student must be strictly faster (ns/op) and smaller
+// (storage_bytes) than the teacher. Gated in CI against both the absolute
+// baseline and, same-run, the teacher benchmark.
+func BenchmarkStudentInfer(b *testing.B) {
+	_, tcfg := benchTeacherCfg()
+	benchInfer(b, nn.StudentConfig(tcfg))
+}
+
+// BenchmarkDistillCycle measures one duty-cycled distillation step as the
+// learner takes it: a teacher forward pass for soft targets, kd.Loss, a
+// student forward/backward, and an Adam step.
+func BenchmarkDistillCycle(b *testing.B) {
+	data, tcfg := benchTeacherCfg()
+	scfg := nn.StudentConfig(tcfg)
+	teacher := nn.NewTransformerPredictor(tcfg, rand.New(rand.NewSource(5)))
+	student := nn.NewTransformerPredictor(scfg, rand.New(rand.NewSource(13)))
+	opt := nn.NewAdam(1e-3)
+	kdc := kd.DefaultConfig()
+	const batch = 32
+	bx := mat.NewTensor(batch, data.History, data.InputDim())
+	by := mat.NewTensor(batch, 1, data.OutputDim())
+	rng := rand.New(rand.NewSource(6))
+	for i := range bx.Data {
+		bx.Data[i] = rng.NormFloat64()
+	}
+	for i := range by.Data {
+		by.Data[i] = float64(rng.Intn(2))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl := teacher.Forward(bx)
+		sl := student.Forward(bx)
+		_, grad := kd.Loss(sl, tl, by, kdc.Lambda, kdc.Temperature)
+		student.Backward(grad)
+		opt.Step(student.Params())
 	}
 }
 

@@ -28,12 +28,14 @@ package online
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dart/internal/dataprep"
+	"dart/internal/kd"
 	"dart/internal/mat"
 	"dart/internal/nn"
 	"dart/internal/sim"
@@ -56,6 +58,22 @@ type Config struct {
 
 	Latency      int // modelled inference latency of the online prefetcher (cycles)
 	StorageBytes int // modelled storage of the online prefetcher
+
+	// Student, when non-nil, enables the distilled-student tier (the paper's
+	// deployment story, Sec. VI-D): alongside fine-tuning the shadow teacher,
+	// the learner distills this compact architecture from the currently
+	// published teacher version with kd.Loss over the same streamed examples,
+	// and publishes student snapshots as the "student" model class of the
+	// versioned store. Every call must produce identical shapes, with the
+	// same input/output dims as New.
+	Student     func() nn.Layer
+	StudentInit nn.Layer // optional warm start (e.g. the offline-distilled student)
+
+	Distill         kd.Config     // λ/temperature/LR of Eq. 25 (zero value: kd.DefaultConfig)
+	DistillInterval time.Duration // student auto-publish cadence (default: SwapInterval; <0 disables)
+
+	StudentLatency      int // modelled inference latency of the student prefetcher (cycles)
+	StudentStorageBytes int // modelled storage of the student prefetcher
 
 	Seed int64
 }
@@ -85,11 +103,21 @@ func (c Config) withDefaults() Config {
 	if c.SwapInterval == 0 {
 		c.SwapInterval = 30 * time.Second
 	}
+	if c.DistillInterval == 0 {
+		c.DistillInterval = c.SwapInterval
+	}
+	if c.Distill == (kd.Config{}) {
+		c.Distill = kd.DefaultConfig()
+	}
 	if c.Data.History == 0 {
 		c.Data = dataprep.Default()
 	}
 	return c
 }
+
+// StudentClass names the distilled-student model class in the versioned
+// store (checkpoint files, metadata, and the wire protocol's class selector).
+const StudentClass = "student"
 
 // sessionTap is one attached session: its event ring and example builder.
 type sessionTap struct {
@@ -118,6 +146,26 @@ type Learner struct {
 	lossSeeded bool
 	lastPub    time.Time
 	stepsAtPub uint64
+
+	// Distilled-student tier; all nil/zero unless cfg.Student is set.
+	// Guarded by trainMu like the teacher shadow. distTeacher is a private
+	// clone of the currently published teacher used as the frozen KD source —
+	// a published Model.Net's Forward is not reentrant, and the serving
+	// batcher owns that instance.
+	studentStore   *Store
+	student        nn.Layer // student shadow being distilled
+	sopt           nn.Optimizer
+	distTeacher    nn.Layer
+	distTeacherVer uint64
+	distLossFast   float64
+	distLossSlow   float64
+	distSeeded     bool
+	lastStuPub     time.Time
+	distAtPub      uint64
+
+	distSteps        atomic.Uint64
+	distilled        atomic.Uint64
+	studentPublished atomic.Uint64
 
 	// buf is the example reservoir; loop goroutine only.
 	buf   []example
@@ -155,6 +203,20 @@ func NewLearner(cfg Config) (*Learner, error) {
 	if err := cfg.Data.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Student != nil {
+		if math.IsNaN(cfg.Distill.Lambda) {
+			cfg.Distill.Lambda = kd.DefaultConfig().Lambda
+		}
+		if math.IsNaN(cfg.Distill.Temperature) {
+			cfg.Distill.Temperature = kd.DefaultConfig().Temperature
+		}
+		if cfg.Distill.Lambda < 0 || cfg.Distill.Lambda > 1 {
+			return nil, fmt.Errorf("online: Distill.Lambda %v outside [0, 1]", cfg.Distill.Lambda)
+		}
+		if cfg.Distill.Temperature <= 0 {
+			return nil, fmt.Errorf("online: Distill.Temperature %v must be positive", cfg.Distill.Temperature)
+		}
+	}
 	store, err := NewStore(cfg.New, cfg.Dir)
 	if err != nil {
 		return nil, err
@@ -184,9 +246,48 @@ func NewLearner(cfg Config) (*Learner, error) {
 		}
 	}
 	l.tr = nn.NewTrainer(l.shadow, nn.NewAdam(cfg.LR), cfg.BatchSize, l.rng)
+	if cfg.Student != nil {
+		if err := l.initStudent(); err != nil {
+			return nil, err
+		}
+	}
 	l.lastPub = time.Now()
+	l.lastStuPub = time.Now()
 	l.start = time.Now()
 	return l, nil
+}
+
+// initStudent wires the distilled-student tier: its class store (recovering
+// the newest good student checkpoint when one exists), the student shadow,
+// its own optimizer, and the private teacher clone distillation reads from.
+func (l *Learner) initStudent() error {
+	store, err := NewClassStore(l.cfg.Student, l.cfg.Dir, StudentClass)
+	if err != nil {
+		return err
+	}
+	l.studentStore = store
+	l.student = l.cfg.Student()
+	l.distTeacher = l.cfg.New()
+	if m := store.Load(); m != nil {
+		if err := nn.CopyParams(l.student, m.Net); err != nil {
+			return fmt.Errorf("online: recovered student checkpoint: %w", err)
+		}
+	} else {
+		if l.cfg.StudentInit != nil {
+			if err := nn.CopyParams(l.student, l.cfg.StudentInit); err != nil {
+				return fmt.Errorf("online: student warm start: %w", err)
+			}
+		}
+		if _, err := l.publishStudentLocked(); err != nil {
+			return err
+		}
+	}
+	lr := l.cfg.Distill.LR
+	if lr == 0 {
+		lr = l.cfg.LR
+	}
+	l.sopt = nn.NewAdam(lr)
+	return nil
 }
 
 // Data returns the input/label construction config sessions must share.
@@ -205,6 +306,29 @@ func (l *Learner) Store() *Store { return l.store }
 // Serving returns the current published model version. Never nil once
 // NewLearner has returned.
 func (l *Learner) Serving() *Model { return l.store.Load() }
+
+// HasStudent reports whether the distilled-student tier is enabled.
+func (l *Learner) HasStudent() bool { return l.studentStore != nil }
+
+// StudentStore exposes the student class of the versioned store; nil when
+// the tier is disabled.
+func (l *Learner) StudentStore() *Store { return l.studentStore }
+
+// StudentServing returns the current published student version, or nil when
+// the tier is disabled. With the tier enabled it is never nil once
+// NewLearner has returned.
+func (l *Learner) StudentServing() *Model {
+	if l.studentStore == nil {
+		return nil
+	}
+	return l.studentStore.Load()
+}
+
+// StudentLatency is the modelled inference latency of the student prefetcher.
+func (l *Learner) StudentLatency() int { return l.cfg.StudentLatency }
+
+// StudentStorageBytes is the modelled storage of the student prefetcher.
+func (l *Learner) StudentStorageBytes() int { return l.cfg.StudentStorageBytes }
 
 // Attach registers a session and returns the ring its actor pushes events
 // into. The caller must Detach with the same id when the session closes.
@@ -243,6 +367,9 @@ func (l *Learner) Stop() {
 		defer l.trainMu.Unlock()
 		if l.steps.Load() > l.stepsAtPub {
 			_, _ = l.publishLocked() // best-effort final flush
+		}
+		if l.student != nil && l.distSteps.Load() > l.distAtPub {
+			_, _ = l.publishStudentLocked()
 		}
 	})
 }
@@ -312,12 +439,21 @@ func (l *Learner) maybeTrain() {
 	l.trainMu.Lock()
 	t0 := time.Now()
 	l.trainStepLocked()
+	if l.student != nil {
+		l.distillStepLocked()
+	}
 	l.trainNs.Add(time.Since(t0).Nanoseconds())
 	auto := l.cfg.SwapInterval > 0 &&
 		time.Since(l.lastPub) >= l.cfg.SwapInterval &&
 		l.steps.Load() > l.stepsAtPub
 	if auto {
 		_, _ = l.publishLocked() // on failure serving keeps the previous version
+	}
+	if l.student != nil &&
+		l.cfg.DistillInterval > 0 &&
+		time.Since(l.lastStuPub) >= l.cfg.DistillInterval &&
+		l.distSteps.Load() > l.distAtPub {
+		_, _ = l.publishStudentLocked()
 	}
 	l.trainMu.Unlock()
 }
@@ -346,6 +482,43 @@ func (l *Learner) trainStepLocked() {
 	l.steps.Add(1)
 }
 
+// distillStepLocked takes one knowledge-distillation minibatch step on the
+// student shadow: teacher logits come from a private clone of the currently
+// published teacher version (refreshed on version change — the serving
+// batcher owns the published instance, whose Forward is not reentrant), the
+// combined soft+hard loss and its gradient from kd.Loss over the same
+// reservoir the teacher fine-tunes on. Caller holds trainMu.
+func (l *Learner) distillStepLocked() {
+	if m := l.store.Load(); m != nil && m.Version != l.distTeacherVer {
+		if err := nn.CopyParams(l.distTeacher, m.Net); err == nil {
+			l.distTeacherVer = m.Version
+		}
+	}
+	b := l.cfg.BatchSize
+	din := l.cfg.Data.InputDim()
+	bx := mat.NewTensor(b, l.cfg.Data.History, din)
+	by := mat.NewTensor(b, 1, l.cfg.Data.OutputDim())
+	for i := 0; i < b; i++ {
+		ex := l.buf[l.rng.Intn(l.bufN)]
+		copy(bx.Sample(i).Data, ex.x)
+		copy(by.Sample(i).Data, ex.y)
+	}
+	teacherLogits := l.distTeacher.Forward(bx)
+	studentLogits := l.student.Forward(bx)
+	loss, grad := kd.Loss(studentLogits, teacherLogits, by,
+		l.cfg.Distill.Lambda, l.cfg.Distill.Temperature)
+	l.student.Backward(grad)
+	l.sopt.Step(l.student.Params())
+	if !l.distSeeded {
+		l.distLossFast, l.distLossSlow, l.distSeeded = loss, loss, true
+	} else {
+		l.distLossFast += 0.2 * (loss - l.distLossFast)
+		l.distLossSlow += 0.02 * (loss - l.distLossSlow)
+	}
+	l.distilled.Add(uint64(b))
+	l.distSteps.Add(1)
+}
+
 // publishLocked snapshots the shadow into the store. Caller holds trainMu
 // (or is the NewLearner constructor, before any concurrency exists).
 func (l *Learner) publishLocked() (*Model, error) {
@@ -360,6 +533,23 @@ func (l *Learner) publishLocked() (*Model, error) {
 	l.published.Add(1)
 	l.stepsAtPub = l.steps.Load()
 	l.lastPub = time.Now()
+	return m, nil
+}
+
+// publishStudentLocked snapshots the student shadow into the student class
+// store. Caller holds trainMu (or is the constructor).
+func (l *Learner) publishStudentLocked() (*Model, error) {
+	m, err := l.studentStore.Publish(l.student, nn.CheckpointMeta{
+		Examples: l.distilled.Load(),
+		Steps:    l.distSteps.Load(),
+		Loss:     l.distLossFast,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l.studentPublished.Add(1)
+	l.distAtPub = l.distSteps.Load()
+	l.lastStuPub = time.Now()
 	return m, nil
 }
 
@@ -390,6 +580,42 @@ func (l *Learner) Rollback() (*Model, error) {
 	return m, nil
 }
 
+// SwapStudent force-publishes the current student shadow as a new student
+// version immediately (the serve protocol's "swap" verb with the student
+// class selector).
+func (l *Learner) SwapStudent() (*Model, error) {
+	if l.studentStore == nil {
+		return nil, fmt.Errorf("online: no distilled-student tier configured")
+	}
+	l.trainMu.Lock()
+	defer l.trainMu.Unlock()
+	return l.publishStudentLocked()
+}
+
+// RollbackStudent reverts the served student to the previously published
+// version and resets the student shadow (and its optimizer state) to those
+// weights, mirroring Rollback for the teacher class.
+func (l *Learner) RollbackStudent() (*Model, error) {
+	if l.studentStore == nil {
+		return nil, fmt.Errorf("online: no distilled-student tier configured")
+	}
+	l.trainMu.Lock()
+	defer l.trainMu.Unlock()
+	m, err := l.studentStore.Rollback()
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.CopyParams(l.student, m.Net); err != nil {
+		return nil, fmt.Errorf("online: student rollback: %w", err)
+	}
+	lr := l.cfg.Distill.LR
+	if lr == 0 {
+		lr = l.cfg.LR
+	}
+	l.sopt = nn.NewAdam(lr)
+	return m, nil
+}
+
 // Stats is a point-in-time snapshot of the learner.
 type Stats struct {
 	Version   uint64  // currently served model version
@@ -405,6 +631,14 @@ type Stats struct {
 	Loss      float64 // online loss EWMA (fast horizon)
 	LossTrend float64 // fast minus slow EWMA; negative = improving
 	PerSec    float64 // feedback-event ingest throughput since start
+
+	// Distilled-student tier; all zero when the tier is disabled.
+	StudentVersion   uint64  // currently served student version
+	StudentPublished uint64  // student versions published since start
+	Distilled        uint64  // examples consumed by distillation steps
+	DistillSteps     uint64  // distillation optimizer steps taken
+	DistillLoss      float64 // combined KD+BCE loss EWMA (fast horizon)
+	DistillTrend     float64 // fast minus slow EWMA; negative = improving
 }
 
 // Stats snapshots the learner's counters.
@@ -428,9 +662,19 @@ func (l *Learner) Stats() Stats {
 		st.Dropped += t.ring.Dropped()
 	}
 	l.tapMu.Unlock()
+	if l.studentStore != nil {
+		st.StudentPublished = l.studentPublished.Load()
+		st.Distilled = l.distilled.Load()
+		st.DistillSteps = l.distSteps.Load()
+		if m := l.studentStore.Load(); m != nil {
+			st.StudentVersion = m.Version
+		}
+	}
 	l.trainMu.Lock()
 	st.Loss = l.lossFast
 	st.LossTrend = l.lossFast - l.lossSlow
+	st.DistillLoss = l.distLossFast
+	st.DistillTrend = l.distLossFast - l.distLossSlow
 	l.trainMu.Unlock()
 	if el := time.Since(l.start).Seconds(); el > 0 {
 		st.PerSec = float64(st.Ingested) / el

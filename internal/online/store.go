@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -35,8 +36,10 @@ const keepVersions = 8
 // checkpoint file per published version, written atomically (temp file +
 // rename) so a crash can never leave a half-written current checkpoint.
 type Store struct {
-	fresh func() nn.Layer // architecture factory for clones and reloads
-	dir   string          // "" disables checkpointing
+	fresh  func() nn.Layer // architecture factory for clones and reloads
+	dir    string          // "" disables checkpointing
+	class  string          // model class ("" = default/teacher)
+	prefix string          // checkpoint filename prefix for this class
 
 	cur atomic.Pointer[Model]
 
@@ -50,25 +53,45 @@ type Store struct {
 	Skipped []string
 }
 
-// NewStore builds a store over the given architecture factory. When dir is
-// non-empty it is created if needed and scanned for checkpoints: every valid
-// one (up to keepVersions, newest first) is loaded into the rollback
-// history, the newest becomes the current version (continual learning across
-// daemon restarts — including Rollback straight after a restart), and
-// corrupt or mismatched files are recorded in Skipped and skipped over. A
-// store may start empty — Load returns nil until the first Publish.
+// NewStore builds a store for the default model class (the online teacher)
+// over the given architecture factory. When dir is non-empty it is created
+// if needed and scanned for checkpoints: every valid one (up to
+// keepVersions, newest first) is loaded into the rollback history, the
+// newest becomes the current version (continual learning across daemon
+// restarts — including Rollback straight after a restart), and corrupt or
+// mismatched files are recorded in Skipped and skipped over. A store may
+// start empty — Load returns nil until the first Publish.
 func NewStore(fresh func() nn.Layer, dir string) (*Store, error) {
+	return NewClassStore(fresh, dir, "")
+}
+
+// NewClassStore builds a store for one named model class. Classes are fully
+// independent version sequences sharing a checkpoint directory: each class
+// writes files under its own prefix ("ckpt-" for the default class, the
+// class name otherwise), so the distilled-student tier's snapshots can live
+// beside the teacher's without either recovery scan touching the other's
+// files. The class is stamped into every checkpoint's metadata.
+func NewClassStore(fresh func() nn.Layer, dir, class string) (*Store, error) {
 	if fresh == nil {
 		return nil, fmt.Errorf("online: store needs an architecture factory")
 	}
-	s := &Store{fresh: fresh, dir: dir, next: 1}
+	prefix := "ckpt"
+	if class != "" {
+		if strings.ContainsAny(class, "-/\\* .") || class == "ckpt" {
+			// "ckpt" is the default class's filename prefix; allowing it as
+			// a named class would collide both stores on the same files.
+			return nil, fmt.Errorf("online: invalid model class %q", class)
+		}
+		prefix = class
+	}
+	s := &Store{fresh: fresh, dir: dir, class: class, prefix: prefix, next: 1}
 	if dir == "" {
 		return s, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("online: checkpoint dir: %w", err)
 	}
-	paths, err := filepath.Glob(filepath.Join(dir, "ckpt-*.dart"))
+	paths, err := filepath.Glob(filepath.Join(dir, prefix+"-*.dart"))
 	if err != nil {
 		return nil, err
 	}
@@ -109,12 +132,27 @@ func (s *Store) readCheckpoint(path string) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	if meta.Class != s.class {
+		// A renamed or misplaced file from another class: the weights loaded
+		// fine (shapes can coincide) but serving them as this class would be
+		// silent model confusion.
+		return nil, fmt.Errorf("online: checkpoint is class %q, store is class %q", meta.Class, s.class)
+	}
 	return &Model{Version: meta.Version, Net: net, Meta: meta}, nil
 }
 
 // Load returns the current model version, or nil before the first Publish
 // of an empty store. Lock-free; safe from any goroutine.
 func (s *Store) Load() *Model { return s.cur.Load() }
+
+// Class names the model class this store versions ("" = default/teacher).
+func (s *Store) Class() string { return s.class }
+
+// Fresh returns a new network of this store's architecture — the hook
+// callers use to build private inference clones of published models (a
+// published Model.Net's Forward is not reentrant, so anything outside its
+// owning batcher goroutine must copy parameters into its own instance).
+func (s *Store) Fresh() nn.Layer { return s.fresh() }
 
 // Publish deep-copies src into a fresh immutable network, assigns it the
 // next version number, checkpoints it to disk (when configured), and
@@ -128,6 +166,7 @@ func (s *Store) Publish(src nn.Layer, meta nn.CheckpointMeta) (*Model, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	meta.Version = s.next
+	meta.Class = s.class
 	m := &Model{Version: s.next, Net: net, Meta: meta}
 	if s.dir != "" {
 		if err := s.writeCheckpoint(m, meta); err != nil {
@@ -153,7 +192,7 @@ func (s *Store) Publish(src nn.Layer, meta nn.CheckpointMeta) (*Model, error) {
 // the same directory, fsync-free rename over the final name.
 func (s *Store) writeCheckpoint(m *Model, meta nn.CheckpointMeta) error {
 	path := s.checkpointPath(m.Version)
-	tmp, err := os.CreateTemp(s.dir, "ckpt-*.tmp")
+	tmp, err := os.CreateTemp(s.dir, s.prefix+"-*.tmp")
 	if err != nil {
 		return fmt.Errorf("online: checkpoint: %w", err)
 	}
@@ -172,9 +211,10 @@ func (s *Store) writeCheckpoint(m *Model, meta nn.CheckpointMeta) error {
 }
 
 // checkpointPath names version v's file; the fixed-width version keeps
-// lexicographic order equal to version order for recovery scans.
+// lexicographic order equal to version order for recovery scans, and the
+// class prefix keeps the per-class scans disjoint.
 func (s *Store) checkpointPath(v uint64) string {
-	return filepath.Join(s.dir, fmt.Sprintf("ckpt-%012d.dart", v))
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%012d.dart", s.prefix, v))
 }
 
 // Rollback reverts the current pointer to the previously published version

@@ -1,0 +1,279 @@
+package online
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dart/internal/kd"
+	"dart/internal/nn"
+	"dart/internal/sim"
+)
+
+// tinyStudentArch is the StudentConfig shrink of tinyArch over the same
+// data shapes.
+func tinyStudentArch(data func() nn.TransformerConfig) func() nn.Layer {
+	scfg := nn.StudentConfig(data())
+	return func() nn.Layer {
+		return nn.NewTransformerPredictor(scfg, rand.New(rand.NewSource(33)))
+	}
+}
+
+func tinyTeacherCfg() nn.TransformerConfig {
+	data := tinyData()
+	return nn.TransformerConfig{
+		T: data.History, DIn: data.InputDim(),
+		DModel: 8, DFF: 16, DOut: data.OutputDim(), Heads: 2, Layers: 1,
+	}
+}
+
+func studentLearnerConfig(dir string) Config {
+	data := tinyData()
+	return Config{
+		Data: data, New: tinyArch(data), Dir: dir,
+		BatchSize: 8, Tick: time.Millisecond, SwapInterval: -1, DistillInterval: -1,
+		Duty: 1, Seed: 5,
+		Student:        tinyStudentArch(tinyTeacherCfg),
+		StudentLatency: 9, StudentStorageBytes: 1 << 12,
+	}
+}
+
+// TestClassStoresShareDirWithoutCrosstalk: teacher and student class stores
+// in one directory must keep fully independent version sequences, recover
+// only their own files, and stamp their class into checkpoint metadata.
+func TestClassStoresShareDirWithoutCrosstalk(t *testing.T) {
+	dir := t.TempDir()
+	data := tinyData()
+	tStore, err := NewStore(tinyArch(data), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sStore, err := NewClassStore(tinyStudentArch(tinyTeacherCfg), dir, StudentClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tStore.Class() != "" || sStore.Class() != StudentClass {
+		t.Fatalf("classes %q / %q", tStore.Class(), sStore.Class())
+	}
+	teacher := tinyArch(data)()
+	student := tinyStudentArch(tinyTeacherCfg)()
+	for i := 0; i < 3; i++ {
+		if _, err := tStore.Publish(teacher, nn.CheckpointMeta{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sm, err := sStore.Publish(student, nn.CheckpointMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Version != 1 || sm.Meta.Class != StudentClass {
+		t.Fatalf("student publish %+v, want v1 class %q", sm.Meta, StudentClass)
+	}
+	if got := tStore.Load().Version; got != 3 {
+		t.Fatalf("teacher at v%d, want 3 (student publishes must not advance it)", got)
+	}
+
+	// Fresh recovery in the same dir: each class sees only its own files.
+	tRec, err := NewStore(tinyArch(data), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sRec, err := NewClassStore(tinyStudentArch(tinyTeacherCfg), dir, StudentClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tRec.Skipped) != 0 || len(sRec.Skipped) != 0 {
+		t.Fatalf("recovery skipped teacher %v / student %v", tRec.Skipped, sRec.Skipped)
+	}
+	if tRec.Load().Version != 3 || sRec.Load().Version != 1 {
+		t.Fatalf("recovered teacher v%d student v%d, want 3 / 1", tRec.Load().Version, sRec.Load().Version)
+	}
+	if tRec.Load().Meta.Class != "" || sRec.Load().Meta.Class != StudentClass {
+		t.Fatalf("recovered classes %q / %q", tRec.Load().Meta.Class, sRec.Load().Meta.Class)
+	}
+}
+
+// TestStoreRejectsCrossClassFile: a student checkpoint renamed into the
+// teacher's namespace must be skipped (class mismatch), not served.
+func TestStoreRejectsCrossClassFile(t *testing.T) {
+	dir := t.TempDir()
+	// Same architecture for both classes so the parameter shapes coincide —
+	// only the class stamp can tell the files apart.
+	arch := tinyArch(tinyData())
+	sStore, err := NewClassStore(arch, dir, StudentClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sStore.Publish(arch(), nn.CheckpointMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(
+		filepath.Join(dir, "student-000000000001.dart"),
+		filepath.Join(dir, "ckpt-000000000001.dart"),
+	); err != nil {
+		t.Fatal(err)
+	}
+	tStore, err := NewStore(arch, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tStore.Load() != nil {
+		t.Fatal("teacher store served a student-class checkpoint")
+	}
+	if len(tStore.Skipped) != 1 {
+		t.Fatalf("skipped %v, want the one cross-class file", tStore.Skipped)
+	}
+}
+
+// TestInvalidClassRejected: class names that would break the filename
+// namespace must be refused.
+func TestInvalidClassRejected(t *testing.T) {
+	// "ckpt" is reserved: it is the default class's filename prefix.
+	for _, class := range []string{"bad-name", "a b", "x/y", "dots.", "ckpt"} {
+		if _, err := NewClassStore(tinyArch(tinyData()), "", class); err == nil {
+			t.Fatalf("class %q accepted", class)
+		}
+	}
+}
+
+// TestLearnerDistillsStudent drives the full student tier: streamed events
+// assemble examples, distillation steps run alongside teacher fine-tuning,
+// the student class publishes independently, and the distilled student must
+// actually have learned from the teacher (KD loss trending down) while
+// staying strictly smaller.
+func TestLearnerDistillsStudent(t *testing.T) {
+	dir := t.TempDir()
+	l, err := NewLearner(studentLearnerConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.HasStudent() {
+		t.Fatal("student tier not enabled")
+	}
+	if v := l.StudentServing(); v == nil || v.Version != 1 {
+		t.Fatalf("initial student %+v, want v1", v)
+	}
+	if nn.ParamCount(l.StudentServing().Net) >= nn.ParamCount(l.Serving().Net) {
+		t.Fatal("student is not smaller than the teacher")
+	}
+
+	ring := l.Attach("s0")
+	l.Start()
+	// Stream rounds of fresh events until several distillation steps have
+	// run (a step consumes the "fresh examples" budget, so a single burst
+	// yields exactly one).
+	deadline := time.Now().Add(15 * time.Second)
+	for round := int64(0); l.Stats().DistillSteps < 3; round++ {
+		for i, r := range testRecords(9+round, 500) {
+			ev := Event{Access: sim.Access{InstrID: r.InstrID, PC: r.PC, Block: r.Block()}}
+			if i%3 == 0 {
+				ev.HasFB = true
+				ev.Feedback = sim.Feedback{Block: r.Block(), Kind: sim.FeedbackUseful}
+			}
+			for !ring.Push(ev) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("distillation never ran: %+v", l.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	m, err := l.SwapStudent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version < 2 {
+		t.Fatalf("student swap published v%d, want ≥2", m.Version)
+	}
+	if m.Meta.Class != StudentClass {
+		t.Fatalf("published class %q", m.Meta.Class)
+	}
+	st := l.Stats()
+	if st.Distilled == 0 || st.DistillLoss == 0 || st.StudentVersion != m.Version {
+		t.Fatalf("student stats did not move: %+v", st)
+	}
+	// Teacher sequence unaffected by student publishes.
+	if got := l.Serving().Version; got != 1 {
+		t.Fatalf("teacher moved to v%d on student activity", got)
+	}
+	l.Detach("s0")
+	l.Stop()
+
+	// Student class recovers across restart, bit-identically.
+	rec, err := NewClassStore(tinyStudentArch(tinyTeacherCfg), dir, StudentClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rec.Load()
+	cur := l.StudentServing()
+	if got == nil || got.Version != cur.Version {
+		t.Fatalf("recovered student %+v, serving v%d", got, cur.Version)
+	}
+	gp, cp := got.Net.Params(), cur.Net.Params()
+	for i := range gp {
+		for j, v := range cp[i].W.Data {
+			if gp[i].W.Data[j] != v {
+				t.Fatalf("student param %q[%d] differs after restart", cp[i].Name, j)
+			}
+		}
+	}
+
+	// A fresh learner over the same dir continues the student sequence.
+	l2, err := NewLearner(studentLearnerConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.StudentServing().Version != cur.Version {
+		t.Fatalf("restart student v%d, want v%d", l2.StudentServing().Version, cur.Version)
+	}
+}
+
+// TestStudentVerbsWithoutTier: student swap/rollback on a teacher-only
+// learner must error, not panic.
+func TestStudentVerbsWithoutTier(t *testing.T) {
+	data := tinyData()
+	l, err := NewLearner(Config{Data: data, New: tinyArch(data), SwapInterval: -1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.HasStudent() || l.StudentServing() != nil || l.StudentStore() != nil {
+		t.Fatal("student tier reported on a teacher-only learner")
+	}
+	if _, err := l.SwapStudent(); err == nil {
+		t.Fatal("SwapStudent succeeded without a tier")
+	}
+	if _, err := l.RollbackStudent(); err == nil {
+		t.Fatal("RollbackStudent succeeded without a tier")
+	}
+}
+
+// TestLearnerDistillConfigValidated: bad KD hyperparameters must be caught
+// at construction, and λ boundaries must be accepted (the kd zero-sentinel
+// fix made them expressible).
+func TestLearnerDistillConfigValidated(t *testing.T) {
+	base := studentLearnerConfig("")
+	bad := base
+	bad.Distill = kd.Config{Lambda: 2, Temperature: 2}
+	if _, err := NewLearner(bad); err == nil {
+		t.Fatal("Lambda 2 accepted")
+	}
+	bad = base
+	bad.Distill = kd.Config{Lambda: 0.5, Temperature: -1}
+	if _, err := NewLearner(bad); err == nil {
+		t.Fatal("Temperature -1 accepted")
+	}
+	hard := base
+	hard.Distill = kd.Config{Lambda: 0, Temperature: 2} // pure hard loss
+	if _, err := NewLearner(hard); err != nil {
+		t.Fatalf("λ=0 rejected: %v", err)
+	}
+	soft := base
+	soft.Distill = kd.Config{Lambda: 1, Temperature: 2} // pure KD
+	if _, err := NewLearner(soft); err != nil {
+		t.Fatalf("λ=1 rejected: %v", err)
+	}
+}

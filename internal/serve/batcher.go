@@ -4,6 +4,8 @@ import (
 	"sync"
 
 	"dart/internal/mat"
+	"dart/internal/nn"
+	"dart/internal/online"
 )
 
 // answer is one query's inference result plus the model version that
@@ -160,6 +162,59 @@ type batchedModel struct{ b *batcher }
 func (m batchedModel) Logits(x *mat.Matrix) []float64 {
 	logits, _ := m.b.inferOne(x)
 	return logits
+}
+
+// teacherMirror is a private, lazily-refreshed parameter clone of the
+// published teacher model. The student batcher needs teacher inference (for
+// fallback and for A/B shadow-compare) but must never call Forward on the
+// published Model.Net — that instance's activation caches belong to the
+// teacher batcher's dispatch goroutine. The mirror copies parameters on
+// version change instead; it is only ever touched from the student batcher's
+// dispatch goroutine.
+type teacherMirror struct {
+	l   *online.Learner
+	net nn.Layer
+	ver uint64
+}
+
+func newTeacherMirror(l *online.Learner) *teacherMirror {
+	return &teacherMirror{l: l, net: l.Store().Fresh()}
+}
+
+// resolve returns the mirror refreshed to the current published teacher and
+// that version number.
+func (t *teacherMirror) resolve() (nn.Layer, uint64) {
+	m := t.l.Serving()
+	if m.Version != t.ver {
+		if err := nn.CopyParams(t.net, m.Net); err == nil {
+			t.ver = m.Version
+		}
+	}
+	return t.net, m.Version
+}
+
+// studentInfer runs one batch through the student model, falling back to the
+// (mirrored) teacher when no student version is available — the tier degrades
+// to teacher-quality serving instead of failing. The reported version is the
+// student's, or the teacher's on the fallback path.
+func studentInfer(stu *online.Model, mirror *teacherMirror, in *mat.Tensor) (*mat.Tensor, uint64) {
+	if stu == nil {
+		net, ver := mirror.resolve()
+		return net.Forward(in), ver
+	}
+	return stu.Net.Forward(in), stu.Version
+}
+
+// agreement counts per-label prediction matches between two logit tensors:
+// a label "agrees" when both models land on the same side of the p = 0.5
+// decision threshold the prefetcher applies.
+func agreement(a, b *mat.Tensor) (match, total uint64) {
+	for i, v := range a.Data {
+		if (v > 0) == (b.Data[i] > 0) {
+			match++
+		}
+	}
+	return match, uint64(len(a.Data))
 }
 
 // versionedModel is batchedModel plus version observation: the model version

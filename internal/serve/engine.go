@@ -63,7 +63,21 @@ type Config struct {
 	// inference goes through a second admission batcher that resolves the
 	// model version once per batch, so no batch ever mixes versions. The
 	// learner's lifecycle (Start/Stop) belongs to the caller.
+	//
+	// When the learner's distilled-student tier is enabled (its config set a
+	// Student architecture), the engine additionally starts a third batcher
+	// and registers the "student" prefetcher: sessions opened with it are
+	// served by the published student class (teacher fallback while no
+	// student version exists), tapped like online sessions, and hot-swapped
+	// on student publishes.
 	Online *online.Learner
+
+	// ShadowCompare enables the student tier's A/B mode: every student batch
+	// is also run through a private mirror of the published teacher and the
+	// per-label prediction agreement is accumulated into Stats.AB — a live
+	// fidelity meter for the distilled model, paid for only on student
+	// batches and only when enabled.
+	ShadowCompare bool
 
 	// Registry resolves prefetcher names; defaults to the built-ins
 	// (none/bo/isb/stride) plus "dart" when Model is set.
@@ -188,14 +202,20 @@ type shard struct {
 
 // Engine is the multi-session serving engine.
 type Engine struct {
-	cfg     Config
-	shards  []shard
-	batcher *batcher        // nil when no table model is configured
-	onlineB *batcher        // nil when no online learner is configured
-	learner *online.Learner // == cfg.Online
+	cfg      Config
+	shards   []shard
+	batcher  *batcher        // nil when no table model is configured
+	onlineB  *batcher        // nil when no online learner is configured
+	studentB *batcher        // nil unless the learner has a student tier
+	learner  *online.Learner // == cfg.Online
 
 	accepted atomic.Uint64
 	draining atomic.Bool
+
+	// A/B shadow-compare accumulators (student batches only).
+	abBatches atomic.Uint64
+	abLabels  atomic.Uint64
+	abAgree   atomic.Uint64
 }
 
 // NewEngine builds an engine from the config. When cfg.Model is set, the
@@ -241,6 +261,28 @@ func NewEngine(cfg Config) *Engine {
 		// version-observing instance wired up in Open instead.
 		e.cfg.Registry.MakeOnline("online", batchedModel{b: e.onlineB},
 			e.learner.Data(), e.learner.Latency(), e.learner.StorageBytes())
+		if e.learner.HasStudent() {
+			// The student tier's batcher: one call resolves the published
+			// student exactly once (teacher fallback through a private
+			// mirror — never the published teacher instance, which belongs
+			// to the online batcher goroutine), optionally shadow-comparing
+			// the batch against the teacher for the A/B agreement stats.
+			mirror := newTeacherMirror(e.learner)
+			e.studentB = newBatcher(func(in *mat.Tensor) (*mat.Tensor, uint64) {
+				stu := e.learner.StudentServing()
+				out, ver := studentInfer(stu, mirror, in)
+				if cfg.ShadowCompare && stu != nil {
+					tnet, _ := mirror.resolve()
+					match, total := agreement(out, tnet.Forward(in))
+					e.abAgree.Add(match)
+					e.abLabels.Add(total)
+					e.abBatches.Add(1)
+				}
+				return out, ver
+			}, cfg.MaxBatch)
+			e.cfg.Registry.MakeStudent("student", batchedModel{b: e.studentB},
+				e.learner.Data(), e.learner.StudentLatency(), e.learner.StudentStorageBytes())
+		}
 	}
 	return e
 }
@@ -279,14 +321,21 @@ func (e *Engine) Open(id, prefetcher string, degree int) error {
 		done:  make(chan struct{}),
 	}
 	var pf sim.Prefetcher
-	if e.learner != nil && prefetcher == "online" {
+	if e.learner != nil && (prefetcher == "online" || (prefetcher == "student" && e.studentB != nil)) {
 		if degree <= 0 {
 			degree = 4
 		}
+		// Both model classes get version-observing, tapped sessions; the
+		// student class routes through its own batcher and carries the
+		// compact model's latency/storage in the simulator.
+		b, lat, sto := e.onlineB, e.learner.Latency(), e.learner.StorageBytes()
+		if prefetcher == "student" {
+			b, lat, sto = e.studentB, e.learner.StudentLatency(), e.learner.StudentStorageBytes()
+		}
 		s.ver = new(uint64)
-		base := prefetch.NewNNPrefetcher("online",
-			versionedModel{b: e.onlineB, ver: s.ver},
-			e.learner.Data(), e.learner.Latency(), e.learner.StorageBytes(), degree)
+		base := prefetch.NewNNPrefetcher(prefetcher,
+			versionedModel{b: b, ver: s.ver},
+			e.learner.Data(), lat, sto, degree)
 		// The fan-out listener stages the feedback sim delivers inside
 		// Step; the actor pairs it with the access and pushes both into
 		// the learner's ring after the step.
@@ -407,8 +456,9 @@ func (e *Engine) Sessions() []string {
 	return ids
 }
 
-// Stats is a mid-stream engine snapshot. The batch counters aggregate both
-// admission batchers (static "dart" tables and the versioned online model).
+// Stats is a mid-stream engine snapshot. The batch counters aggregate every
+// admission batcher (static "dart" tables, the versioned online model, and
+// the student tier).
 type Stats struct {
 	Sessions   int
 	Accepted   uint64 // accesses admitted since start
@@ -417,6 +467,17 @@ type Stats struct {
 	MaxBatch   int    // largest batch dispatched so far
 	PerSession map[string]sim.Result
 	Online     *online.Stats // nil unless the engine has a learner
+	AB         *ABStats      // nil unless shadow-compare is enabled
+}
+
+// ABStats is the student tier's A/B shadow-compare digest: how often the
+// distilled student and its teacher land on the same side of the prediction
+// threshold, per label, across every compared batch.
+type ABStats struct {
+	Batches uint64  // student batches shadow-compared
+	Labels  uint64  // per-label comparisons
+	Agree   uint64  // comparisons where student == teacher
+	Rate    float64 // Agree / Labels (0 when nothing compared yet)
 }
 
 // StatsSnapshot gathers per-session snapshots without stopping the actors.
@@ -437,7 +498,7 @@ func (e *Engine) StatsSnapshot() Stats {
 		}
 		sh.mu.RUnlock()
 	}
-	for _, b := range []*batcher{e.batcher, e.onlineB} {
+	for _, b := range []*batcher{e.batcher, e.onlineB, e.studentB} {
 		if b == nil {
 			continue
 		}
@@ -452,7 +513,27 @@ func (e *Engine) StatsSnapshot() Stats {
 		ls := e.learner.Stats()
 		st.Online = &ls
 	}
+	if ab := e.abStats(); ab != nil {
+		st.AB = ab
+	}
 	return st
+}
+
+// abStats snapshots the shadow-compare accumulators; nil when the mode is
+// off or no student batch has been compared yet.
+func (e *Engine) abStats() *ABStats {
+	if !e.cfg.ShadowCompare || e.studentB == nil {
+		return nil
+	}
+	ab := &ABStats{
+		Batches: e.abBatches.Load(),
+		Labels:  e.abLabels.Load(),
+		Agree:   e.abAgree.Load(),
+	}
+	if ab.Labels > 0 {
+		ab.Rate = float64(ab.Agree) / float64(ab.Labels)
+	}
+	return ab
 }
 
 // Learner exposes the online learner (nil when the engine has none); the
@@ -496,6 +577,9 @@ func (e *Engine) Drain() map[string]sim.Result {
 	}
 	if e.onlineB != nil {
 		e.onlineB.stop()
+	}
+	if e.studentB != nil {
+		e.studentB.stop()
 	}
 	return out
 }

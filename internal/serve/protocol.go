@@ -57,11 +57,16 @@ func (h *Hex64) UnmarshalJSON(b []byte) error {
 //	model    {"op":"model"}     online-learner snapshot (version, throughput, loss trend)
 //	swap     {"op":"swap"}      force-publish the training shadow as a new version
 //	rollback {"op":"rollback"}  revert serving to the previous version
+//
+// The model/swap/rollback verbs accept a model-class selector: "class":""
+// (or omitted) addresses the online teacher, "class":"student" the distilled
+// student tier, e.g. {"op":"swap","class":"student"}.
 type Request struct {
 	Op         string `json:"op"`
 	Session    string `json:"session,omitempty"`
 	Prefetcher string `json:"prefetcher,omitempty"`
 	Degree     int    `json:"degree,omitempty"`
+	Class      string `json:"class,omitempty"`
 	InstrID    uint64 `json:"instr_id,omitempty"`
 	PC         Hex64  `json:"pc,omitempty"`
 	Addr       Hex64  `json:"addr,omitempty"`
@@ -99,10 +104,29 @@ type StatsReply struct {
 	Batched  uint64       `json:"batched"`
 	MaxBatch int          `json:"max_batch"`
 	Online   *OnlineReply `json:"online,omitempty"`
+	AB       *ABReply     `json:"ab,omitempty"`
+}
+
+// ABReply is the wire form of the student tier's shadow-compare digest.
+type ABReply struct {
+	Batches   uint64  `json:"batches"`
+	Labels    uint64  `json:"labels"`
+	Agree     uint64  `json:"agree"`
+	AgreeRate float64 `json:"agree_rate"`
+}
+
+// abReply converts engine A/B stats to the wire form.
+func abReply(ab *ABStats) *ABReply {
+	if ab == nil {
+		return nil
+	}
+	return &ABReply{Batches: ab.Batches, Labels: ab.Labels, Agree: ab.Agree, AgreeRate: ab.Rate}
 }
 
 // OnlineReply is the wire form of the online learner's state: the served
-// model version, feedback ingest throughput, and the online-loss trend.
+// model version, feedback ingest throughput, the online-loss trend, and —
+// when the distilled-student tier runs — the student class's version and
+// distillation-loss trend.
 type OnlineReply struct {
 	Version   uint64  `json:"version"`
 	Published uint64  `json:"published"`
@@ -117,6 +141,13 @@ type OnlineReply struct {
 	Loss      float64 `json:"loss"`
 	LossTrend float64 `json:"loss_trend"`
 	PerSec    float64 `json:"feedback_per_sec"`
+
+	StudentVersion   uint64  `json:"student_version,omitempty"`
+	StudentPublished uint64  `json:"student_published,omitempty"`
+	Distilled        uint64  `json:"distilled,omitempty"`
+	DistillSteps     uint64  `json:"distill_steps,omitempty"`
+	DistillLoss      float64 `json:"distill_loss,omitempty"`
+	DistillTrend     float64 `json:"distill_trend,omitempty"`
 }
 
 // onlineReply converts learner stats to the wire form.
@@ -135,6 +166,13 @@ func onlineReply(st online.Stats) *OnlineReply {
 		Loss:      st.Loss,
 		LossTrend: st.LossTrend,
 		PerSec:    st.PerSec,
+
+		StudentVersion:   st.StudentVersion,
+		StudentPublished: st.StudentPublished,
+		Distilled:        st.Distilled,
+		DistillSteps:     st.DistillSteps,
+		DistillLoss:      st.DistillLoss,
+		DistillTrend:     st.DistillTrend,
 	}
 }
 

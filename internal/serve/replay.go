@@ -38,6 +38,7 @@ type Report struct {
 	Batches     uint64  // model batches dispatched during the run
 	Batched     uint64  // model queries served through them
 	MaxBatch    int
+	AB          *ABStats // student-vs-teacher agreement (shadow-compare runs only)
 }
 
 // Replay pumps one trace per session through the engine concurrently — the
@@ -63,10 +64,22 @@ func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Rep
 	}
 	sort.Strings(ids)
 
+	// Track which sessions this replay has opened and not yet closed, and
+	// close the leftovers on every exit path: any early error return (a
+	// mid-loop Open conflict, an Access failure, a Close failure) used to
+	// leak the remaining open sessions — their actors, inboxes, and learner
+	// taps — into the engine forever.
+	open := make(map[string]bool, len(ids))
+	defer func() {
+		for id := range open {
+			e.Close(id) // best effort; the engine logs nothing for replays
+		}
+	}()
 	for _, id := range ids {
 		if err := e.Open(id, opt.Prefetcher, opt.Degree); err != nil {
 			return Report{}, err
 		}
+		open[id] = true
 	}
 
 	// Pace each session at its share of the aggregate target.
@@ -123,6 +136,7 @@ func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Rep
 	results := make([]sim.Result, 0, len(ids))
 	for _, id := range ids {
 		res, err := e.Close(id)
+		delete(open, id) // even a failed Close means this replay no longer owns it
 		if err != nil {
 			return Report{}, err
 		}
@@ -147,7 +161,7 @@ func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Rep
 			}
 		}
 	}
-	for _, b := range []*batcher{e.batcher, e.onlineB} {
+	for _, b := range []*batcher{e.batcher, e.onlineB, e.studentB} {
 		if b == nil {
 			continue
 		}
@@ -158,6 +172,7 @@ func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Rep
 			rep.MaxBatch = biggest
 		}
 	}
+	rep.AB = e.abStats()
 	return rep, nil
 }
 
@@ -170,6 +185,10 @@ func (r Report) String() string {
 		avg := float64(r.Batched) / float64(r.Batches)
 		s += fmt.Sprintf("model batches: %d serving %d queries (avg %.1f, max %d per batch)\n",
 			r.Batches, r.Batched, avg, r.MaxBatch)
+	}
+	if r.AB != nil && r.AB.Labels > 0 {
+		s += fmt.Sprintf("student A/B: %.1f%% label agreement with teacher over %d batches (%d labels)\n",
+			r.AB.Rate*100, r.AB.Batches, r.AB.Labels)
 	}
 	for _, sr := range r.Sessions {
 		mark := ""

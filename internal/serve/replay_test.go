@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dart/internal/trace"
+)
+
+// TestReplayClosesSessionsOnOpenError is the regression test for the session
+// leak: when Open fails mid-loop (here: an id conflict injected by
+// pre-opening one of the replay's session ids), every session the replay had
+// already opened must be closed again before the error returns. Pre-fix,
+// those sessions leaked their actors into the engine forever.
+func TestReplayClosesSessionsOnOpenError(t *testing.T) {
+	e := NewEngine(Config{SimCfg: smallSimCfg()})
+	traces := map[string][]trace.Record{}
+	for i := 0; i < 4; i++ {
+		traces[fmt.Sprintf("c%d", i)] = sessionTrace(int64(i), 100)
+	}
+	// Replay opens ids in sorted order (c0, c1, c2, c3); pre-opening c2
+	// makes the third Open fail after c0 and c1 succeeded.
+	if err := e.Open("c2", "stride", 4); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Replay(e, traces, ReplayOptions{Prefetcher: "stride", Degree: 4})
+	if err == nil || !strings.Contains(err.Error(), "already open") {
+		t.Fatalf("replay error = %v, want id-conflict error", err)
+	}
+	if got := e.Sessions(); len(got) != 1 || got[0] != "c2" {
+		t.Fatalf("sessions after failed replay = %v, want only the injected [c2]", got)
+	}
+	if _, err := e.Close("c2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Sessions(); len(got) != 0 {
+		t.Fatalf("engine session count %d, want 0", len(got))
+	}
+	e.Drain()
+}
+
+// TestReplayClosesSessionsOnAccessError injects a failure mid-replay by
+// closing one session out from under the driver: the victim's next Access
+// errors, Replay returns that error, and the cleanup must still close every
+// other session so the engine's session count returns to zero.
+func TestReplayClosesSessionsOnAccessError(t *testing.T) {
+	e := NewEngine(Config{SimCfg: smallSimCfg()})
+	traces := map[string][]trace.Record{}
+	for i := 0; i < 4; i++ {
+		traces[fmt.Sprintf("c%d", i)] = sessionTrace(int64(i), 50_000)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Replay(e, traces, ReplayOptions{Prefetcher: "stride", Degree: 4})
+		errc <- err
+	}()
+	// Wait until the replay has all four sessions streaming, then yank one.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(e.Sessions()) < 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("replay never opened its sessions")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := e.Close("c1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err == nil {
+		t.Fatal("replay succeeded despite a session closed mid-run")
+	}
+	if got := e.Sessions(); len(got) != 0 {
+		t.Fatalf("sessions leaked after failed replay: %v", got)
+	}
+	e.Drain()
+}

@@ -3,12 +3,51 @@ package serve
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
 
+	"dart/internal/online"
 	"dart/internal/sim"
 )
+
+// checkClass validates a model-class selector against the learner's tiers.
+func checkClass(l *online.Learner, class string) error {
+	switch class {
+	case "", "teacher":
+		return nil
+	case online.StudentClass:
+		if !l.HasStudent() {
+			return fmt.Errorf("serve: no distilled-student tier configured")
+		}
+		return nil
+	default:
+		return fmt.Errorf("serve: unknown model class %q (have \"\" and %q)", class, online.StudentClass)
+	}
+}
+
+// swapClass routes the swap verb to the selected model class.
+func swapClass(l *online.Learner, class string) (*online.Model, error) {
+	if err := checkClass(l, class); err != nil {
+		return nil, err
+	}
+	if class == online.StudentClass {
+		return l.SwapStudent()
+	}
+	return l.Swap()
+}
+
+// rollbackClass routes the rollback verb to the selected model class.
+func rollbackClass(l *online.Learner, class string) (*online.Model, error) {
+	if err := checkClass(l, class); err != nil {
+		return nil, err
+	}
+	if class == online.StudentClass {
+		return l.RollbackStudent()
+	}
+	return l.Rollback()
+}
 
 // Server speaks the line-delimited JSON protocol over any net.Listener (TCP
 // or unix socket). Clients may pipeline: access replies are written as each
@@ -197,17 +236,20 @@ func (s *Server) handle(conn net.Conn) {
 			if st.Online != nil {
 				sr.Online = onlineReply(*st.Online)
 			}
+			sr.AB = abReply(st.AB)
 			send(Reply{OK: true, Stats: sr})
 		case "model":
 			if l := s.engine.Learner(); l == nil {
 				send(Reply{OK: false, Err: "serve: no online learner configured"})
+			} else if err := checkClass(l, req.Class); err != nil {
+				send(errReply("", err))
 			} else {
 				send(Reply{OK: true, Online: onlineReply(l.Stats())})
 			}
 		case "swap":
 			if l := s.engine.Learner(); l == nil {
 				send(Reply{OK: false, Err: "serve: no online learner configured"})
-			} else if m, err := l.Swap(); err != nil {
+			} else if m, err := swapClass(l, req.Class); err != nil {
 				send(errReply("", err))
 			} else {
 				send(Reply{OK: true, Version: m.Version, Online: onlineReply(l.Stats())})
@@ -215,7 +257,7 @@ func (s *Server) handle(conn net.Conn) {
 		case "rollback":
 			if l := s.engine.Learner(); l == nil {
 				send(Reply{OK: false, Err: "serve: no online learner configured"})
-			} else if m, err := l.Rollback(); err != nil {
+			} else if m, err := rollbackClass(l, req.Class); err != nil {
 				send(errReply("", err))
 			} else {
 				send(Reply{OK: true, Version: m.Version, Online: onlineReply(l.Stats())})
