@@ -2,7 +2,7 @@ GO ?= go
 BENCH_TOLERANCE ?= 1.5
 BENCH_MIN_SPEEDUP ?= 2.0
 COVER_MAX_DROP ?= 1.0
-BENCH_ONLINE = 'BenchmarkFeedbackIngest|BenchmarkModelSwap|BenchmarkTeacherInfer|BenchmarkStudentInfer|BenchmarkDistillCycle'
+BENCH_ONLINE = 'BenchmarkFeedbackIngest|BenchmarkModelSwap|BenchmarkTeacherInfer|BenchmarkStudentInfer|BenchmarkDistillCycle|BenchmarkDartInfer|BenchmarkTabularSwap'
 
 .PHONY: build test short race vet lint bench bench-ci bench-serve bench-update cover cover-update ci
 
@@ -38,10 +38,11 @@ bench:
 ## bench-ci: perf-regression gate — run the engine benchmarks with a fixed
 ## small iteration count and fail on regression vs BENCH_par.json (absolute,
 ## with a generous tolerance for host differences), on losing the same-run
-## par-vs-serial speedup (host-independent), or on the online-training and
-## distilled-student benchmarks regressing vs BENCH_serve.json's "online"
-## section (which also holds the same-run "student strictly faster and
-## smaller than teacher" line). -count 3 because the checker keeps the
+## par-vs-serial speedup (host-independent), or on the online-training,
+## distilled-student, and dart-table benchmarks regressing vs
+## BENCH_serve.json's "online" section (which also holds the same-run
+## "student strictly faster and smaller than teacher" and "dart tables
+## strictly faster than student" lines). -count 3 because the checker keeps the
 ## per-benchmark minimum: the µs-scale grid points are noisy at low
 ## iteration counts and min-of-3 filters scheduler interference.
 bench-ci:

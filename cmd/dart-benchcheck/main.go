@@ -18,12 +18,14 @@
 //     -min-speedup (default 2x, PR 1's acceptance bar). This holds on any
 //     host because both sides ran on it seconds apart.
 //
-// With -serve-baseline the gate also covers the online-training and
-// distilled-student benchmarks (feedback ingest, model swap, teacher/student
-// inference, distill cycle) against the "online" section of BENCH_serve.json,
-// plus two host-independent same-run checks: the student must be strictly
-// faster than the teacher (ns/op) and strictly smaller (the storage_bytes
-// metric the infer benchmarks report). -write-online flips the tool into
+// With -serve-baseline the gate also covers the online-training,
+// distilled-student, and dart-table benchmarks (feedback ingest, model swap,
+// teacher/student/dart inference, distill cycle, table swap) against the
+// "online" section of BENCH_serve.json, plus three host-independent same-run
+// checks: the student must be strictly faster than the teacher (ns/op) and
+// strictly smaller (the storage_bytes metric the infer benchmarks report),
+// and dart table inference must be strictly faster than the student — the
+// paper's core claim. -write-online flips the tool into
 // update mode: it parses those benchmarks from the input and rewrites the
 // "online" section in place — `make bench-update` uses this to refresh every
 // serving baseline in one step.
@@ -64,8 +66,11 @@ type onlineBaseline struct {
 	TeacherInferNs      float64 `json:"teacher_infer_ns"`
 	StudentInferNs      float64 `json:"student_infer_ns"`
 	DistillCycleNs      float64 `json:"distill_cycle_ns"`
+	DartInferNs         float64 `json:"dart_infer_ns"`
+	TabularSwapNs       float64 `json:"tabular_swap_ns"`
 	TeacherStorageBytes float64 `json:"teacher_storage_bytes"`
 	StudentStorageBytes float64 `json:"student_storage_bytes"`
+	DartStorageBytes    float64 `json:"dart_storage_bytes"`
 }
 
 // onlineBenchNames maps the gated benchmarks to their baseline fields.
@@ -75,6 +80,8 @@ var onlineBenchNames = map[string]func(onlineBaseline) float64{
 	"BenchmarkTeacherInfer":   func(b onlineBaseline) float64 { return b.TeacherInferNs },
 	"BenchmarkStudentInfer":   func(b onlineBaseline) float64 { return b.StudentInferNs },
 	"BenchmarkDistillCycle":   func(b onlineBaseline) float64 { return b.DistillCycleNs },
+	"BenchmarkDartInfer":      func(b onlineBaseline) float64 { return b.DartInferNs },
+	"BenchmarkTabularSwap":    func(b onlineBaseline) float64 { return b.TabularSwapNs },
 }
 
 // benchLine matches e.g. "BenchmarkMatMul/par/n512/w4-8   100  11093275 ns/op".
@@ -216,11 +223,12 @@ func serveChecks(servePath string, got map[string]float64, tolerance float64, ou
 	return checks, missing, true
 }
 
-// studentChecks are the host-independent student-vs-teacher comparisons:
-// within the same run, the distilled student must be strictly faster than
-// the teacher and its reported parameter storage strictly smaller — the
-// serving tier's whole reason to exist. Both sides ran seconds apart on the
-// same host, so no tolerance applies.
+// studentChecks are the host-independent same-run comparisons down the
+// serving hierarchy: the distilled student must be strictly faster than the
+// teacher and its reported parameter storage strictly smaller, and the
+// tabularized (dart) tables must be strictly faster than the student — the
+// paper's whole point, and each tier's reason to exist. Both sides of every
+// ratio ran seconds apart on the same host, so no tolerance applies.
 func studentChecks(got map[string]float64) (checks []check, missing []string) {
 	type rel struct {
 		name, num, den string
@@ -228,6 +236,7 @@ func studentChecks(got map[string]float64) (checks []check, missing []string) {
 	for _, r := range []rel{
 		{"speedup(student vs teacher infer, same run)", "BenchmarkTeacherInfer", "BenchmarkStudentInfer"},
 		{"shrink(student vs teacher storage_bytes)", "BenchmarkTeacherInfer@storage_bytes", "BenchmarkStudentInfer@storage_bytes"},
+		{"speedup(dart vs student infer, same run)", "BenchmarkStudentInfer", "BenchmarkDartInfer"},
 	} {
 		num, ok1 := got[r.num]
 		den, ok2 := got[r.den]
@@ -253,7 +262,8 @@ func writeOnline(servePath string, got map[string]float64, out io.Writer) int {
 	for name := range onlineBenchNames {
 		need = append(need, name)
 	}
-	need = append(need, "BenchmarkTeacherInfer@storage_bytes", "BenchmarkStudentInfer@storage_bytes")
+	need = append(need, "BenchmarkTeacherInfer@storage_bytes", "BenchmarkStudentInfer@storage_bytes",
+		"BenchmarkDartInfer@storage_bytes")
 	for _, name := range need {
 		if _, ok := got[name]; !ok {
 			fmt.Fprintf(out, "benchcheck: input has no %s result; not updating %s\n", name, servePath)
@@ -276,8 +286,11 @@ func writeOnline(servePath string, got map[string]float64, out io.Writer) int {
 		TeacherInferNs:      got["BenchmarkTeacherInfer"],
 		StudentInferNs:      got["BenchmarkStudentInfer"],
 		DistillCycleNs:      got["BenchmarkDistillCycle"],
+		DartInferNs:         got["BenchmarkDartInfer"],
+		TabularSwapNs:       got["BenchmarkTabularSwap"],
 		TeacherStorageBytes: got["BenchmarkTeacherInfer@storage_bytes"],
 		StudentStorageBytes: got["BenchmarkStudentInfer@storage_bytes"],
+		DartStorageBytes:    got["BenchmarkDartInfer@storage_bytes"],
 	})
 	if err != nil {
 		fmt.Fprintf(out, "benchcheck: %v\n", err)

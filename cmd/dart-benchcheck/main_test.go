@@ -187,7 +187,9 @@ const sampleServeBaseline = `{
   "online": {
     "feedback_ingest_ns": 20, "swap_ns": 30000,
     "teacher_infer_ns": 550000, "student_infer_ns": 320000, "distill_cycle_ns": 3000000,
-    "teacher_storage_bytes": 44032, "student_storage_bytes": 13952
+    "dart_infer_ns": 250000, "tabular_swap_ns": 5000,
+    "teacher_storage_bytes": 44032, "student_storage_bytes": 13952,
+    "dart_storage_bytes": 7982
   },
   "report": {"Throughput": 640000}
 }`
@@ -197,6 +199,8 @@ BenchmarkModelSwap-1  40000  31000 ns/op
 BenchmarkTeacherInfer-1  434  553897 ns/op  44032 storage_bytes
 BenchmarkStudentInfer-1  712  321442 ns/op  13952 storage_bytes
 BenchmarkDistillCycle-1  84  3096250 ns/op
+BenchmarkDartInfer-1  951  249812 ns/op  7982 storage_bytes
+BenchmarkTabularSwap-1  200000  5100 ns/op
 `
 
 func writeServeBaseline(t *testing.T, content string) string {
@@ -312,6 +316,24 @@ func TestStudentGateFailsWhenNotFaster(t *testing.T) {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "FAIL speedup(student vs teacher infer") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestDartGateFailsWhenNotFasterThanStudent(t *testing.T) {
+	// Dart table inference as slow as the student: absolute baselines may
+	// still pass (tolerance), but the same-run dart-beats-student check —
+	// the paper's core claim — must fail.
+	slow := strings.Replace(sampleOnlineBench,
+		"BenchmarkDartInfer-1  951  249812 ns/op  7982 storage_bytes",
+		"BenchmarkDartInfer-1  951  330000 ns/op  7982 storage_bytes", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "",
+		2.0, 2.0, strings.NewReader(slow), &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL speedup(dart vs student infer") {
 		t.Fatalf("output:\n%s", out.String())
 	}
 }

@@ -7,12 +7,12 @@
 //
 //	dart-serve -listen :7381                # TCP
 //	dart-serve -unix /tmp/dart.sock         # unix socket
-//	dart-serve -listen :7381 -dart -app 462.libquantum
+//	dart-serve -listen :7381 -pretrain -app 462.libquantum
 //
-// With -dart the daemon first trains and tabularizes a DART model on the
-// named application's trace, then serves the "dart" prefetcher alongside the
-// rule-based ones; sessions share the table hierarchy while the admission
-// layer coalesces their queries into batched lookups.
+// With -pretrain the daemon first trains and tabularizes a static DART model
+// on the named application's trace, then serves the "dart" prefetcher
+// alongside the rule-based ones; sessions share the fixed table hierarchy
+// while the admission layer coalesces their queries into batched lookups.
 //
 // With -online the daemon additionally runs the continual-learning loop of
 // internal/online: sessions opened with prefetcher "online" are served by a
@@ -20,7 +20,7 @@
 // outcome feedback and hot-swapped between inference batches. -checkpoint-dir
 // makes published versions durable (and recovers the newest good one on
 // restart); -swap-interval sets the auto-publish cadence. The wire protocol
-// gains model/swap/rollback verbs (see internal/online/README.md).
+// gains model/swap/rollback/classes verbs (see internal/online/README.md).
 //
 // With -student (implies -online) the daemon also runs the distilled-student
 // tier: a compact student (nn.StudentConfig of the teacher architecture) is
@@ -32,17 +32,30 @@
 // through the teacher and the per-label agreement is reported (the "ab"
 // section of stats, and the replay report).
 //
+// With -dart (implies -student and -online) the daemon runs the full
+// teach→distill→tabularize→serve pipeline live: a duty-cycled tabularizer
+// periodically re-tabularizes the published student and publishes the table
+// hierarchy as the versioned "dart" class — the paper's actual deployment
+// artifact — which sessions opened with prefetcher "dart" are served from,
+// hot-swapped between batches with student fallback until the first table
+// exists. -tabularize-interval sets the re-tabularize cadence, and dart
+// checkpoints ("dart-*.dart" table files) recover across restarts beside
+// the model classes'. Per-session class selection is just the prefetcher
+// name at open: teacher ("online"), "student", or "dart" per tenant.
+//
 // Replay mode pumps synthetic workloads through the engine at a target rate
 // and reports accuracy, coverage, throughput, and request-latency
 // percentiles — the continuous-load evaluation the offline cmd/dart-sim
 // cannot do:
 //
 //	dart-serve -replay -sessions 8 -n 20000 -prefetcher stride -verify
-//	dart-serve -replay -sessions 16 -qps 50000 -prefetcher dart -dart
+//	dart-serve -replay -sessions 16 -qps 50000 -prefetcher dart -pretrain
 //	dart-serve -replay -online -prefetcher online -soak 60s
+//	dart-serve -replay -dart -prefetcher dart -soak 60s
 //
 // -soak repeats replay rounds until the duration elapses (fresh session ids
-// per round), the nightly-CI endurance mode. With -prefetcher online the
+// per round), the nightly-CI endurance mode. With a versioned-class
+// prefetcher (online, student, or dart with the dart tier on) the
 // bit-identity check is replaced by a completeness check — the model changes
 // under training by design, but zero accesses may be dropped or reordered.
 package main
@@ -73,8 +86,8 @@ import (
 func main() {
 	listen := flag.String("listen", "", "TCP listen address, e.g. :7381")
 	unixSock := flag.String("unix", "", "unix socket path (alternative to -listen)")
-	useDart := flag.Bool("dart", false, "train+tabularize a DART model so sessions can open prefetcher \"dart\"")
-	app := flag.String("app", "462.libquantum", "application trace used to train the DART model (suffix match)")
+	pretrain := flag.Bool("pretrain", false, "train+tabularize a static DART model so sessions can open prefetcher \"dart\" without the versioned tier")
+	app := flag.String("app", "462.libquantum", "application trace used to pretrain the DART model (suffix match)")
 	trainN := flag.Int("train-n", 12000, "accesses in the DART training trace")
 	queueDepth := flag.Int("queue", 64, "per-session inbox depth (backpressure bound)")
 	maxBatch := flag.Int("max-batch", 64, "admission batcher coalescing cap")
@@ -86,6 +99,9 @@ func main() {
 	useStudent := flag.Bool("student", false, "run the distilled-student tier (implies -online); sessions can open prefetcher \"student\"")
 	distillInterval := flag.Duration("distill-interval", 30*time.Second, "student: auto-publish cadence (<0 disables; \"swap\" with class \"student\" always works)")
 	shadowCompare := flag.Bool("ab", false, "student: A/B shadow-compare mode — run student batches through the teacher too and report per-label agreement")
+
+	useDart := flag.Bool("dart", false, "run the versioned tabular serving class (implies -student): re-tabularize the published student on a duty cycle and hot-swap table hierarchies; sessions can open prefetcher \"dart\"")
+	tabularizeInterval := flag.Duration("tabularize-interval", 30*time.Second, "dart: auto re-tabularize cadence (<0 disables; \"swap\" with class \"dart\" always works)")
 
 	replay := flag.Bool("replay", false, "replay synthetic workloads through the engine and exit")
 	sessions := flag.Int("sessions", 8, "replay: concurrent sessions")
@@ -100,7 +116,9 @@ func main() {
 
 	cfg := serve.Config{QueueDepth: *queueDepth, MaxBatch: *maxBatch}
 	var art *core.Artifacts
-	if *useDart || *prefetcher == "dart" {
+	// -prefetcher dart without the versioned tier falls back to the static
+	// pretrained table, the pre-dart-class behaviour.
+	if *pretrain || (*prefetcher == "dart" && !*useDart) {
 		spec, ok := trace.AppByName(*app)
 		if !ok {
 			fatalf("unknown application %q", *app)
@@ -128,13 +146,17 @@ func main() {
 	}
 
 	var learner *online.Learner
+	if *useDart {
+		*useStudent = true // the tabularizer re-tabularizes the student
+	}
 	if *useStudent || *prefetcher == "student" {
 		*useOnline = true // the distiller needs the teacher loop
 	}
 	if *useOnline || *prefetcher == "online" {
 		var err error
 		learner, err = buildLearner(art, *ckptDir, *swapInterval,
-			*useStudent || *prefetcher == "student", *distillInterval)
+			*useStudent || *prefetcher == "student", *distillInterval,
+			*useDart, *tabularizeInterval)
 		if err != nil {
 			fatalf("online learner: %v", err)
 		}
@@ -149,6 +171,18 @@ func main() {
 			}
 			fmt.Printf("student tier ready: serving student v%d (distill interval %v, A/B %v)\n",
 				learner.StudentServing().Version, *distillInterval, *shadowCompare)
+		}
+		if learner.HasDart() {
+			for _, skip := range learner.DartStore().Skipped {
+				fmt.Printf("dart checkpoint skipped: %s\n", skip)
+			}
+			if tab := learner.DartServing(); tab != nil {
+				fmt.Printf("dart tier ready: serving table v%d (tabularize interval %v)\n",
+					tab.Version, *tabularizeInterval)
+			} else {
+				fmt.Printf("dart tier ready: student fallback until the first tabularization (interval %v)\n",
+					*tabularizeInterval)
+			}
 		}
 		learner.Start()
 		defer learner.Stop()
@@ -200,7 +234,7 @@ func main() {
 		}
 	}()
 	extras := ""
-	if cfg.Model != nil {
+	if cfg.Model != nil || (learner != nil && learner.HasDart()) {
 		extras += " dart"
 	}
 	if learner != nil {
@@ -219,12 +253,14 @@ func main() {
 }
 
 // buildLearner wires the continual-learning subsystem: the architecture is
-// the DART student shape, warm-started from the trained student when -dart
-// also ran, random otherwise; a checkpoint in dir always wins (recovery).
-// With student set, the distilled-student tier is enabled on a compact
-// architecture derived from the teacher's (nn.StudentConfig), its latency
-// and storage modelled with the same systolic-array complexity model.
-func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration, student bool, distillInterval time.Duration) (*online.Learner, error) {
+// the DART student shape, warm-started from the trained student when the
+// static model was pretrained, random otherwise; a checkpoint in dir always
+// wins (recovery). With student set, the distilled-student tier is enabled
+// on a compact architecture derived from the teacher's (nn.StudentConfig),
+// its latency and storage modelled with the same systolic-array complexity
+// model; with dart set, the duty-cycled tabularizer additionally publishes
+// the student's table hierarchy as the versioned "dart" class.
+func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration, student bool, distillInterval time.Duration, dart bool, tabularizeInterval time.Duration) (*online.Learner, error) {
 	data := dataprep.Default()
 	tcfg := nn.TransformerConfig{
 		T: data.History, DIn: data.InputDim(),
@@ -268,6 +304,13 @@ func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration, s
 		cfg.StudentLatency = config.NNLatency(smodel)
 		cfg.StudentStorageBytes = config.NNStorageBits(smodel, 32) / 8
 	}
+	if dart {
+		// Config.Tabular is left zero: the learner fills in the shared
+		// serving default (online.DefaultTabularConfig — LSH, small tables,
+		// the configuration the CI bench gate measures).
+		cfg.Dart = true
+		cfg.TabularizeInterval = tabularizeInterval
+	}
 	return online.NewLearner(cfg)
 }
 
@@ -279,8 +322,10 @@ func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration, s
 // prefetcher — the online model changes under training, but delivery must
 // not.
 func runReplay(e *serve.Engine, learner *online.Learner, sessions, n int, opt serve.ReplayOptions, soak time.Duration, jsonOut string) {
-	if (opt.Prefetcher == "online" || opt.Prefetcher == "student") && opt.Verify {
-		fmt.Println("verify: online model hot-swaps under training; checking completeness instead of bit-identity")
+	versioned := opt.Prefetcher == "online" || opt.Prefetcher == "student" ||
+		(opt.Prefetcher == "dart" && learner != nil && learner.HasDart())
+	if versioned && opt.Verify {
+		fmt.Println("verify: versioned classes hot-swap under training; checking completeness instead of bit-identity")
 		opt.Verify = false
 	}
 	apps := trace.Apps()
@@ -339,6 +384,11 @@ func printLearner(l *online.Learner) {
 		fmt.Printf("student: v%d (%d published)  distilled %d (%d steps)  kd-loss %.4f (trend %+.4f)\n",
 			st.StudentVersion, st.StudentPublished, st.Distilled, st.DistillSteps,
 			st.DistillLoss, st.DistillTrend)
+	}
+	if l.HasDart() {
+		fmt.Printf("dart: v%d (%d published)  tabularized %d (%.0f ms total)  latency %d cycles  storage %d B\n",
+			st.DartVersion, st.DartPublished, st.Tabularized, st.TabularizeMs,
+			l.DartLatency(), l.DartStorageBytes())
 	}
 }
 

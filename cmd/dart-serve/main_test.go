@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dart/internal/online"
+	"dart/internal/serve"
+)
+
+// TestBuildLearnerTiers pins the daemon's learner wiring: the flag
+// combinations map onto the expected serving classes, and the dart tier
+// rides on the student tier.
+func TestBuildLearnerTiers(t *testing.T) {
+	teacherOnly, err := buildLearner(nil, "", -1, false, -1, false, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if teacherOnly.HasStudent() || teacherOnly.HasDart() {
+		t.Fatal("teacher-only learner grew extra tiers")
+	}
+
+	dir := t.TempDir()
+	full, err := buildLearner(nil, dir, -1, true, -1, true, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.HasStudent() || !full.HasDart() {
+		t.Fatal("dart learner is missing a tier")
+	}
+	if full.Serving() == nil || full.StudentServing() == nil {
+		t.Fatal("model classes not published at construction")
+	}
+	if full.DartServing() != nil {
+		t.Fatal("a table served before any tabularization")
+	}
+	// The daemon's serving kernel is the configuration the CI bench gate
+	// measures: LSH (power-of-two K) so tabularization cannot panic.
+	k := online.DefaultTabularConfig().Kernel
+	if k.K&(k.K-1) != 0 {
+		t.Fatalf("serving kernel K=%d is not a power of two (LSH requires it)", k.K)
+	}
+
+	// A second learner over the same directory recovers both model classes.
+	again, err := buildLearner(nil, dir, -1, true, -1, true, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Serving().Version != full.Serving().Version ||
+		again.StudentServing().Version != full.StudentServing().Version {
+		t.Fatal("restart did not recover the published classes")
+	}
+}
+
+// TestRunReplayDartCompleteness drives the daemon's replay path end to end
+// on the dart class: verify flips to the completeness check (the versioned
+// table hot-swaps under training by design), the report is written as JSON,
+// and the learner summary prints without panicking.
+func TestRunReplayDartCompleteness(t *testing.T) {
+	learner, err := buildLearner(nil, "", -1, true, -1, true, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learner.Start()
+	defer learner.Stop()
+	e := serve.NewEngine(serve.Config{Online: learner})
+
+	out := filepath.Join(t.TempDir(), "report.json")
+	runReplay(e, learner, 2, 500, serve.ReplayOptions{
+		Prefetcher: "dart", Degree: 4, Verify: true,
+	}, 0, out)
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Report serve.Report `json:"report"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Report.Merged.Accesses != 2*500 {
+		t.Fatalf("report accounts %d accesses, want %d", doc.Report.Merged.Accesses, 2*500)
+	}
+}
+
+// TestOrNone covers the tiny flag formatter.
+func TestOrNone(t *testing.T) {
+	if orNone("") != "disabled" || orNone("/x") != "/x" {
+		t.Fatal("orNone misformats")
+	}
+}
+
+// TestRunReplaySoakRound: a short soak repeats rounds until the deadline and
+// still accounts every access (fresh session ids per round).
+func TestRunReplaySoakRound(t *testing.T) {
+	learner, err := buildLearner(nil, t.TempDir(), -1, true, -1, true, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learner.Start()
+	defer learner.Stop()
+	e := serve.NewEngine(serve.Config{Online: learner})
+	runReplay(e, learner, 2, 400, serve.ReplayOptions{
+		Prefetcher: "student", Degree: 4, Verify: true,
+	}, 200*time.Millisecond, "")
+}

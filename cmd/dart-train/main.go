@@ -29,6 +29,7 @@ import (
 	"dart/internal/kd"
 	"dart/internal/nn"
 	"dart/internal/online"
+	"dart/internal/tabular"
 	"dart/internal/trace"
 )
 
@@ -155,7 +156,36 @@ func distillServeStudent(art *core.Artifacts, epochs int, out string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\npublished teacher v%d and student v%d to %s\n", tm.Version, sm.Version, out)
-	fmt.Printf("serve them with: dart-serve -dart -online -student -checkpoint-dir %s\n", out)
+
+	// Tabularize the serve student and publish the hierarchy as the dart
+	// class too, so the daemon recovers a full teach→distill→tabularize
+	// pipeline and can serve tables before its first online duty cycle. The
+	// kernel config matches dart-serve's serving default; Source records the
+	// student version the table derives from, so the daemon's tabularizer
+	// knows not to rebuild an unchanged table on startup.
+	fit := art.Train.X
+	if fit.N > 512 {
+		fit = fit.Gather(rand.New(rand.NewSource(5)).Perm(fit.N)[:512])
+	}
+	tables := tabular.Tabularize(student, fit, online.DefaultTabularConfig())
+	f1Tables := core.EvaluateTableF1(tables.Hierarchy, art.Test)
+	cost := tables.Hierarchy.Cost()
+	fmt.Printf("%-22s %8.3f   (latency %d cycles, %.1f KB)\n",
+		"Serve DART (tables)", f1Tables, cost.LatencyCycles, float64(cost.StorageBytes())/1024)
+	dStore, err := online.NewTableStore(out, online.DartClass)
+	if err != nil {
+		return err
+	}
+	dm, err := dStore.Publish(tables.Hierarchy, nn.CheckpointMeta{
+		Source:   sm.Version,
+		Examples: uint64(fit.N),
+		Loss:     1 - f1Tables,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npublished teacher v%d, student v%d, and dart table v%d to %s\n",
+		tm.Version, sm.Version, dm.Version, out)
+	fmt.Printf("serve them with: dart-serve -pretrain -dart -checkpoint-dir %s\n", out)
 	return nil
 }

@@ -42,8 +42,12 @@
 //	                   rings, streaming example assembly, duty-cycled
 //	                   nn.Trainer fine-tuning of a shadow model, an online
 //	                   teacher→student distiller (kd.Loss over the same
-//	                   stream), and a versioned store with independent model
-//	                   classes (atomic snapshots, CRC-validated checkpoints)
+//	                   stream), a duty-cycled tabularizer re-tabularizing
+//	                   the published student into hot-swappable table
+//	                   hierarchies (the "dart" class), and a generic
+//	                   versioned store with independent serving classes
+//	                   (atomic snapshots, CRC-validated checkpoints for nn
+//	                   parameters and serialized table hierarchies alike)
 //	                   hot-swapped into serving with no batch ever mixing
 //	                   model versions
 //
@@ -70,11 +74,19 @@
 // VI-D): a compact student continually distilled from the published teacher
 // with the T-Sigmoid/Bernoulli-KL loss, published as an independent
 // "student" model class, served with teacher fallback and an optional A/B
-// shadow-compare mode reporting student-vs-teacher agreement; dart-train
-// -distill bridges offline distillation into the same checkpoint
+// shadow-compare mode reporting student-vs-teacher agreement. With -dart
+// the pipeline closes end to end — teach → distill → tabularize → serve —
+// online: a duty-cycled tabularizer re-tabularizes the published student
+// and publishes the table hierarchy as the versioned "dart" class, the
+// artifact the paper actually deploys, hot-swapped between batches like the
+// model classes and measurably faster than the student it derives from
+// (BenchmarkDartInfer, gated in CI). Sessions select their serving class at
+// open per tenant ("online"/"student"/"dart"), and the classes verb lists
+// every class's versions and modelled cost; dart-train -distill bridges
+// offline distillation and tabularization into the same checkpoint
 // directories. See internal/serve/README.md for the architecture and wire
 // protocol, internal/online/README.md for the feedback→train→publish→swap
-// lifecycle, its model classes, and version-consistency invariants, and
+// lifecycle, its serving classes, and version-consistency invariants, and
 // BENCH_serve.json for the measured serving baseline.
 //
 // The benchmark files in this directory regenerate every table and figure of

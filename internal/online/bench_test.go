@@ -10,6 +10,7 @@ import (
 	"dart/internal/mat"
 	"dart/internal/nn"
 	"dart/internal/sim"
+	"dart/internal/tabular"
 )
 
 // BenchmarkFeedbackIngest measures the serving-side cost of the online
@@ -115,6 +116,66 @@ func BenchmarkDistillCycle(b *testing.B) {
 		_, grad := kd.Loss(sl, tl, by, kdc.Lambda, kdc.Temperature)
 		student.Backward(grad)
 		opt.Step(student.Params())
+	}
+}
+
+// servingHierarchy tabularizes the daemon's default student with the dart
+// tier's serving kernel (LSH, K=8, C=1 — dart-serve's default), the
+// configuration BenchmarkDartInfer gates.
+func servingHierarchy(b *testing.B) *tabular.Hierarchy {
+	b.Helper()
+	data, tcfg := benchTeacherCfg()
+	student := nn.NewTransformerPredictor(nn.StudentConfig(tcfg), rand.New(rand.NewSource(13)))
+	fit := mat.NewTensor(64, data.History, data.InputDim())
+	rng := rand.New(rand.NewSource(6))
+	for i := range fit.Data {
+		fit.Data[i] = rng.NormFloat64()
+	}
+	res := tabular.Tabularize(student, fit, DefaultTabularConfig())
+	return res.Hierarchy
+}
+
+// BenchmarkDartInfer is the number the paper's deployment argument rests on:
+// one admission-batcher-sized QueryBatch through the tabularized student
+// must be strictly faster than the student's own forward pass (same-run CI
+// check), with the table's analytic storage reported as the storage_bytes
+// metric.
+func BenchmarkDartInfer(b *testing.B) {
+	h := servingHierarchy(b)
+	data, _ := benchTeacherCfg()
+	const batch = 16
+	in := mat.NewTensor(batch, data.History, data.InputDim())
+	rng := rand.New(rand.NewSource(6))
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.QueryBatch(in)
+	}
+	b.ReportMetric(float64(h.Cost().StorageBytes()), "storage_bytes")
+}
+
+// BenchmarkTabularSwap measures table hot-swap latency: TableStore.Publish
+// is an identity snapshot (hierarchies are immutable) plus the checkpoint-
+// free version bookkeeping and atomic pointer store — the cost sessions
+// observe when the tabularizer lands a new table.
+func BenchmarkTabularSwap(b *testing.B) {
+	s, err := NewTableStore("", DartClass)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := servingHierarchy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Publish(h, nn.CheckpointMeta{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s.Load() == nil {
+		b.Fatal("no table published")
 	}
 }
 

@@ -1,0 +1,287 @@
+package online
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"dart/internal/mat"
+	"dart/internal/nn"
+	"dart/internal/sim"
+	"dart/internal/tabular"
+)
+
+// dartLearnerConfig is studentLearnerConfig plus the dart tier with a small,
+// deterministic tabularization config and manual-only publish cadence.
+func dartLearnerConfig(dir string) Config {
+	cfg := studentLearnerConfig(dir)
+	cfg.Dart = true
+	cfg.Tabular = tinyTabularCfg()
+	cfg.TabularizeInterval = -1
+	cfg.DartSamples = 32
+	return cfg
+}
+
+// streamExamples pushes synthetic access rounds through an attached ring
+// until the learner has assembled at least want examples.
+func streamExamples(t *testing.T, l *Learner, ring *Ring, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for round := int64(0); l.Stats().Examples < want; round++ {
+		for i, r := range testRecords(31+round, 400) {
+			ev := Event{Access: sim.Access{InstrID: r.InstrID, PC: r.PC, Block: r.Block()}}
+			if i%4 == 0 {
+				ev.HasFB = true
+				ev.Feedback = sim.Feedback{Block: r.Block(), Kind: sim.FeedbackUseful}
+			}
+			for !ring.Push(ev) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("examples never assembled: %+v", l.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestLearnerTabularizesDart drives the full dart tier: streamed events fill
+// the reservoir, a forced SwapDart tabularizes the published student and
+// publishes table v1 (class-stamped, source-stamped), stats and the classes
+// listing move, rollback reverts, and the published table recovers from its
+// checkpoint bit-identically.
+func TestLearnerTabularizesDart(t *testing.T) {
+	dir := t.TempDir()
+	l, err := NewLearner(dartLearnerConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.HasDart() {
+		t.Fatal("dart tier not enabled")
+	}
+	if l.DartServing() != nil {
+		t.Fatal("a table served before anything was tabularized")
+	}
+	// Before the first publish the dart cost model falls back to the
+	// student's numbers.
+	if l.DartLatency() != l.StudentLatency() || l.DartStorageBytes() != l.StudentStorageBytes() {
+		t.Fatalf("pre-publish dart cost (%d, %d) is not the student fallback (%d, %d)",
+			l.DartLatency(), l.DartStorageBytes(), l.StudentLatency(), l.StudentStorageBytes())
+	}
+
+	ring := l.Attach("s0")
+	l.Start()
+	streamExamples(t, l, ring, 64)
+
+	tab, err := l.SwapDart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Version != 1 || tab.Meta.Class != DartClass {
+		t.Fatalf("published %+v, want v1 class %q", tab.Meta, DartClass)
+	}
+	if want := l.StudentServing().Version; tab.Meta.Source != want {
+		t.Fatalf("table source v%d, want published student v%d", tab.Meta.Source, want)
+	}
+	if got := l.DartServing(); got == nil || got.Version != 1 {
+		t.Fatalf("serving %+v after swap", got)
+	}
+	// The analytic cost of the published hierarchy replaces the fallback.
+	if c := tab.H.Cost(); l.DartLatency() != c.LatencyCycles || l.DartStorageBytes() != c.StorageBytes() {
+		t.Fatalf("dart cost (%d, %d) != published hierarchy cost (%d, %d)",
+			l.DartLatency(), l.DartStorageBytes(), c.LatencyCycles, c.StorageBytes())
+	}
+	st := l.Stats()
+	if st.DartVersion != 1 || st.DartPublished != 1 || st.Tabularized != 1 || st.TabularizeMs <= 0 {
+		t.Fatalf("dart stats did not move: %+v", st)
+	}
+	// Teacher and student sequences are untouched by table publishes.
+	if l.Serving().Version != 1 || l.StudentServing().Version != 1 {
+		t.Fatalf("model classes moved on a table publish: teacher v%d student v%d",
+			l.Serving().Version, l.StudentServing().Version)
+	}
+
+	// Classes lists all three tiers with their versions.
+	classes := l.Classes()
+	if len(classes) != 3 {
+		t.Fatalf("classes %+v, want 3 entries", classes)
+	}
+	byName := map[string]ClassInfo{}
+	for _, c := range classes {
+		byName[c.Class] = c
+	}
+	if byName["teacher"].Version != 1 || byName[StudentClass].Version != 1 || byName[DartClass].Version != 1 {
+		t.Fatalf("class versions %+v", byName)
+	}
+	if byName[DartClass].Published != 1 || len(byName[DartClass].Versions) != 1 {
+		t.Fatalf("dart class row %+v", byName[DartClass])
+	}
+
+	// A second swap publishes v2; rollback reverts to v1.
+	if tab2, err := l.SwapDart(); err != nil || tab2.Version != 2 {
+		t.Fatalf("second swap: %+v, %v", tab2, err)
+	}
+	back, err := l.RollbackDart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != 1 || l.DartServing().Version != 1 {
+		t.Fatalf("rollback landed on v%d", back.Version)
+	}
+
+	l.Detach("s0")
+	l.Stop()
+
+	// The served table recovers from its checkpoint bit-identically, and a
+	// fresh learner over the same dir serves it immediately (no fallback).
+	rec, err := NewTableStore(dir, DartClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rec.Load()
+	if got == nil || got.Version != 1 {
+		t.Fatalf("recovered %+v, want v1", got)
+	}
+	sameTableBatches(t, l.DartServing().H, got.H)
+
+	l2, err := NewLearner(dartLearnerConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.DartServing() == nil || l2.DartServing().Version != 1 {
+		t.Fatalf("restarted learner serves %+v, want table v1", l2.DartServing())
+	}
+	sameTableBatches(t, l.DartServing().H, l2.DartServing().H)
+}
+
+// TestDartAutoTabularizeDutyCycle: with a tiny interval, the loop publishes
+// a first table on its own, then re-publishes only after the student class
+// changes (an unchanged student is skipped, a swapped one is picked up).
+func TestDartAutoTabularizeDutyCycle(t *testing.T) {
+	cfg := dartLearnerConfig(t.TempDir())
+	cfg.TabularizeInterval = 2 * time.Millisecond
+	l, err := NewLearner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := l.Attach("s0")
+	l.Start()
+	defer l.Stop()
+	streamExamples(t, l, ring, 64)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for l.Stats().DartVersion == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("duty cycle never published a table: %+v", l.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	v1 := l.DartServing()
+	if v1.Meta.Source != l.StudentServing().Version {
+		t.Fatalf("auto table source v%d, student v%d", v1.Meta.Source, l.StudentServing().Version)
+	}
+
+	// Unchanged student: the duty cycle must idle rather than republish.
+	time.Sleep(20 * time.Millisecond)
+	if got := l.DartServing().Version; got != v1.Version {
+		t.Fatalf("duty cycle republished an unchanged student (v%d -> v%d)", v1.Version, got)
+	}
+
+	// A student publish wakes the next cycle into a fresh table.
+	if _, err := l.SwapStudent(); err != nil {
+		t.Fatal(err)
+	}
+	for l.DartServing().Version == v1.Version {
+		if time.Now().After(deadline) {
+			t.Fatalf("duty cycle never picked up the new student: %+v", l.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := l.DartServing(); got.Meta.Source != l.StudentServing().Version {
+		t.Fatalf("re-tabularized from student v%d, want v%d", got.Meta.Source, l.StudentServing().Version)
+	}
+	l.Detach("s0")
+}
+
+// TestDartParityWithOfflineTabularization is the parity satellite at the
+// store level: a hierarchy recovered from its checkpoint must serve batches
+// bit-identical to the in-memory hierarchy it was published from, and to
+// what core's offline path (a direct tabular.Tabularize of the same student
+// weights over the same fit set) produces.
+func TestDartParityWithOfflineTabularization(t *testing.T) {
+	dir := t.TempDir()
+	data := tinyData()
+	student := tinyStudentArch(tinyTeacherCfg)()
+	rng := rand.New(rand.NewSource(123))
+	fit := mat.NewTensor(32, data.History, data.InputDim())
+	for i := range fit.Data {
+		fit.Data[i] = rng.NormFloat64()
+	}
+	cfg := tinyTabularCfg()
+
+	// The "online" leg: tabularize and publish through the versioned store.
+	published := tabular.Tabularize(student.(*nn.Sequential), fit, cfg).Hierarchy
+	s, err := NewTableStore(dir, DartClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Publish(published, nn.CheckpointMeta{Source: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The recovery leg: a fresh store scan reads the checkpoint back.
+	rec, err := NewTableStore(dir, DartClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := rec.Load()
+	if recovered == nil {
+		t.Fatal("nothing recovered")
+	}
+
+	// The offline leg: the same student weights, copied into a fresh
+	// network exactly as core's pipeline would hold them, tabularized with
+	// the same fit set and config.
+	clone := tinyStudentArch(tinyTeacherCfg)()
+	if err := nn.CopyParams(clone, student); err != nil {
+		t.Fatal(err)
+	}
+	offline := tabular.Tabularize(clone.(*nn.Sequential), fit, cfg).Hierarchy
+
+	sameTableBatches(t, published, recovered.H)
+	sameTableBatches(t, published, offline)
+}
+
+// TestDartConfigValidation: the dart tier requires the student tier, swap
+// verbs fail cleanly without the tier, and tabularization refuses to run on
+// an empty reservoir.
+func TestDartConfigValidation(t *testing.T) {
+	data := tinyData()
+	bad := Config{Data: data, New: tinyArch(data), Dart: true, SwapInterval: -1, Seed: 2}
+	if _, err := NewLearner(bad); err == nil || !strings.Contains(err.Error(), "Student") {
+		t.Fatalf("dart without student accepted (err %v)", err)
+	}
+
+	noTier, err := NewLearner(Config{Data: data, New: tinyArch(data), SwapInterval: -1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noTier.HasDart() || noTier.DartServing() != nil || noTier.DartStore() != nil {
+		t.Fatal("dart tier reported on a learner without one")
+	}
+	if _, err := noTier.SwapDart(); err == nil {
+		t.Fatal("SwapDart succeeded without a tier")
+	}
+	if _, err := noTier.RollbackDart(); err == nil {
+		t.Fatal("RollbackDart succeeded without a tier")
+	}
+
+	empty, err := NewLearner(dartLearnerConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.SwapDart(); err == nil || !strings.Contains(err.Error(), "not enough examples") {
+		t.Fatalf("tabularization on an empty reservoir: %v", err)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"dart/internal/mat"
 	"dart/internal/nn"
 	"dart/internal/sim"
+	"dart/internal/tabular"
 )
 
 // Config tunes the learner. Zero values select sensible defaults.
@@ -75,6 +76,32 @@ type Config struct {
 	StudentLatency      int // modelled inference latency of the student prefetcher (cycles)
 	StudentStorageBytes int // modelled storage of the student prefetcher
 
+	// Dart, when true, enables the tabularized serving class — the paper's
+	// actual deployment artifact. A duty-cycled tabularizer periodically
+	// re-tabularizes the published student (tabular.Tabularize on a private
+	// parameter mirror, mirroring the distiller's pattern) over the freshest
+	// reservoir examples and publishes the resulting hierarchy as the "dart"
+	// class of the versioned store, where serving hot-swaps it between
+	// inference batches like any other class. Requires Student.
+	Dart bool
+
+	Tabular tabular.Config // tabularization config (zero Kernel selects defaults)
+
+	// TabularizeInterval is the auto re-tabularize cadence (default:
+	// DistillInterval; <0 disables — the forced SwapDart always works). An
+	// auto cycle is skipped while the published student hasn't changed since
+	// the table was built.
+	TabularizeInterval time.Duration
+
+	DartSamples int // kernel-fitting examples drawn from the reservoir (default 128)
+
+	// DartLatency/DartStorageBytes override the modelled cost of the dart
+	// prefetcher; when 0 the analytic Cost of the currently published
+	// hierarchy is used (falling back to the student's numbers until the
+	// first table is published).
+	DartLatency      int
+	DartStorageBytes int
+
 	Seed int64
 }
 
@@ -105,6 +132,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DistillInterval == 0 {
 		c.DistillInterval = c.SwapInterval
+	}
+	if c.TabularizeInterval == 0 {
+		c.TabularizeInterval = c.DistillInterval
+	}
+	if c.DartSamples <= 0 {
+		c.DartSamples = 128
+	}
+	if c.Dart && c.Tabular == (tabular.Config{}) {
+		c.Tabular = DefaultTabularConfig()
 	}
 	if c.Distill == (kd.Config{}) {
 		c.Distill = kd.DefaultConfig()
@@ -167,7 +203,25 @@ type Learner struct {
 	distilled        atomic.Uint64
 	studentPublished atomic.Uint64
 
-	// buf is the example reservoir; loop goroutine only.
+	// Dart (tabularized) tier; all nil/zero unless cfg.Dart is set. tabMu
+	// serialises tabularization cycles (the loop's duty cycle vs a forced
+	// SwapDart from the wire) and guards the mirror/cadence fields below;
+	// lock order is tabMu before trainMu, never the reverse.
+	dartStore     *TableStore
+	tabMu         sync.Mutex
+	dartStudent   nn.Layer // private parameter mirror of the published student
+	dartMirrorVer uint64   // student version currently in the mirror
+	dartSrcVer    uint64   // student version the published table derives from
+	lastTab       time.Time
+	dartCost      atomic.Pointer[tabular.Cost] // analytic cost of the published hierarchy
+	tabularized   atomic.Uint64
+	dartPublished atomic.Uint64
+	tabNs         atomic.Int64
+
+	// buf is the example reservoir. Guarded by trainMu: the loop goroutine
+	// writes it (drainAll) and samples it (optimizer steps), but forced
+	// SwapDart tabularizations snapshot it from wire-server goroutines
+	// (fitSnapshot).
 	buf   []example
 	bufW  int
 	bufN  int
@@ -251,10 +305,46 @@ func NewLearner(cfg Config) (*Learner, error) {
 			return nil, err
 		}
 	}
+	if cfg.Dart {
+		if err := l.initDart(); err != nil {
+			return nil, err
+		}
+	}
 	l.lastPub = time.Now()
 	l.lastStuPub = time.Now()
 	l.start = time.Now()
 	return l, nil
+}
+
+// initDart wires the tabularized serving class: its table store (recovering
+// the newest good table checkpoint when one exists) and the private student
+// mirror the tabularizer reads from. No table is published at construction
+// when the store starts empty — tabularization needs streamed examples to
+// fit kernels on, so the serve side falls back to the student until the
+// first duty cycle (or SwapDart) publishes one.
+func (l *Learner) initDart() error {
+	if l.studentStore == nil {
+		return fmt.Errorf("online: the dart tier re-tabularizes the published student; Config.Dart requires Config.Student")
+	}
+	l.dartStudent = l.cfg.Student()
+	if _, ok := l.dartStudent.(*nn.Sequential); !ok {
+		return fmt.Errorf("online: tabularization needs an *nn.Sequential student architecture, got %T", l.dartStudent)
+	}
+	store, err := NewTableStore(l.cfg.Dir, DartClass)
+	if err != nil {
+		return err
+	}
+	l.dartStore = store
+	if t := store.Load(); t != nil {
+		c := t.H.Cost()
+		l.dartCost.Store(&c)
+		// The recovered table remembers which student version it derives
+		// from, so the duty cycle does not rebuild an unchanged table right
+		// after a restart.
+		l.dartSrcVer = t.Meta.Source
+	}
+	l.lastTab = time.Now()
+	return nil
 }
 
 // initStudent wires the distilled-student tier: its class store (recovering
@@ -330,6 +420,48 @@ func (l *Learner) StudentLatency() int { return l.cfg.StudentLatency }
 // StudentStorageBytes is the modelled storage of the student prefetcher.
 func (l *Learner) StudentStorageBytes() int { return l.cfg.StudentStorageBytes }
 
+// HasDart reports whether the tabularized (dart) serving class is enabled.
+func (l *Learner) HasDart() bool { return l.dartStore != nil }
+
+// DartStore exposes the dart class of the versioned store; nil when the
+// tier is disabled.
+func (l *Learner) DartStore() *TableStore { return l.dartStore }
+
+// DartServing returns the currently published table version, or nil while
+// none exists yet (before the first tabularization cycle of an empty store)
+// — the serve side falls back to the student class until then.
+func (l *Learner) DartServing() *Table {
+	if l.dartStore == nil {
+		return nil
+	}
+	return l.dartStore.Load()
+}
+
+// DartLatency is the modelled inference latency of the dart prefetcher: the
+// config override when set, else the analytic latency (Sec. V-C) of the
+// published hierarchy, else the student's while no table exists yet.
+func (l *Learner) DartLatency() int {
+	if l.cfg.DartLatency > 0 {
+		return l.cfg.DartLatency
+	}
+	if c := l.dartCost.Load(); c != nil {
+		return c.LatencyCycles
+	}
+	return l.cfg.StudentLatency
+}
+
+// DartStorageBytes is the modelled storage of the dart prefetcher, resolved
+// like DartLatency.
+func (l *Learner) DartStorageBytes() int {
+	if l.cfg.DartStorageBytes > 0 {
+		return l.cfg.DartStorageBytes
+	}
+	if c := l.dartCost.Load(); c != nil {
+		return c.StorageBytes()
+	}
+	return l.cfg.StudentStorageBytes
+}
+
 // Attach registers a session and returns the ring its actor pushes events
 // into. The caller must Detach with the same id when the session closes.
 func (l *Learner) Attach(id string) *Ring {
@@ -388,11 +520,15 @@ func (l *Learner) loop() {
 		case <-tick.C:
 			l.drainAll()
 			l.maybeTrain()
+			l.maybeTabularize()
 		}
 	}
 }
 
-// drainAll consumes every attached ring into the example reservoir.
+// drainAll consumes every attached ring into the example reservoir. The
+// reservoir is written under trainMu: it is sampled by optimizer steps on
+// this goroutine, but also snapshotted by forced SwapDart tabularizations
+// from wire-server goroutines.
 func (l *Learner) drainAll() {
 	l.tapMu.Lock()
 	taps := make([]*sessionTap, 0, len(l.taps))
@@ -400,6 +536,8 @@ func (l *Learner) drainAll() {
 		taps = append(taps, t)
 	}
 	l.tapMu.Unlock()
+	l.trainMu.Lock()
+	defer l.trainMu.Unlock()
 	for _, t := range taps {
 		t.ring.Drain(func(ev Event) {
 			l.ingested.Add(1)
@@ -553,6 +691,129 @@ func (l *Learner) publishStudentLocked() (*Model, error) {
 	return m, nil
 }
 
+// maybeTabularize is the dart tier's duty cycle, run on the loop goroutine
+// after training: when the tabularize interval has elapsed and the published
+// student has changed since the serving table was built, re-tabularize and
+// publish. Tabularization is deliberately run outside trainMu — it is the
+// most expensive background step by far, and holding the training lock for
+// its duration would stall forced Swap/Rollback verbs; only the brief fit-
+// snapshot inside tabularizeLocked touches trainer state.
+func (l *Learner) maybeTabularize() {
+	if l.dartStore == nil || l.cfg.TabularizeInterval <= 0 {
+		return
+	}
+	l.tabMu.Lock()
+	defer l.tabMu.Unlock()
+	if time.Since(l.lastTab) < l.cfg.TabularizeInterval {
+		return
+	}
+	if sm := l.studentStore.Load(); sm.Version == l.dartSrcVer {
+		return // student unchanged: the table would come out identical-ish
+	}
+	_, _ = l.tabularizeLocked() // on failure serving keeps the previous table
+}
+
+// fitSnapshot copies the newest DartSamples reservoir examples into a
+// kernel-fitting tensor (insertion order, deterministic) and reads the
+// distillation-loss EWMA, all under one trainMu critical section — the only
+// part of a tabularization cycle that touches trainer state.
+func (l *Learner) fitSnapshot() (*mat.Tensor, float64, error) {
+	l.trainMu.Lock()
+	defer l.trainMu.Unlock()
+	if l.bufN < l.cfg.BatchSize {
+		return nil, 0, fmt.Errorf("online: not enough examples to tabularize (%d, need %d)", l.bufN, l.cfg.BatchSize)
+	}
+	n := l.cfg.DartSamples
+	if n > l.bufN {
+		n = l.bufN
+	}
+	fit := mat.NewTensor(n, l.cfg.Data.History, l.cfg.Data.InputDim())
+	start := (l.bufW - n + len(l.buf)) % len(l.buf)
+	for i := 0; i < n; i++ {
+		copy(fit.Sample(i).Data, l.buf[(start+i)%len(l.buf)].x)
+	}
+	return fit, l.distLossFast, nil
+}
+
+// tabularizeLocked runs one tabularization cycle: refresh the private
+// student mirror to the published student version (the published instance's
+// Forward belongs to the serving batcher, exactly like the distiller's
+// teacher mirror), run tabular.Tabularize over the freshest reservoir
+// examples, and publish the resulting hierarchy as the next dart version.
+// Caller holds tabMu.
+func (l *Learner) tabularizeLocked() (*Table, error) {
+	fit, loss, err := l.fitSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	// Stamp the cadence before the expensive work, not after a successful
+	// publish: if tabularization or the checkpoint write fails (disk full,
+	// permissions), the duty cycle must wait out a full interval before
+	// retrying rather than re-running the most expensive background step on
+	// every 2ms tick. The cheap not-enough-examples failure above retries
+	// freely.
+	l.lastTab = time.Now()
+	sm := l.studentStore.Load()
+	if sm.Version != l.dartMirrorVer {
+		if err := nn.CopyParams(l.dartStudent, sm.Net); err != nil {
+			return nil, fmt.Errorf("online: student mirror: %w", err)
+		}
+		l.dartMirrorVer = sm.Version
+	}
+	t0 := time.Now()
+	res := tabular.Tabularize(l.dartStudent.(*nn.Sequential), fit, l.cfg.Tabular)
+	l.tabNs.Add(time.Since(t0).Nanoseconds())
+	l.tabularized.Add(1)
+	tab, err := l.dartStore.Publish(res.Hierarchy, nn.CheckpointMeta{
+		Source:   sm.Version, // the student version the table derives from
+		Examples: uint64(fit.N),
+		Steps:    l.distSteps.Load(),
+		Loss:     loss,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cost := tab.H.Cost()
+	l.dartCost.Store(&cost)
+	l.dartPublished.Add(1)
+	l.dartSrcVer = sm.Version
+	return tab, nil
+}
+
+// SwapDart force-runs one tabularization cycle immediately (the serve
+// protocol's "swap" verb with the dart class selector), publishing a fresh
+// table from the currently published student — even an unchanged one, since
+// the reservoir the kernels fit on keeps moving. Serving picks the table up
+// at the next inference batch.
+func (l *Learner) SwapDart() (*Table, error) {
+	if l.dartStore == nil {
+		return nil, fmt.Errorf("online: no dart tier configured")
+	}
+	l.tabMu.Lock()
+	defer l.tabMu.Unlock()
+	return l.tabularizeLocked()
+}
+
+// RollbackDart reverts the served table to the previously published version.
+// There is no shadow to reset — tables are derived artifacts — but the
+// rolled-back source version is forgotten so the next duty cycle rebuilds
+// from the current student instead of skipping as "unchanged".
+func (l *Learner) RollbackDart() (*Table, error) {
+	if l.dartStore == nil {
+		return nil, fmt.Errorf("online: no dart tier configured")
+	}
+	l.tabMu.Lock()
+	defer l.tabMu.Unlock()
+	t, err := l.dartStore.Rollback()
+	if err != nil {
+		return nil, err
+	}
+	cost := t.H.Cost()
+	l.dartCost.Store(&cost)
+	l.dartSrcVer = 0
+	return t, nil
+}
+
 // Swap force-publishes the current shadow as a new version immediately (the
 // serve protocol's "swap" verb). Serving picks it up at the next inference
 // batch.
@@ -639,6 +900,12 @@ type Stats struct {
 	DistillSteps     uint64  // distillation optimizer steps taken
 	DistillLoss      float64 // combined KD+BCE loss EWMA (fast horizon)
 	DistillTrend     float64 // fast minus slow EWMA; negative = improving
+
+	// Dart (tabularized) tier; all zero when the tier is disabled.
+	DartVersion   uint64  // currently served table version (0 until the first publish)
+	DartPublished uint64  // table versions published since start
+	Tabularized   uint64  // tabularization cycles run
+	TabularizeMs  float64 // cumulative wall time spent tabularizing, milliseconds
 }
 
 // Stats snapshots the learner's counters.
@@ -670,6 +937,14 @@ func (l *Learner) Stats() Stats {
 			st.StudentVersion = m.Version
 		}
 	}
+	if l.dartStore != nil {
+		st.DartPublished = l.dartPublished.Load()
+		st.Tabularized = l.tabularized.Load()
+		st.TabularizeMs = float64(l.tabNs.Load()) / 1e6
+		if t := l.dartStore.Load(); t != nil {
+			st.DartVersion = t.Version
+		}
+	}
 	l.trainMu.Lock()
 	st.Loss = l.lossFast
 	st.LossTrend = l.lossFast - l.lossSlow
@@ -680,4 +955,56 @@ func (l *Learner) Stats() Stats {
 		st.PerSec = float64(st.Ingested) / el
 	}
 	return st
+}
+
+// ClassInfo describes one serving class of the versioned store — the rows
+// of the wire protocol's "classes" verb.
+type ClassInfo struct {
+	Class        string   // wire name: "teacher", "student", "dart"
+	Version      uint64   // currently served version (0 when none published yet)
+	Versions     []uint64 // versions held for rollback, oldest first
+	Published    uint64   // publishes since start
+	Latency      int      // modelled inference latency (cycles)
+	StorageBytes int      // modelled predictor storage
+}
+
+// Classes lists every serving class this learner versions, teacher first.
+func (l *Learner) Classes() []ClassInfo {
+	out := []ClassInfo{{
+		Class:        "teacher",
+		Versions:     l.store.Versions(),
+		Published:    l.published.Load(),
+		Latency:      l.cfg.Latency,
+		StorageBytes: l.cfg.StorageBytes,
+	}}
+	if m := l.store.Load(); m != nil {
+		out[0].Version = m.Version
+	}
+	if l.studentStore != nil {
+		ci := ClassInfo{
+			Class:        StudentClass,
+			Versions:     l.studentStore.Versions(),
+			Published:    l.studentPublished.Load(),
+			Latency:      l.cfg.StudentLatency,
+			StorageBytes: l.cfg.StudentStorageBytes,
+		}
+		if m := l.studentStore.Load(); m != nil {
+			ci.Version = m.Version
+		}
+		out = append(out, ci)
+	}
+	if l.dartStore != nil {
+		ci := ClassInfo{
+			Class:        DartClass,
+			Versions:     l.dartStore.Versions(),
+			Published:    l.dartPublished.Load(),
+			Latency:      l.DartLatency(),
+			StorageBytes: l.DartStorageBytes(),
+		}
+		if t := l.dartStore.Load(); t != nil {
+			ci.Version = t.Version
+		}
+		out = append(out, ci)
+	}
+	return out
 }

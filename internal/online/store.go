@@ -2,6 +2,7 @@ package online
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -30,63 +31,85 @@ type Model struct {
 // checkpoint count; older versions are pruned as new ones are published.
 const keepVersions = 8
 
-// Store is the versioned model store: an atomic pointer to the current
-// immutable Model (lock-free Load on the serving path), a bounded rollback
-// history, and — when a directory is configured — one CRC-validated
-// checkpoint file per published version, written atomically (temp file +
-// rename) so a crash can never leave a half-written current checkpoint.
-type Store struct {
-	fresh  func() nn.Layer // architecture factory for clones and reloads
-	dir    string          // "" disables checkpointing
-	class  string          // model class ("" = default/teacher)
-	prefix string          // checkpoint filename prefix for this class
+// codec tells the generic store core how to handle one payload kind: how to
+// snapshot a source into an immutable published value, and how to write and
+// read its checkpoint frame. The core owns everything payload-agnostic —
+// versioning, the atomic current pointer, bounded rollback history, atomic
+// temp+rename checkpoint writes, newest-good-version recovery with corrupt-
+// file fallback, pruning — so every serving class (nn teacher/student,
+// tabular dart) shares one battle-tested machinery.
+type codec[P any] struct {
+	// snapshot turns the caller's (possibly still-mutating) source into the
+	// immutable value the store publishes. nn models deep-copy parameters;
+	// hierarchies are immutable by construction, so theirs is the identity.
+	snapshot func(src P) (P, error)
+	save     func(w io.Writer, v P, meta nn.CheckpointMeta) error
+	load     func(r io.Reader) (P, nn.CheckpointMeta, error)
+}
 
-	cur atomic.Pointer[Model]
+// rev is one published version of a payload.
+type rev[P any] struct {
+	version uint64
+	val     P
+	meta    nn.CheckpointMeta
+}
 
-	mu      sync.Mutex // serialises Publish/Rollback and guards history/next
-	history []*Model   // published versions, oldest first
+// core is the class-agnostic versioned snapshot store: an atomic pointer to
+// the current immutable revision (lock-free load on the serving path), a
+// bounded rollback history, and — when a directory is configured — one CRC-
+// validated checkpoint file per published version, written atomically (temp
+// file + rename) so a crash can never leave a half-written current
+// checkpoint.
+type core[P any] struct {
+	cd     codec[P]
+	dir    string // "" disables checkpointing
+	class  string // model class ("" = default/teacher)
+	prefix string // checkpoint filename prefix for this class
+
+	cur atomic.Pointer[rev[P]]
+
+	mu      sync.Mutex // serialises publish/rollback and guards history/next
+	history []*rev[P]  // published versions, oldest first
 	next    uint64     // next version number to assign
 
-	// Skipped lists checkpoint files that were present but rejected during
-	// NewStore recovery (corrupt, truncated, wrong architecture), with the
-	// reason — the store fell back past them to the newest good version.
-	Skipped []string
+	// skipped lists checkpoint files that were present but rejected during
+	// recovery (corrupt, truncated, wrong architecture, wrong class), with
+	// the reason — recovery fell back past them to the newest good version.
+	skipped []string
 }
 
-// NewStore builds a store for the default model class (the online teacher)
-// over the given architecture factory. When dir is non-empty it is created
-// if needed and scanned for checkpoints: every valid one (up to
-// keepVersions, newest first) is loaded into the rollback history, the
-// newest becomes the current version (continual learning across daemon
-// restarts — including Rollback straight after a restart), and corrupt or
-// mismatched files are recorded in Skipped and skipped over. A store may
-// start empty — Load returns nil until the first Publish.
-func NewStore(fresh func() nn.Layer, dir string) (*Store, error) {
-	return NewClassStore(fresh, dir, "")
+// classPrefix validates a class name and maps it to its checkpoint filename
+// prefix. Classes are fully independent version sequences sharing a
+// checkpoint directory: each writes files under its own prefix ("ckpt-" for
+// the default class, the class name otherwise), so one class's recovery scan
+// never touches another's files.
+func classPrefix(class string) (string, error) {
+	if class == "" {
+		return "ckpt", nil
+	}
+	if strings.ContainsAny(class, "-/\\* .") || class == "ckpt" {
+		// "ckpt" is the default class's filename prefix; allowing it as a
+		// named class would collide both stores on the same files.
+		return "", fmt.Errorf("online: invalid model class %q", class)
+	}
+	return class, nil
 }
 
-// NewClassStore builds a store for one named model class. Classes are fully
-// independent version sequences sharing a checkpoint directory: each class
-// writes files under its own prefix ("ckpt-" for the default class, the
-// class name otherwise), so the distilled-student tier's snapshots can live
-// beside the teacher's without either recovery scan touching the other's
-// files. The class is stamped into every checkpoint's metadata.
-func NewClassStore(fresh func() nn.Layer, dir, class string) (*Store, error) {
-	if fresh == nil {
-		return nil, fmt.Errorf("online: store needs an architecture factory")
+// newCore builds a core for one class over the given codec. When dir is
+// non-empty it is created if needed and scanned for checkpoints: every valid
+// one (up to keepVersions, newest first) is loaded into the rollback
+// history, the newest becomes the current version (continuity across daemon
+// restarts — including rollback straight after a restart), and corrupt or
+// mismatched files are recorded in skipped and skipped over. A core may
+// start empty — load returns nil until the first publish.
+func newCore[P any](cd codec[P], dir, class string) (*core[P], error) {
+	prefix, err := classPrefix(class)
+	if err != nil {
+		return nil, err
 	}
-	prefix := "ckpt"
-	if class != "" {
-		if strings.ContainsAny(class, "-/\\* .") || class == "ckpt" {
-			// "ckpt" is the default class's filename prefix; allowing it as
-			// a named class would collide both stores on the same files.
-			return nil, fmt.Errorf("online: invalid model class %q", class)
-		}
-		prefix = class
-	}
-	s := &Store{fresh: fresh, dir: dir, class: class, prefix: prefix, next: 1}
+	c := &core[P]{cd: cd, dir: dir, class: class, prefix: prefix, next: 1}
 	if dir == "" {
-		return s, nil
+		return c, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("online: checkpoint dir: %w", err)
@@ -96,57 +119,214 @@ func NewClassStore(fresh func() nn.Layer, dir, class string) (*Store, error) {
 		return nil, err
 	}
 	sort.Sort(sort.Reverse(sort.StringSlice(paths))) // newest version first
-	var hist []*Model
+	var hist []*rev[P]
 	for _, path := range paths {
 		if len(hist) == keepVersions {
 			break
 		}
-		m, err := s.readCheckpoint(path)
+		r, err := c.readCheckpoint(path)
 		if err != nil {
-			s.Skipped = append(s.Skipped, fmt.Sprintf("%s: %v", filepath.Base(path), err))
+			c.skipped = append(c.skipped, fmt.Sprintf("%s: %v", filepath.Base(path), err))
 			continue
 		}
-		hist = append(hist, m)
+		hist = append(hist, r)
 	}
 	if len(hist) > 0 {
 		for i, j := 0, len(hist)-1; i < j; i, j = i+1, j-1 {
-			hist[i], hist[j] = hist[j], hist[i] // oldest first, as Publish keeps it
+			hist[i], hist[j] = hist[j], hist[i] // oldest first, as publish keeps it
 		}
-		s.history = hist
+		c.history = hist
 		newest := hist[len(hist)-1]
-		s.next = newest.Version + 1
-		s.cur.Store(newest)
+		c.next = newest.version + 1
+		c.cur.Store(newest)
 	}
-	return s, nil
+	return c, nil
 }
 
-// readCheckpoint loads one checkpoint file into a fresh network.
-func (s *Store) readCheckpoint(path string) (*Model, error) {
+// readCheckpoint loads and validates one checkpoint file.
+func (c *core[P]) readCheckpoint(path string) (*rev[P], error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	net := s.fresh()
-	meta, err := nn.LoadCheckpoint(f, net)
+	val, meta, err := c.cd.load(f)
 	if err != nil {
 		return nil, err
 	}
-	if meta.Class != s.class {
-		// A renamed or misplaced file from another class: the weights loaded
-		// fine (shapes can coincide) but serving them as this class would be
+	if meta.Class != c.class {
+		// A renamed or misplaced file from another class: the payload loaded
+		// fine (shapes can coincide) but serving it as this class would be
 		// silent model confusion.
-		return nil, fmt.Errorf("online: checkpoint is class %q, store is class %q", meta.Class, s.class)
+		return nil, fmt.Errorf("online: checkpoint is class %q, store is class %q", meta.Class, c.class)
 	}
-	return &Model{Version: meta.Version, Net: net, Meta: meta}, nil
+	return &rev[P]{version: meta.Version, val: val, meta: meta}, nil
+}
+
+// load returns the current revision, or nil before the first publish of an
+// empty core. Lock-free; safe from any goroutine.
+func (c *core[P]) load() *rev[P] { return c.cur.Load() }
+
+// publish snapshots src via the codec, assigns it the next version number,
+// checkpoints it to disk (when configured), and atomically makes it the
+// current version.
+func (c *core[P]) publish(src P, meta nn.CheckpointMeta) (*rev[P], error) {
+	val, err := c.cd.snapshot(src)
+	if err != nil {
+		return nil, fmt.Errorf("online: publish: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	meta.Version = c.next
+	meta.Class = c.class
+	r := &rev[P]{version: c.next, val: val, meta: meta}
+	if c.dir != "" {
+		if err := c.writeCheckpoint(r, meta); err != nil {
+			return nil, err
+		}
+	}
+	c.next++
+	c.history = append(c.history, r)
+	if len(c.history) > keepVersions {
+		drop := c.history[:len(c.history)-keepVersions]
+		c.history = append([]*rev[P](nil), c.history[len(drop):]...)
+		for _, old := range drop {
+			if c.dir != "" {
+				os.Remove(c.checkpointPath(old.version))
+			}
+		}
+	}
+	c.cur.Store(r)
+	return r, nil
+}
+
+// writeCheckpoint persists one version atomically: write to a temp file in
+// the same directory, fsync-free rename over the final name.
+func (c *core[P]) writeCheckpoint(r *rev[P], meta nn.CheckpointMeta) error {
+	path := c.checkpointPath(r.version)
+	tmp, err := os.CreateTemp(c.dir, c.prefix+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("online: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := c.cd.save(tmp, r.val, meta); err != nil {
+		tmp.Close()
+		return fmt.Errorf("online: checkpoint v%d: %w", r.version, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("online: checkpoint v%d: %w", r.version, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("online: checkpoint v%d: %w", r.version, err)
+	}
+	return nil
+}
+
+// checkpointPath names version v's file; the fixed-width version keeps
+// lexicographic order equal to version order for recovery scans, and the
+// class prefix keeps the per-class scans disjoint.
+func (c *core[P]) checkpointPath(v uint64) string {
+	return filepath.Join(c.dir, fmt.Sprintf("%s-%012d.dart", c.prefix, v))
+}
+
+// rollback reverts the current pointer to the previously published version
+// and drops the newest from the history (its checkpoint file is removed so
+// a restart cannot resurrect it). Future publishes continue with fresh,
+// strictly increasing version numbers.
+func (c *core[P]) rollback() (*rev[P], error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.history) < 2 {
+		return nil, fmt.Errorf("online: no previous version to roll back to (history %d)", len(c.history))
+	}
+	bad := c.history[len(c.history)-1]
+	c.history = c.history[:len(c.history)-1]
+	prev := c.history[len(c.history)-1]
+	if c.dir != "" {
+		os.Remove(c.checkpointPath(bad.version))
+	}
+	c.cur.Store(prev)
+	return prev, nil
+}
+
+// versions lists the published versions currently held, oldest first.
+func (c *core[P]) versions() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, len(c.history))
+	for i, r := range c.history {
+		out[i] = r.version
+	}
+	return out
+}
+
+// Store is the versioned model store for nn-backed serving classes (the
+// online teacher and the distilled student): the generic core specialised to
+// nn.Layer payloads, whose snapshot deep-copies parameters into a fresh
+// network and whose checkpoints are nn.SaveCheckpoint frames.
+type Store struct {
+	fresh func() nn.Layer // architecture factory for clones and reloads
+	c     *core[nn.Layer]
+
+	// Skipped lists checkpoint files that were present but rejected during
+	// NewStore recovery (corrupt, truncated, wrong architecture), with the
+	// reason — the store fell back past them to the newest good version.
+	Skipped []string
+}
+
+// NewStore builds a store for the default model class (the online teacher)
+// over the given architecture factory.
+func NewStore(fresh func() nn.Layer, dir string) (*Store, error) {
+	return NewClassStore(fresh, dir, "")
+}
+
+// NewClassStore builds a store for one named model class. Classes are fully
+// independent version sequences sharing a checkpoint directory: each class
+// writes files under its own prefix, so the distilled-student tier's
+// snapshots can live beside the teacher's without either recovery scan
+// touching the other's files. The class is stamped into every checkpoint's
+// metadata and verified on recovery, so renamed cross-class files are
+// skipped rather than served.
+func NewClassStore(fresh func() nn.Layer, dir, class string) (*Store, error) {
+	if fresh == nil {
+		return nil, fmt.Errorf("online: store needs an architecture factory")
+	}
+	cd := codec[nn.Layer]{
+		snapshot: func(src nn.Layer) (nn.Layer, error) {
+			net := fresh()
+			if err := nn.CopyParams(net, src); err != nil {
+				return nil, err
+			}
+			return net, nil
+		},
+		save: nn.SaveCheckpoint,
+		load: func(r io.Reader) (nn.Layer, nn.CheckpointMeta, error) {
+			net := fresh()
+			meta, err := nn.LoadCheckpoint(r, net)
+			return net, meta, err
+		},
+	}
+	c, err := newCore(cd, dir, class)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{fresh: fresh, c: c, Skipped: c.skipped}, nil
+}
+
+// model converts a core revision to the exported Model form.
+func (s *Store) model(r *rev[nn.Layer]) *Model {
+	if r == nil {
+		return nil
+	}
+	return &Model{Version: r.version, Net: r.val, Meta: r.meta}
 }
 
 // Load returns the current model version, or nil before the first Publish
 // of an empty store. Lock-free; safe from any goroutine.
-func (s *Store) Load() *Model { return s.cur.Load() }
+func (s *Store) Load() *Model { return s.model(s.c.load()) }
 
 // Class names the model class this store versions ("" = default/teacher).
-func (s *Store) Class() string { return s.class }
+func (s *Store) Class() string { return s.c.class }
 
 // Fresh returns a new network of this store's architecture — the hook
 // callers use to build private inference clones of published models (a
@@ -159,91 +339,23 @@ func (s *Store) Fresh() nn.Layer { return s.fresh() }
 // atomically makes it the current version. src itself is only read, so the
 // caller may keep training it.
 func (s *Store) Publish(src nn.Layer, meta nn.CheckpointMeta) (*Model, error) {
-	net := s.fresh()
-	if err := nn.CopyParams(net, src); err != nil {
-		return nil, fmt.Errorf("online: publish: %w", err)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	meta.Version = s.next
-	meta.Class = s.class
-	m := &Model{Version: s.next, Net: net, Meta: meta}
-	if s.dir != "" {
-		if err := s.writeCheckpoint(m, meta); err != nil {
-			return nil, err
-		}
-	}
-	s.next++
-	s.history = append(s.history, m)
-	if len(s.history) > keepVersions {
-		drop := s.history[:len(s.history)-keepVersions]
-		s.history = append([]*Model(nil), s.history[len(drop):]...)
-		for _, old := range drop {
-			if s.dir != "" {
-				os.Remove(s.checkpointPath(old.Version))
-			}
-		}
-	}
-	s.cur.Store(m)
-	return m, nil
-}
-
-// writeCheckpoint persists one version atomically: write to a temp file in
-// the same directory, fsync-free rename over the final name.
-func (s *Store) writeCheckpoint(m *Model, meta nn.CheckpointMeta) error {
-	path := s.checkpointPath(m.Version)
-	tmp, err := os.CreateTemp(s.dir, s.prefix+"-*.tmp")
+	r, err := s.c.publish(src, meta)
 	if err != nil {
-		return fmt.Errorf("online: checkpoint: %w", err)
+		return nil, err
 	}
-	defer os.Remove(tmp.Name())
-	if err := nn.SaveCheckpoint(tmp, m.Net, meta); err != nil {
-		tmp.Close()
-		return fmt.Errorf("online: checkpoint v%d: %w", m.Version, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("online: checkpoint v%d: %w", m.Version, err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("online: checkpoint v%d: %w", m.Version, err)
-	}
-	return nil
-}
-
-// checkpointPath names version v's file; the fixed-width version keeps
-// lexicographic order equal to version order for recovery scans, and the
-// class prefix keeps the per-class scans disjoint.
-func (s *Store) checkpointPath(v uint64) string {
-	return filepath.Join(s.dir, fmt.Sprintf("%s-%012d.dart", s.prefix, v))
+	return s.model(r), nil
 }
 
 // Rollback reverts the current pointer to the previously published version
 // and drops the newest from the history (its checkpoint file is removed so
-// a restart cannot resurrect it). Future publishes continue with fresh,
-// strictly increasing version numbers.
+// a restart cannot resurrect it).
 func (s *Store) Rollback() (*Model, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.history) < 2 {
-		return nil, fmt.Errorf("online: no previous version to roll back to (history %d)", len(s.history))
+	r, err := s.c.rollback()
+	if err != nil {
+		return nil, err
 	}
-	bad := s.history[len(s.history)-1]
-	s.history = s.history[:len(s.history)-1]
-	prev := s.history[len(s.history)-1]
-	if s.dir != "" {
-		os.Remove(s.checkpointPath(bad.Version))
-	}
-	s.cur.Store(prev)
-	return prev, nil
+	return s.model(r), nil
 }
 
 // Versions lists the published versions currently held, oldest first.
-func (s *Store) Versions() []uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]uint64, len(s.history))
-	for i, m := range s.history {
-		out[i] = m.Version
-	}
-	return out
-}
+func (s *Store) Versions() []uint64 { return s.c.versions() }

@@ -232,6 +232,72 @@ func TestLearnerDistillsStudent(t *testing.T) {
 	}
 }
 
+// TestStudentSwapRollbackCycle: successive student swaps publish fresh
+// versions, rollback reverts serving and resets the student shadow to the
+// rolled-back weights, and the teacher's single version cannot roll back.
+func TestStudentSwapRollbackCycle(t *testing.T) {
+	l, err := NewLearner(studentLearnerConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := l.SwapStudent()
+	if err != nil || v2.Version != 2 {
+		t.Fatalf("swap: %+v, %v", v2, err)
+	}
+	if v3, err := l.SwapStudent(); err != nil || v3.Version != 3 {
+		t.Fatalf("swap: %+v, %v", v3, err)
+	}
+	back, err := l.RollbackStudent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != 2 || l.StudentServing().Version != 2 {
+		t.Fatalf("rollback landed on v%d", back.Version)
+	}
+	// The shadow was reset to the rolled-back weights: a fresh swap
+	// republishes exactly them (no training ran in between).
+	again, err := l.SwapStudent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, ap := back.Net.Params(), again.Net.Params()
+	for i := range bp {
+		for j, v := range bp[i].W.Data {
+			if ap[i].W.Data[j] != v {
+				t.Fatalf("student shadow not reset on rollback: param %q[%d]", bp[i].Name, j)
+			}
+		}
+	}
+	// The teacher still holds only v1 — its rollback must fail, and the
+	// student activity must not have moved it.
+	if _, err := l.Rollback(); err == nil {
+		t.Fatal("teacher rollback succeeded with a single version")
+	}
+	if l.Serving().Version != 1 {
+		t.Fatalf("teacher moved to v%d", l.Serving().Version)
+	}
+}
+
+// TestStorePublishRejectsShapeMismatch: publishing a source whose
+// architecture does not match the store's factory must fail cleanly and
+// leave the store on its previous version.
+func TestStorePublishRejectsShapeMismatch(t *testing.T) {
+	s, err := NewStore(tinyArch(tinyData()), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Publish(tinyArch(tinyData())(), nn.CheckpointMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	wrong := tinyStudentArch(tinyTeacherCfg)() // halved dims: shapes cannot match
+	if _, err := s.Publish(wrong, nn.CheckpointMeta{}); err == nil {
+		t.Fatal("mismatched publish accepted")
+	}
+	if got := s.Load().Version; got != 1 {
+		t.Fatalf("failed publish moved the store to v%d", got)
+	}
+}
+
 // TestStudentVerbsWithoutTier: student swap/rollback on a teacher-only
 // learner must error, not panic.
 func TestStudentVerbsWithoutTier(t *testing.T) {

@@ -77,6 +77,15 @@ func (r *Registry) MakeStudent(name string, pred BitmapPredictor, cfg dataprep.C
 	r.MakeOnline(name, pred, cfg, latency, storageBytes)
 }
 
+// MakeDart registers name as the tabularized (dart) model class: shared-
+// predictor wiring over the serving engine's dart admission batcher, which
+// hot-swaps published tabular.Hierarchy versions (with student fallback
+// while no table exists) underneath, with the table's analytic latency and
+// storage model — the serving cost the paper's deployment argument rests on.
+func (r *Registry) MakeDart(name string, pred BitmapPredictor, cfg dataprep.Config, latency, storageBytes int) {
+	r.MakeOnline(name, pred, cfg, latency, storageBytes)
+}
+
 // New instantiates a fresh prefetcher by name.
 func (r *Registry) New(name string, degree int) (sim.Prefetcher, error) {
 	r.mu.RLock()

@@ -164,27 +164,29 @@ func (m batchedModel) Logits(x *mat.Matrix) []float64 {
 	return logits
 }
 
-// teacherMirror is a private, lazily-refreshed parameter clone of the
-// published teacher model. The student batcher needs teacher inference (for
-// fallback and for A/B shadow-compare) but must never call Forward on the
-// published Model.Net — that instance's activation caches belong to the
-// teacher batcher's dispatch goroutine. The mirror copies parameters on
-// version change instead; it is only ever touched from the student batcher's
-// dispatch goroutine.
-type teacherMirror struct {
-	l   *online.Learner
+// modelMirror is a private, lazily-refreshed parameter clone of the model
+// class published by one nn store. A batcher that needs another class's
+// inference (the student batcher's teacher fallback and A/B shadow-compare,
+// the dart batcher's student fallback) must never call Forward on the
+// published Model.Net — that instance's activation caches belong to its own
+// batcher's dispatch goroutine. The mirror copies parameters on version
+// change instead; it is only ever touched from its owning batcher's dispatch
+// goroutine.
+type modelMirror struct {
+	s   *online.Store
 	net nn.Layer
 	ver uint64
 }
 
-func newTeacherMirror(l *online.Learner) *teacherMirror {
-	return &teacherMirror{l: l, net: l.Store().Fresh()}
+func newMirror(s *online.Store) *modelMirror {
+	return &modelMirror{s: s, net: s.Fresh()}
 }
 
-// resolve returns the mirror refreshed to the current published teacher and
-// that version number.
-func (t *teacherMirror) resolve() (nn.Layer, uint64) {
-	m := t.l.Serving()
+// resolve returns the mirror refreshed to the store's current published
+// model and that version number. The store must have published at least one
+// version (teacher and student stores always have, from construction).
+func (t *modelMirror) resolve() (nn.Layer, uint64) {
+	m := t.s.Load()
 	if m.Version != t.ver {
 		if err := nn.CopyParams(t.net, m.Net); err == nil {
 			t.ver = m.Version
@@ -197,12 +199,25 @@ func (t *teacherMirror) resolve() (nn.Layer, uint64) {
 // (mirrored) teacher when no student version is available — the tier degrades
 // to teacher-quality serving instead of failing. The reported version is the
 // student's, or the teacher's on the fallback path.
-func studentInfer(stu *online.Model, mirror *teacherMirror, in *mat.Tensor) (*mat.Tensor, uint64) {
+func studentInfer(stu *online.Model, mirror *modelMirror, in *mat.Tensor) (*mat.Tensor, uint64) {
 	if stu == nil {
 		net, ver := mirror.resolve()
 		return net.Forward(in), ver
 	}
 	return stu.Net.Forward(in), stu.Version
+}
+
+// dartInfer runs one batch through the published table hierarchy, falling
+// back to the (mirrored) student while no table version exists yet — the
+// tabularizer needs streamed examples before it can build its first table,
+// so the tier degrades to student-quality serving instead of failing. The
+// reported version is the table's, or the student's on the fallback path.
+func dartInfer(tab *online.Table, mirror *modelMirror, in *mat.Tensor) (*mat.Tensor, uint64) {
+	if tab == nil {
+		net, ver := mirror.resolve()
+		return net.Forward(in), ver
+	}
+	return tab.H.QueryBatch(in), tab.Version
 }
 
 // agreement counts per-label prediction matches between two logit tensors:

@@ -70,6 +70,14 @@ type Config struct {
 	// served by the published student class (teacher fallback while no
 	// student version exists), tapped like online sessions, and hot-swapped
 	// on student publishes.
+	//
+	// When the learner's dart tier is enabled too (Config.Dart), a fourth
+	// batcher serves the "dart" prefetcher from the versioned table class:
+	// one batch, one tabular.Hierarchy version, hot-swapped as the
+	// tabularizer republishes (student fallback while no table exists yet).
+	// This versioned registration wins over the static Model-backed "dart"
+	// entry below — per-session class selection at open then spans all three
+	// serving classes: teacher ("online"), "student", and "dart".
 	Online *online.Learner
 
 	// ShadowCompare enables the student tier's A/B mode: every student batch
@@ -204,9 +212,10 @@ type shard struct {
 type Engine struct {
 	cfg      Config
 	shards   []shard
-	batcher  *batcher        // nil when no table model is configured
+	batcher  *batcher        // nil when no static table model is configured
 	onlineB  *batcher        // nil when no online learner is configured
 	studentB *batcher        // nil unless the learner has a student tier
+	dartB    *batcher        // nil unless the learner has a dart (table) tier
 	learner  *online.Learner // == cfg.Online
 
 	accepted atomic.Uint64
@@ -267,7 +276,7 @@ func NewEngine(cfg Config) *Engine {
 			// mirror — never the published teacher instance, which belongs
 			// to the online batcher goroutine), optionally shadow-comparing
 			// the batch against the teacher for the A/B agreement stats.
-			mirror := newTeacherMirror(e.learner)
+			mirror := newMirror(e.learner.Store())
 			e.studentB = newBatcher(func(in *mat.Tensor) (*mat.Tensor, uint64) {
 				stu := e.learner.StudentServing()
 				out, ver := studentInfer(stu, mirror, in)
@@ -282,6 +291,23 @@ func NewEngine(cfg Config) *Engine {
 			}, cfg.MaxBatch)
 			e.cfg.Registry.MakeStudent("student", batchedModel{b: e.studentB},
 				e.learner.Data(), e.learner.StudentLatency(), e.learner.StudentStorageBytes())
+		}
+		if e.learner.HasDart() {
+			// The dart tier's batcher: one call resolves the published table
+			// exactly once and runs the whole batch through
+			// Hierarchy.QueryBatch on the shared worker pool — the versioned
+			// analogue of the static cfg.Model batcher, and the class the
+			// paper actually deploys. While no table has been published yet
+			// (the tabularizer needs streamed examples first) it falls back
+			// to a private mirror of the published student. Registered last,
+			// so it shadows any static "dart" entry: with a dart-tier
+			// learner, "dart" means the hot-swappable table class.
+			mirror := newMirror(e.learner.StudentStore())
+			e.dartB = newBatcher(func(in *mat.Tensor) (*mat.Tensor, uint64) {
+				return dartInfer(e.learner.DartServing(), mirror, in)
+			}, cfg.MaxBatch)
+			e.cfg.Registry.MakeDart("dart", batchedModel{b: e.dartB},
+				e.learner.Data(), e.learner.DartLatency(), e.learner.DartStorageBytes())
 		}
 	}
 	return e
@@ -321,16 +347,23 @@ func (e *Engine) Open(id, prefetcher string, degree int) error {
 		done:  make(chan struct{}),
 	}
 	var pf sim.Prefetcher
-	if e.learner != nil && (prefetcher == "online" || (prefetcher == "student" && e.studentB != nil)) {
+	if e.learner != nil && (prefetcher == "online" ||
+		(prefetcher == "student" && e.studentB != nil) ||
+		(prefetcher == "dart" && e.dartB != nil)) {
 		if degree <= 0 {
 			degree = 4
 		}
-		// Both model classes get version-observing, tapped sessions; the
-		// student class routes through its own batcher and carries the
-		// compact model's latency/storage in the simulator.
+		// Every model class gets version-observing, tapped sessions — this
+		// is per-session class selection at open: the prefetcher name picks
+		// which versioned class (teacher, student, or table hierarchy)
+		// serves this tenant, each through its own batcher and with its own
+		// modelled latency/storage in the simulator.
 		b, lat, sto := e.onlineB, e.learner.Latency(), e.learner.StorageBytes()
-		if prefetcher == "student" {
+		switch prefetcher {
+		case "student":
 			b, lat, sto = e.studentB, e.learner.StudentLatency(), e.learner.StudentStorageBytes()
+		case "dart":
+			b, lat, sto = e.dartB, e.learner.DartLatency(), e.learner.DartStorageBytes()
 		}
 		s.ver = new(uint64)
 		base := prefetch.NewNNPrefetcher(prefetcher,
@@ -457,8 +490,8 @@ func (e *Engine) Sessions() []string {
 }
 
 // Stats is a mid-stream engine snapshot. The batch counters aggregate every
-// admission batcher (static "dart" tables, the versioned online model, and
-// the student tier).
+// admission batcher (static tables, the versioned online model, the student
+// tier, and the versioned dart table tier).
 type Stats struct {
 	Sessions   int
 	Accepted   uint64 // accesses admitted since start
@@ -498,7 +531,7 @@ func (e *Engine) StatsSnapshot() Stats {
 		}
 		sh.mu.RUnlock()
 	}
-	for _, b := range []*batcher{e.batcher, e.onlineB, e.studentB} {
+	for _, b := range []*batcher{e.batcher, e.onlineB, e.studentB, e.dartB} {
 		if b == nil {
 			continue
 		}
@@ -580,6 +613,9 @@ func (e *Engine) Drain() map[string]sim.Result {
 	}
 	if e.studentB != nil {
 		e.studentB.stop()
+	}
+	if e.dartB != nil {
+		e.dartB.stop()
 	}
 	return out
 }

@@ -57,10 +57,12 @@ func (h *Hex64) UnmarshalJSON(b []byte) error {
 //	model    {"op":"model"}     online-learner snapshot (version, throughput, loss trend)
 //	swap     {"op":"swap"}      force-publish the training shadow as a new version
 //	rollback {"op":"rollback"}  revert serving to the previous version
+//	classes  {"op":"classes"}   list every serving class with its versions and modelled cost
 //
 // The model/swap/rollback verbs accept a model-class selector: "class":""
 // (or omitted) addresses the online teacher, "class":"student" the distilled
-// student tier, e.g. {"op":"swap","class":"student"}.
+// student tier, "class":"dart" the tabularized table tier, e.g.
+// {"op":"swap","class":"dart"} (a forced re-tabularize + publish).
 type Request struct {
 	Op         string `json:"op"`
 	Session    string `json:"session,omitempty"`
@@ -94,6 +96,35 @@ type Reply struct {
 	Result   *sim.Result  `json:"result,omitempty"`
 	Stats    *StatsReply  `json:"stats,omitempty"`
 	Online   *OnlineReply `json:"online,omitempty"`
+	Classes  []ClassReply `json:"classes,omitempty"`
+}
+
+// ClassReply is one row of the classes verb: a serving class of the
+// versioned store with its current version, held rollback versions, publish
+// count, and modelled cost.
+type ClassReply struct {
+	Class        string   `json:"class"`
+	Version      uint64   `json:"version"`
+	Versions     []uint64 `json:"versions,omitempty"`
+	Published    uint64   `json:"published"`
+	Latency      int      `json:"latency_cycles"`
+	StorageBytes int      `json:"storage_bytes"`
+}
+
+// classesReply converts learner class listings to the wire form.
+func classesReply(cs []online.ClassInfo) []ClassReply {
+	out := make([]ClassReply, len(cs))
+	for i, c := range cs {
+		out[i] = ClassReply{
+			Class:        c.Class,
+			Version:      c.Version,
+			Versions:     c.Versions,
+			Published:    c.Published,
+			Latency:      c.Latency,
+			StorageBytes: c.StorageBytes,
+		}
+	}
+	return out
 }
 
 // StatsReply is the wire form of Stats.
@@ -148,6 +179,11 @@ type OnlineReply struct {
 	DistillSteps     uint64  `json:"distill_steps,omitempty"`
 	DistillLoss      float64 `json:"distill_loss,omitempty"`
 	DistillTrend     float64 `json:"distill_trend,omitempty"`
+
+	DartVersion   uint64  `json:"dart_version,omitempty"`
+	DartPublished uint64  `json:"dart_published,omitempty"`
+	Tabularized   uint64  `json:"tabularized,omitempty"`
+	TabularizeMs  float64 `json:"tabularize_ms,omitempty"`
 }
 
 // onlineReply converts learner stats to the wire form.
@@ -173,6 +209,11 @@ func onlineReply(st online.Stats) *OnlineReply {
 		DistillSteps:     st.DistillSteps,
 		DistillLoss:      st.DistillLoss,
 		DistillTrend:     st.DistillTrend,
+
+		DartVersion:   st.DartVersion,
+		DartPublished: st.DartPublished,
+		Tabularized:   st.Tabularized,
+		TabularizeMs:  st.TabularizeMs,
 	}
 }
 

@@ -22,31 +22,72 @@ func checkClass(l *online.Learner, class string) error {
 			return fmt.Errorf("serve: no distilled-student tier configured")
 		}
 		return nil
+	case online.DartClass:
+		if !l.HasDart() {
+			return fmt.Errorf("serve: no dart (tabularized) tier configured")
+		}
+		return nil
 	default:
-		return fmt.Errorf("serve: unknown model class %q (have \"\" and %q)", class, online.StudentClass)
+		return fmt.Errorf("serve: unknown model class %q (have \"\", %q, and %q)",
+			class, online.StudentClass, online.DartClass)
 	}
 }
 
-// swapClass routes the swap verb to the selected model class.
-func swapClass(l *online.Learner, class string) (*online.Model, error) {
+// swapClass routes the swap verb to the selected model class and reports the
+// newly published version. For the dart class a swap is a forced
+// re-tabularization of the published student.
+func swapClass(l *online.Learner, class string) (uint64, error) {
 	if err := checkClass(l, class); err != nil {
-		return nil, err
+		return 0, err
 	}
-	if class == online.StudentClass {
-		return l.SwapStudent()
+	switch class {
+	case online.StudentClass:
+		m, err := l.SwapStudent()
+		if err != nil {
+			return 0, err
+		}
+		return m.Version, nil
+	case online.DartClass:
+		t, err := l.SwapDart()
+		if err != nil {
+			return 0, err
+		}
+		return t.Version, nil
+	default:
+		m, err := l.Swap()
+		if err != nil {
+			return 0, err
+		}
+		return m.Version, nil
 	}
-	return l.Swap()
 }
 
-// rollbackClass routes the rollback verb to the selected model class.
-func rollbackClass(l *online.Learner, class string) (*online.Model, error) {
+// rollbackClass routes the rollback verb to the selected model class and
+// reports the version serving reverted to.
+func rollbackClass(l *online.Learner, class string) (uint64, error) {
 	if err := checkClass(l, class); err != nil {
-		return nil, err
+		return 0, err
 	}
-	if class == online.StudentClass {
-		return l.RollbackStudent()
+	switch class {
+	case online.StudentClass:
+		m, err := l.RollbackStudent()
+		if err != nil {
+			return 0, err
+		}
+		return m.Version, nil
+	case online.DartClass:
+		t, err := l.RollbackDart()
+		if err != nil {
+			return 0, err
+		}
+		return t.Version, nil
+	default:
+		m, err := l.Rollback()
+		if err != nil {
+			return 0, err
+		}
+		return m.Version, nil
 	}
-	return l.Rollback()
 }
 
 // Server speaks the line-delimited JSON protocol over any net.Listener (TCP
@@ -249,18 +290,24 @@ func (s *Server) handle(conn net.Conn) {
 		case "swap":
 			if l := s.engine.Learner(); l == nil {
 				send(Reply{OK: false, Err: "serve: no online learner configured"})
-			} else if m, err := swapClass(l, req.Class); err != nil {
+			} else if v, err := swapClass(l, req.Class); err != nil {
 				send(errReply("", err))
 			} else {
-				send(Reply{OK: true, Version: m.Version, Online: onlineReply(l.Stats())})
+				send(Reply{OK: true, Version: v, Online: onlineReply(l.Stats())})
 			}
 		case "rollback":
 			if l := s.engine.Learner(); l == nil {
 				send(Reply{OK: false, Err: "serve: no online learner configured"})
-			} else if m, err := rollbackClass(l, req.Class); err != nil {
+			} else if v, err := rollbackClass(l, req.Class); err != nil {
 				send(errReply("", err))
 			} else {
-				send(Reply{OK: true, Version: m.Version, Online: onlineReply(l.Stats())})
+				send(Reply{OK: true, Version: v, Online: onlineReply(l.Stats())})
+			}
+		case "classes":
+			if l := s.engine.Learner(); l == nil {
+				send(Reply{OK: false, Err: "serve: no online learner configured"})
+			} else {
+				send(Reply{OK: true, Classes: classesReply(l.Classes())})
 			}
 		default:
 			send(Reply{OK: false, Err: "serve: unknown op " + req.Op})

@@ -151,7 +151,7 @@ func TestStudentHotSwapMidReplay(t *testing.T) {
 // teacher's version instead of failing.
 func TestStudentInferFallsBackToTeacher(t *testing.T) {
 	l := testLearner(t, "") // teacher only; its v1 is published
-	mirror := newTeacherMirror(l)
+	mirror := newMirror(l.Store())
 	data := onlineTestData()
 	in := mat.NewTensor(2, data.History, data.InputDim())
 	for i := range in.Data {

@@ -18,7 +18,10 @@ import (
 type LinearKernel struct {
 	In, Out int
 	enc     pq.Encoder
-	// table[o*C*K + c*K + k] = W_o^c · P_k^c (+ bias_o when c == 0).
+	// table[(c*K + k)*Out + o] = W_o^c · P_k^c (+ bias_o when c == 0).
+	// Prototype-major layout: one encoded index selects a contiguous
+	// Out-wide slice, so query aggregation is sequential adds (a straight
+	// copy for C == 1) instead of a K-strided gather per output dim.
 	table []float64
 	cfg   KernelConfig
 	seqT  int // nominal sequence length for cost reporting
@@ -56,7 +59,7 @@ func NewLinearKernel(l *nn.Linear, train *mat.Tensor, cfg KernelConfig, rng *ran
 				if c == 0 {
 					dot += l.Bias.W.Data[o] // bias folded per Eq. 10
 				}
-				k.table[(o*C+c)*K+ki] = dot
+				k.table[(c*K+ki)*l.Out+o] = dot
 			}
 		}
 	}
@@ -77,13 +80,13 @@ func (k *LinearKernel) Query(x *mat.Matrix) *mat.Matrix {
 	for t := 0; t < x.Rows; t++ {
 		idx := encoded[t]
 		orow := out.Row(t)
-		for o := 0; o < k.Out; o++ {
-			base := o * C * K
-			var s float64
-			for c, ki := range idx {
-				s += k.table[base+c*K+ki]
+		base := idx[0] * k.Out // subspace 0: (0*K + ki)*Out
+		copy(orow, k.table[base:base+k.Out])
+		for c := 1; c < C; c++ {
+			base = (c*K + idx[c]) * k.Out
+			for o, v := range k.table[base : base+k.Out] {
+				orow[o] += v
 			}
-			orow[o] = s
 		}
 	}
 	return out
