@@ -4,7 +4,9 @@ BENCH_MIN_SPEEDUP ?= 2.0
 COVER_MAX_DROP ?= 1.0
 BENCH_ONLINE = 'BenchmarkFeedbackIngest|BenchmarkModelSwap|BenchmarkTeacherInfer|BenchmarkStudentInfer|BenchmarkDistillCycle|BenchmarkDartInfer|BenchmarkTabularSwap'
 
-.PHONY: build test short race vet lint bench bench-ci bench-serve bench-update cover cover-update ci
+FUZZTIME ?= 30s
+
+.PHONY: build test short race vet lint bench bench-ci bench-serve bench-update cover cover-update fuzz ci
 
 build:
 	$(GO) build ./...
@@ -75,6 +77,11 @@ cover:
 	$(GO) test -short -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out > coverage-func.txt
 	$(GO) run ./cmd/dart-covercheck -baseline COVERAGE.txt -max-drop $(COVER_MAX_DROP) coverage-func.txt
+
+## fuzz: timed coverage-guided fuzzing of the CSV trace reader (the per-PR
+## tier replays the committed corpus as ordinary tests; nightly runs 5m)
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzScanner -fuzztime $(FUZZTIME) ./internal/trace
 
 ## cover-update: ratchet the committed baseline up to the measured value
 cover-update:

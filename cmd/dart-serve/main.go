@@ -58,6 +58,20 @@
 // prefetcher (online, student, or dart with the dart tier on) the
 // bit-identity check is replaced by a completeness check — the model changes
 // under training by design, but zero accesses may be dropped or reordered.
+//
+// Matrix mode replays a mixed-tenant scenario matrix: each tenant names a
+// workload-zoo scenario (pointer chase, graph walk, zipfian key-value,
+// phase-shift adversary, or any benchmark app), a serving class, a session
+// count, a QPS budget, a fair-share admission weight, and optionally its own
+// cache hierarchy (cache=twolevel puts a private L2 in front of the LLC):
+//
+//	dart-serve -matrix -dart
+//	dart-serve -matrix -dart -soak 60s -matrix-spec \
+//	  'hot:workload=zipf,sessions=8,class=dart,weight=3;cold:workload=chase,class=online'
+//
+// Every round enforces per-tenant completeness and reports per-tenant
+// metrics, latency percentiles, and fair-share admission stats (queries,
+// starved batches, max wait).
 package main
 
 import (
@@ -102,6 +116,9 @@ func main() {
 
 	useDart := flag.Bool("dart", false, "run the versioned tabular serving class (implies -student): re-tabularize the published student on a duty cycle and hot-swap table hierarchies; sessions can open prefetcher \"dart\"")
 	tabularizeInterval := flag.Duration("tabularize-interval", 30*time.Second, "dart: auto re-tabularize cadence (<0 disables; \"swap\" with class \"dart\" always works)")
+
+	matrix := flag.Bool("matrix", false, "replay a mixed-tenant scenario matrix through the engine and exit")
+	matrixSpec := flag.String("matrix-spec", "", "matrix: tenant spec — name:key=value,...;name:... (default: built-in 4-tenant workload-zoo matrix)")
 
 	replay := flag.Bool("replay", false, "replay synthetic workloads through the engine and exit")
 	sessions := flag.Int("sessions", 8, "replay: concurrent sessions")
@@ -191,6 +208,16 @@ func main() {
 	}
 
 	engine := serve.NewEngine(cfg)
+	if *matrix {
+		if *matrixSpec == "" && !*useDart {
+			fatalf("matrix: the built-in matrix spans the online/student/dart serving classes; run with -dart, or pass -matrix-spec using classical classes only")
+		}
+		runMatrix(engine, *matrixSpec, *soak, *jsonOut)
+		if learner != nil {
+			printLearner(learner)
+		}
+		return
+	}
 	if *replay {
 		runReplay(engine, learner, *sessions, *n, serve.ReplayOptions{
 			Prefetcher: *prefetcher,

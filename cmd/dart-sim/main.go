@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	dart-sim [-app mcf | -all] [-n accesses] [-degree d]
+//	dart-sim [-app mcf | -workload zipf | -all] [-n accesses] [-degree d]
+//
+// -workload accepts any workload-zoo scenario (chase, graph, zipf, phase, or
+// a benchmark app name) and runs the same train-then-evaluate pipeline on its
+// trace — the offline view of the adversarial generators.
 package main
 
 import (
@@ -24,30 +28,48 @@ import (
 
 func main() {
 	app := flag.String("app", "462.libquantum", "application (suffix match)")
+	workload := flag.String("workload", "", "workload-zoo scenario (chase|graph|zipf|phase or an app name); overrides -app")
 	all := flag.Bool("all", false, "run every benchmark application")
 	n := flag.Int("n", 12000, "trace accesses")
 	degree := flag.Int("degree", 4, "prefetch degree")
+	seed := flag.Int64("seed", 0, "workload seed perturbation")
 	flag.Parse()
 
-	specs := trace.Apps()
-	if !*all {
+	type job struct {
+		name string
+		recs []trace.Record
+	}
+	var jobs []job
+	switch {
+	case *all:
+		for _, spec := range trace.Apps() {
+			jobs = append(jobs, job{spec.Name, trace.Generate(spec, *n)})
+		}
+	case *workload != "":
+		w, ok := trace.WorkloadByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+			os.Exit(1)
+		}
+		jobs = append(jobs, job{w.Name, w.Generate(*seed, *n)})
+	default:
 		spec, ok := trace.AppByName(*app)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown application %q\n", *app)
 			os.Exit(1)
 		}
-		specs = []trace.AppSpec{spec}
+		spec.Seed += *seed
+		jobs = append(jobs, job{spec.Name, trace.Generate(spec, *n)})
 	}
 
 	fmt.Printf("%-16s %-14s %9s %9s %9s %9s\n",
 		"Application", "Prefetcher", "Acc", "Cov", "IPCimp", "Lat(cyc)")
-	for _, spec := range specs {
-		runApp(spec, *n, *degree)
+	for _, j := range jobs {
+		runApp(j.name, j.recs, *degree)
 	}
 }
 
-func runApp(spec trace.AppSpec, n, degree int) {
-	recs := trace.Generate(spec, n)
+func runApp(name string, recs []trace.Record, degree int) {
 	kdc := kd.DefaultConfig()
 	kdc.Epochs = 6
 	art, err := core.BuildDART(recs, core.Options{
@@ -58,7 +80,7 @@ func runApp(spec trace.AppSpec, n, degree int) {
 		Seed:          1,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", spec.Name, err)
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 		return
 	}
 	cfg := sim.DefaultConfig()
@@ -73,7 +95,7 @@ func runApp(spec trace.AppSpec, n, degree int) {
 	for _, pf := range pfs {
 		res := sim.Run(recs, pf, cfg)
 		fmt.Printf("%-16s %-14s %8.1f%% %8.1f%% %8.1f%% %9d\n",
-			spec.Name, pf.Name(),
+			name, pf.Name(),
 			res.Accuracy()*100, sim.Coverage(base, res)*100,
 			sim.IPCImprovement(base, res)*100, pf.Latency())
 	}

@@ -21,10 +21,19 @@
 //	                   batched hierarchy queries
 //	internal/kd        multi-label knowledge distillation
 //	internal/dataprep  address segmentation and delta-bitmap labels
-//	internal/trace     synthetic SPEC-like LLC trace generators
+//	internal/trace     synthetic SPEC-like LLC trace generators plus the
+//	                   workload zoo: adversarial scenario generators (pointer
+//	                   chasing, random graph traversal, zipfian key-value,
+//	                   phase-shifting delta regimes) behind one seeded,
+//	                   deterministic Stream interface and a name-indexed
+//	                   workload registry
 //	internal/sim       trace-driven LLC/DRAM simulator with prefetcher latency,
 //	                   an incremental stepper (sim.Sim) with online-feedback
-//	                   hooks, and a concurrent multi-trace driver
+//	                   hooks, a configurable two-level hierarchy (private L2
+//	                   in front of the shared LLC with inclusion and
+//	                   prefetch-fill policies; single-level stays the
+//	                   bit-identical degenerate config), and a concurrent
+//	                   multi-trace driver
 //	internal/metrics   F1 measures plus latency histograms with exact
 //	                   percentiles for the serving engine
 //	internal/prefetch  BO, ISB, stride, and NN/table prefetcher wrappers, with
@@ -36,8 +45,11 @@
 //	                   backpressure, admission batchers coalescing model
 //	                   queries across sessions (Hierarchy.QueryBatch for the
 //	                   static tables, a versioned nn forward pass for the
-//	                   online model), a line-JSON wire server, and a
-//	                   QPS-paced replay driver with soak mode
+//	                   online model) with weighted-round-robin fair-share
+//	                   admission across tenants, a line-JSON wire server, a
+//	                   QPS-paced replay driver with soak mode, and a
+//	                   mixed-tenant scenario-matrix replay (per-tenant
+//	                   workload, serving class, weight, and cache hierarchy)
 //	internal/online    continual learning: per-session lock-free feedback
 //	                   rings, streaming example assembly, duty-cycled
 //	                   nn.Trainer fine-tuning of a shadow model, an online

@@ -15,9 +15,11 @@ type answer struct {
 	version uint64
 }
 
-// query is one session's model input awaiting inference.
+// query is one session's model input awaiting inference, tagged with the
+// fair-share tenant it belongs to.
 type query struct {
 	x     *mat.Matrix
+	seq   uint64 // dispatch sequence at enqueue time (wait-age accounting)
 	reply chan answer
 }
 
@@ -28,11 +30,43 @@ type query struct {
 // one whole batch.
 type inferFn func(in *mat.Tensor) (*mat.Tensor, uint64)
 
+// TenantAdmission is one tenant's view of an admission batcher: its
+// fair-share weight, how many queries it pushed through, how many assembled
+// batches skipped it while it had work queued (starvation), and the worst
+// wait it ever saw, measured in dispatched batches between enqueue and
+// service. A weightless FIFO admission queue lets a hot tenant drive a cold
+// tenant's MaxWaitBatches to pending/MaxBatch; weighted round-robin bounds
+// it near one.
+type TenantAdmission struct {
+	Weight         int
+	Queries        uint64
+	Starved        uint64
+	MaxWaitBatches uint64
+}
+
+// tenantQueue is one tenant's FIFO of pending queries plus its stats.
+type tenantQueue struct {
+	name   string
+	q      []query
+	weight int
+	stats  TenantAdmission
+}
+
 // batcher is the admission layer for model inference: sessions publish their
-// prepared inputs and block on the reply; the dispatch loop coalesces every
-// query that arrived while the previous batch was in flight into one inferFn
-// call (tabular.Hierarchy.QueryBatch for the static DART tables, a versioned
-// nn forward pass for the online model) on the shared worker pool.
+// prepared inputs and block on the reply; the dispatch loop coalesces
+// concurrently-arriving queries into one inferFn call (tabular QueryBatch
+// for DART tables, a versioned nn forward pass for the online model) on the
+// shared worker pool.
+//
+// Admission is weighted round-robin across tenants, not FIFO across
+// sessions: each tenant keeps its own FIFO queue, and every assembled batch
+// sweeps the active tenants in rotating order, granting each up to its
+// weight in slots per sweep until the batch fills. A tenant with any work
+// queued is therefore served within about one batch regardless of how many
+// queries a hot tenant has piled up — the fair-share guarantee the
+// starvation regression test pins down. Per-tenant FIFO order is preserved,
+// so per-session query order (at most one outstanding query per session)
+// is unchanged.
 //
 // Greedy (adaptive) batching needs no flush timer: when the engine is idle a
 // query is dispatched alone with no added latency, and under concurrent load
@@ -40,61 +74,123 @@ type inferFn func(in *mat.Tensor) (*mat.Tensor, uint64)
 // previous batch runs.
 type batcher struct {
 	infer    inferFn
-	reqs     chan query
-	quit     chan struct{}
-	done     chan struct{}
 	maxBatch int
+	done     chan struct{}
 
 	mu      sync.Mutex
-	batches uint64
-	batched uint64
-	biggest int
+	cond    *sync.Cond
+	tenants map[string]*tenantQueue
+	order   []string // stable tenant rotation order
+	rrPos   int      // rotation start for the next sweep
+	pending int      // queued queries across all tenants
+	stopped bool
+
+	// Aggregate stats (guarded by mu).
+	dispatchSeq uint64 // batches dispatched so far
+	batches     uint64
+	batched     uint64
+	biggest     int
 }
+
+// defaultTenant groups queries from sessions opened without a tenant.
+const defaultTenant = "default"
 
 func newBatcher(infer inferFn, maxBatch int) *batcher {
 	b := &batcher{
 		infer:    infer,
-		reqs:     make(chan query, maxBatch),
-		quit:     make(chan struct{}),
-		done:     make(chan struct{}),
 		maxBatch: maxBatch,
+		done:     make(chan struct{}),
+		tenants:  make(map[string]*tenantQueue),
 	}
+	b.cond = sync.NewCond(&b.mu)
 	go b.loop()
 	return b
 }
 
+// tenant returns (creating if needed) a tenant's queue. Caller holds mu.
+func (b *batcher) tenantLocked(name string) *tenantQueue {
+	if name == "" {
+		name = defaultTenant
+	}
+	tq := b.tenants[name]
+	if tq == nil {
+		tq = &tenantQueue{name: name, weight: 1, stats: TenantAdmission{Weight: 1}}
+		b.tenants[name] = tq
+		b.order = append(b.order, name)
+	}
+	return tq
+}
+
+// setWeight fixes a tenant's fair-share weight (minimum 1). The engine calls
+// it at session open, before the tenant's first query.
+func (b *batcher) setWeight(name string, w int) {
+	if w <= 0 {
+		w = 1
+	}
+	b.mu.Lock()
+	tq := b.tenantLocked(name)
+	tq.weight = w
+	tq.stats.Weight = w
+	b.mu.Unlock()
+}
+
 func (b *batcher) loop() {
 	defer close(b.done)
-	pending := make([]query, 0, b.maxBatch)
 	for {
-		// Block for the first query of the next batch.
-		select {
-		case q := <-b.reqs:
-			pending = append(pending, q)
-		case <-b.quit:
-			// Serve stragglers already queued, then exit.
-			for {
-				select {
-				case q := <-b.reqs:
-					b.dispatch([]query{q})
-				default:
-					return
+		b.mu.Lock()
+		for b.pending == 0 && !b.stopped {
+			b.cond.Wait()
+		}
+		if b.pending == 0 && b.stopped {
+			b.mu.Unlock()
+			return
+		}
+		qs := b.assembleLocked()
+		b.mu.Unlock()
+		b.dispatch(qs)
+	}
+}
+
+// assembleLocked builds the next batch by weighted round-robin over the
+// tenants with queued work: starting at the rotation cursor, each sweep
+// grants every active tenant up to weight slots, repeating until the batch
+// is full or every queue is empty. Tenants still holding work when the
+// batch closes full are counted starved for this batch. Caller holds mu.
+func (b *batcher) assembleLocked() []query {
+	qs := make([]query, 0, b.maxBatch)
+	n := len(b.order)
+	for len(qs) < b.maxBatch {
+		granted := false
+		for i := 0; i < n && len(qs) < b.maxBatch; i++ {
+			tq := b.tenants[b.order[(b.rrPos+i)%n]]
+			take := tq.weight
+			for take > 0 && len(tq.q) > 0 && len(qs) < b.maxBatch {
+				q := tq.q[0]
+				tq.q = tq.q[1:]
+				qs = append(qs, q)
+				granted = true
+				take--
+				tq.stats.Queries++
+				if wait := b.dispatchSeq - q.seq; wait > tq.stats.MaxWaitBatches {
+					tq.stats.MaxWaitBatches = wait
 				}
 			}
 		}
-		// Coalesce everything else that has already arrived.
-	fill:
-		for len(pending) < b.maxBatch {
-			select {
-			case q := <-b.reqs:
-				pending = append(pending, q)
-			default:
-				break fill
-			}
+		if !granted {
+			break // every queue empty
 		}
-		b.dispatch(pending)
-		pending = pending[:0]
 	}
+	for _, tq := range b.tenants {
+		if len(tq.q) > 0 {
+			tq.stats.Starved++
+		}
+	}
+	if n > 0 {
+		b.rrPos = (b.rrPos + 1) % n
+	}
+	b.pending -= len(qs)
+	b.dispatchSeq++
+	return qs
 }
 
 // dispatch runs one coalesced batch through the model and fans the
@@ -129,11 +225,18 @@ func (b *batcher) dispatch(qs []query) {
 	b.mu.Unlock()
 }
 
-// inferOne blocks until the batcher has run the input through the model,
-// returning the logits and the model version that served them.
-func (b *batcher) inferOne(x *mat.Matrix) ([]float64, uint64) {
+// inferOne blocks until the batcher has run the input through the model on
+// the tenant's behalf, returning the logits and the model version that
+// served them.
+func (b *batcher) inferOne(x *mat.Matrix, tenant string) ([]float64, uint64) {
 	q := query{x: x, reply: make(chan answer, 1)}
-	b.reqs <- q
+	b.mu.Lock()
+	tq := b.tenantLocked(tenant)
+	q.seq = b.dispatchSeq
+	tq.q = append(tq.q, q)
+	b.pending++
+	b.mu.Unlock()
+	b.cond.Signal()
 	a := <-q.reply
 	return a.logits, a.version
 }
@@ -145,22 +248,40 @@ func (b *batcher) stats() (uint64, uint64, int) {
 	return b.batches, b.batched, b.biggest
 }
 
+// tenantStats snapshots every tenant's admission view.
+func (b *batcher) tenantStats() map[string]TenantAdmission {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]TenantAdmission, len(b.tenants))
+	for name, tq := range b.tenants {
+		out[name] = tq.stats
+	}
+	return out
+}
+
 // stop shuts the dispatch loop down after serving any queued queries. The
 // engine calls it only after every session has drained, so no new queries
 // can arrive concurrently.
 func (b *batcher) stop() {
-	close(b.quit)
+	b.mu.Lock()
+	b.stopped = true
+	b.mu.Unlock()
+	b.cond.Signal()
 	<-b.done
 }
 
 // batchedModel adapts a batcher to prefetch.BitmapPredictor, the hook that
 // lets each session keep a private NNPrefetcher (history ring, degree) while
-// sharing one model and one admission batcher with every other session.
-type batchedModel struct{ b *batcher }
+// sharing one model and one admission batcher with every other session. The
+// tenant tag routes the session's queries into its fair-share queue.
+type batchedModel struct {
+	b      *batcher
+	tenant string
+}
 
 // Logits routes the query through the admission batcher.
 func (m batchedModel) Logits(x *mat.Matrix) []float64 {
-	logits, _ := m.b.inferOne(x)
+	logits, _ := m.b.inferOne(x, m.tenant)
 	return logits
 }
 
@@ -238,14 +359,15 @@ func agreement(a, b *mat.Tensor) (match, total uint64) {
 // sim.Step). The actor reads it back after the step to tag responses — the
 // mechanism behind "sessions pick up a new version at step boundaries".
 type versionedModel struct {
-	b   *batcher
-	ver *uint64
+	b      *batcher
+	tenant string
+	ver    *uint64
 }
 
 // Logits routes the query through the admission batcher and records the
 // serving version.
 func (m versionedModel) Logits(x *mat.Matrix) []float64 {
-	logits, v := m.b.inferOne(x)
+	logits, v := m.b.inferOne(x, m.tenant)
 	*m.ver = v
 	return logits
 }

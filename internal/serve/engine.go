@@ -332,14 +332,41 @@ func (e *Engine) lookup(id string) (*session, error) {
 	return s, nil
 }
 
-// Open creates a session with the named prefetcher. Every session gets a
-// fresh prefetcher instance and its own incremental simulator. Sessions
-// opened with the "online" prefetcher (when the engine has a learner) are
-// additionally tapped: their access/feedback stream feeds online training,
-// and their responses carry the model version that served each access.
+// SessionOptions configures one session at open. The zero value of every
+// field selects the engine default, so Open(id, name, degree) is exactly
+// OpenSession(id, SessionOptions{Prefetcher: name, Degree: degree}).
+type SessionOptions struct {
+	Prefetcher string
+	Degree     int
+	Tenant     string      // admission fair-share group (default "default")
+	Weight     int         // fair-share weight in the admission batchers (default 1)
+	SimCfg     *sim.Config // per-session machine model; nil = engine default
+}
+
+// Open creates a session with the named prefetcher and default options.
 func (e *Engine) Open(id, prefetcher string, degree int) error {
+	return e.OpenSession(id, SessionOptions{Prefetcher: prefetcher, Degree: degree})
+}
+
+// OpenSession creates a session. Every session gets a fresh prefetcher
+// instance and its own incremental simulator (per-session cache hierarchy
+// config via opt.SimCfg — the mixed-tenant replay matrix runs different
+// machines side by side in one engine). Sessions opened with a versioned
+// model class ("online", "student", "dart" with a learner) are additionally
+// tapped: their access/feedback stream feeds online training, and their
+// responses carry the model version that served each access. Model-class
+// queries are admitted under opt.Tenant's fair-share weight.
+func (e *Engine) OpenSession(id string, opt SessionOptions) error {
 	if id == "" {
 		return fmt.Errorf("serve: empty session id")
+	}
+	prefetcher, degree := opt.Prefetcher, opt.Degree
+	simCfg := e.cfg.SimCfg
+	if opt.SimCfg != nil {
+		if err := opt.SimCfg.Validate(); err != nil {
+			return err
+		}
+		simCfg = *opt.SimCfg
 	}
 	s := &session{
 		id:    id,
@@ -347,9 +374,10 @@ func (e *Engine) Open(id, prefetcher string, degree int) error {
 		done:  make(chan struct{}),
 	}
 	var pf sim.Prefetcher
-	if e.learner != nil && (prefetcher == "online" ||
+	switch {
+	case e.learner != nil && (prefetcher == "online" ||
 		(prefetcher == "student" && e.studentB != nil) ||
-		(prefetcher == "dart" && e.dartB != nil)) {
+		(prefetcher == "dart" && e.dartB != nil)):
 		if degree <= 0 {
 			degree = 4
 		}
@@ -365,9 +393,10 @@ func (e *Engine) Open(id, prefetcher string, degree int) error {
 		case "dart":
 			b, lat, sto = e.dartB, e.learner.DartLatency(), e.learner.DartStorageBytes()
 		}
+		b.setWeight(opt.Tenant, opt.Weight)
 		s.ver = new(uint64)
 		base := prefetch.NewNNPrefetcher(prefetcher,
-			versionedModel{b: b, ver: s.ver},
+			versionedModel{b: b, tenant: opt.Tenant, ver: s.ver},
 			e.learner.Data(), lat, sto, degree)
 		// The fan-out listener stages the feedback sim delivers inside
 		// Step; the actor pairs it with the access and pushes both into
@@ -375,14 +404,24 @@ func (e *Engine) Open(id, prefetcher string, degree int) error {
 		pf = sim.FanOutFeedback(base, func(fb sim.Feedback) {
 			s.pendFB, s.hasFB = fb, true
 		})
-	} else {
+	case e.batcher != nil && prefetcher == "dart":
+		// Static table hierarchy (no versioned dart tier): same model as the
+		// registry's "dart" entry, but routed under this session's tenant.
+		if degree <= 0 {
+			degree = 4
+		}
+		e.batcher.setWeight(opt.Tenant, opt.Weight)
+		pf = prefetch.NewNNPrefetcher("DART",
+			batchedModel{b: e.batcher, tenant: opt.Tenant},
+			e.cfg.Data, e.cfg.ModelLatency, e.cfg.ModelStorage, degree)
+	default:
 		var err error
 		pf, err = e.cfg.Registry.New(prefetcher, degree)
 		if err != nil {
 			return err
 		}
 	}
-	s.sim = sim.NewSim(pf, e.cfg.SimCfg)
+	s.sim = sim.NewSim(pf, simCfg)
 	sh := e.shardFor(id)
 	sh.mu.Lock()
 	// The draining check lives inside the shard lock: Drain sets the flag
@@ -499,8 +538,9 @@ type Stats struct {
 	Batched    uint64 // model queries served through batches
 	MaxBatch   int    // largest batch dispatched so far
 	PerSession map[string]sim.Result
-	Online     *online.Stats // nil unless the engine has a learner
-	AB         *ABStats      // nil unless shadow-compare is enabled
+	Tenants    map[string]TenantAdmission // fair-share admission view, all batchers
+	Online     *online.Stats              // nil unless the engine has a learner
+	AB         *ABStats                   // nil unless shadow-compare is enabled
 }
 
 // ABStats is the student tier's A/B shadow-compare digest: how often the
@@ -531,16 +571,16 @@ func (e *Engine) StatsSnapshot() Stats {
 		}
 		sh.mu.RUnlock()
 	}
-	for _, b := range []*batcher{e.batcher, e.onlineB, e.studentB, e.dartB} {
-		if b == nil {
-			continue
-		}
+	for _, b := range e.allBatchers() {
 		batches, batched, biggest := b.stats()
 		st.Batches += batches
 		st.Batched += batched
 		if biggest > st.MaxBatch {
 			st.MaxBatch = biggest
 		}
+	}
+	if t := e.TenantAdmissions(); len(t) > 0 {
+		st.Tenants = t
 	}
 	if e.learner != nil {
 		ls := e.learner.Stats()
@@ -550,6 +590,39 @@ func (e *Engine) StatsSnapshot() Stats {
 		st.AB = ab
 	}
 	return st
+}
+
+// allBatchers lists the engine's live admission batchers.
+func (e *Engine) allBatchers() []*batcher {
+	var bs []*batcher
+	for _, b := range []*batcher{e.batcher, e.onlineB, e.studentB, e.dartB} {
+		if b != nil {
+			bs = append(bs, b)
+		}
+	}
+	return bs
+}
+
+// TenantAdmissions aggregates the per-tenant fair-share admission stats over
+// every batcher: queries and starvation counts sum, the worst wait wins, and
+// the weight reported is the largest any batcher holds for the tenant.
+func (e *Engine) TenantAdmissions() map[string]TenantAdmission {
+	out := make(map[string]TenantAdmission)
+	for _, b := range e.allBatchers() {
+		for name, ta := range b.tenantStats() {
+			agg := out[name]
+			agg.Queries += ta.Queries
+			agg.Starved += ta.Starved
+			if ta.MaxWaitBatches > agg.MaxWaitBatches {
+				agg.MaxWaitBatches = ta.MaxWaitBatches
+			}
+			if ta.Weight > agg.Weight {
+				agg.Weight = ta.Weight
+			}
+			out[name] = agg
+		}
+	}
+	return out
 }
 
 // abStats snapshots the shadow-compare accumulators; nil when the mode is
@@ -605,17 +678,8 @@ func (e *Engine) Drain() map[string]sim.Result {
 			out[id] = res
 		}
 	}
-	if e.batcher != nil {
-		e.batcher.stop()
-	}
-	if e.onlineB != nil {
-		e.onlineB.stop()
-	}
-	if e.studentB != nil {
-		e.studentB.stop()
-	}
-	if e.dartB != nil {
-		e.dartB.stop()
+	for _, b := range e.allBatchers() {
+		b.stop()
 	}
 	return out
 }

@@ -244,7 +244,7 @@ func TestBatcherNeverMixesVersions(t *testing.T) {
 			x := mat.New(1, 1)
 			var prev uint64
 			for i := 0; i < perProducer; i++ {
-				_, v := b.inferOne(x)
+				_, v := b.inferOne(x, "")
 				if v < prev {
 					t.Errorf("version went backwards: %d after %d", v, prev)
 					return

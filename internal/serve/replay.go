@@ -38,7 +38,8 @@ type Report struct {
 	Batches     uint64  // model batches dispatched during the run
 	Batched     uint64  // model queries served through them
 	MaxBatch    int
-	AB          *ABStats // student-vs-teacher agreement (shadow-compare runs only)
+	AB          *ABStats                   // student-vs-teacher agreement (shadow-compare runs only)
+	Tenants     map[string]TenantAdmission // fair-share admission view (model-class runs)
 }
 
 // Replay pumps one trace per session through the engine concurrently — the
@@ -161,10 +162,7 @@ func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Rep
 			}
 		}
 	}
-	for _, b := range []*batcher{e.batcher, e.onlineB, e.studentB} {
-		if b == nil {
-			continue
-		}
+	for _, b := range e.allBatchers() {
 		batches, batched, biggest := b.stats()
 		rep.Batches += batches
 		rep.Batched += batched
@@ -173,6 +171,9 @@ func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Rep
 		}
 	}
 	rep.AB = e.abStats()
+	if t := e.TenantAdmissions(); len(t) > 0 {
+		rep.Tenants = t
+	}
 	return rep, nil
 }
 

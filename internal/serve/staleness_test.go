@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"dart/internal/online"
+	"dart/internal/prefetch"
+	"dart/internal/sim"
+	"dart/internal/trace"
+)
+
+// stalenessTrace is the adversarial phase-shift stream for the staleness
+// test: three deterministic (zero-jitter) stride regimes, all inside the
+// learner's delta range, switching every phaseLen accesses.
+const stalePhaseLen = 1500
+
+func stalenessTrace(n int) []trace.Record {
+	return trace.PhaseShiftSpec{
+		Pages: 256, PhaseLen: stalePhaseLen, Regimes: 3,
+		StridePool: []int64{2, 5, 7}, Streams: 1, Jitter: -1, Seed: 42,
+	}.Generate(n)
+}
+
+// trainOn pumps recs through a throwaway online session (feeding the
+// learner's reservoir through the session tap), waits for the training loop
+// to take at least minSteps optimizer steps, and publishes the result.
+func trainOn(t *testing.T, e *Engine, l *online.Learner, recs []trace.Record, minSteps uint64) {
+	t.Helper()
+	if err := e.Open("warmup", "online", 4); err != nil {
+		t.Fatal(err)
+	}
+	// The duty-cycled trainer only steps while fresh examples arrive, so
+	// loop the trace through the tap until the step budget is reached.
+	deadline := time.Now().Add(120 * time.Second)
+	for l.Stats().Steps < minSteps {
+		if time.Now().After(deadline) {
+			t.Fatalf("learner took only %d optimizer steps, want %d", l.Stats().Steps, minSteps)
+		}
+		for _, rec := range recs {
+			if _, err := e.Access("warmup", rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := e.Close("warmup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Swap(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func measureOnline(t *testing.T, e *Engine, recs []trace.Record) sim.Result {
+	t.Helper()
+	if err := e.Open("measure", "online", 4); err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs {
+		resp, err := e.Access("measure", rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Seq != uint64(i+1) {
+			t.Fatalf("measure session: access %d served as seq %d", i+1, resp.Seq)
+		}
+	}
+	res, err := e.Close("measure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPhaseShiftPunishesFrozenModel is the staleness acceptance test the
+// phase-shifting generator exists for: two learners train for the same
+// number of optimizer steps, but the frozen one only ever sees the first
+// regime before its serving version is pinned (learner stopped), while the
+// online one trains across the whole stream. Replaying the full three-regime
+// stream through the "online" class of each engine, the frozen model —
+// specialised to the stride regime that holds for only a third of the
+// stream — must show measurably worse prefetch coverage than the model the
+// online class keeps current.
+func TestPhaseShiftPunishesFrozenModel(t *testing.T) {
+	const n, minSteps = 3 * stalePhaseLen, 2500
+	recs := stalenessTrace(n)
+	cfg := smallSimCfg()
+
+	none, err := prefetch.NewRegistry().New("none", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.Run(recs, none, cfg)
+	if base.DemandMisses == 0 {
+		t.Fatal("baseline has no misses; coverage is meaningless")
+	}
+
+	run := func(train []trace.Record, freeze bool) sim.Result {
+		l := testLearner(t, t.TempDir())
+		l.Start()
+		e := NewEngine(Config{SimCfg: cfg, Online: l})
+		trainOn(t, e, l, train, minSteps)
+		if freeze {
+			l.Stop() // pin the serving version: no more training, no more swaps
+		} else {
+			defer l.Stop()
+		}
+		return measureOnline(t, e, recs)
+	}
+
+	// Frozen: trained on regime 0 only, then pinned.
+	frozen := run(recs[:stalePhaseLen], true)
+	// Online: trained across every regime, kept current.
+	current := run(recs, false)
+
+	covFrozen := sim.Coverage(base, frozen)
+	covCurrent := sim.Coverage(base, current)
+	t.Logf("coverage: frozen %.3f (acc %.3f), online %.3f (acc %.3f)",
+		covFrozen, frozen.Accuracy(), covCurrent, current.Accuracy())
+	if covCurrent < covFrozen+0.05 {
+		t.Fatalf("phase shifts did not punish the frozen model: frozen coverage %.3f, online %.3f",
+			covFrozen, covCurrent)
+	}
+}

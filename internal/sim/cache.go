@@ -1,4 +1,4 @@
-// Package sim is a trace-driven last-level-cache simulator in the spirit of
+// Package sim is a trace-driven cache-hierarchy simulator in the spirit of
 // ChampSim's LLC model (paper Sec. VII-A1, Table III). Traces are LLC access
 // streams (upper cache levels are implicit in the trace, exactly as in the
 // paper's methodology of extracting LLC traces with ChampSim); the simulator
@@ -7,6 +7,18 @@
 // reorder window, and an LLC prefetcher with an explicit inference-latency
 // model — the mechanism that separates DART from the slow NN baselines in
 // Figs. 12-14.
+//
+// The hierarchy is configurable: by default the model is the paper's single
+// shared LLC, but setting Config.L2Blocks > 0 interposes a private L2 in
+// front of it (TwoLevelConfig is the ready-made shape). In two-level mode
+// demand accesses probe the L2 first; only L2 misses reach the LLC, train
+// the prefetcher, and touch LLC LRU state. Fills on the demand path install
+// into both levels, prefetch fills install into the LLC and — only when
+// Config.PrefetchFillL2 is set — into the L2, and with Config.L2Inclusive
+// an LLC eviction back-invalidates the L2 copy. The zero-valued L2 config
+// is the degenerate single-level machine and is bit-identical to the
+// original LLC-only simulator; pollution and coverage metrics therefore
+// land in a structurally real cache without disturbing the paper baseline.
 package sim
 
 import "fmt"
@@ -78,13 +90,22 @@ func (c *Cache) Lookup(block uint64, touch bool) (hit, firstPrefetchUse bool) {
 // Insert fills a block, evicting the LRU way if needed. It reports whether
 // an unused prefetched line was evicted (cache pollution).
 func (c *Cache) Insert(block uint64, prefetched bool) (pollutedEvict bool) {
+	_, _, pollutedEvict = c.InsertEvict(block, prefetched)
+	return pollutedEvict
+}
+
+// InsertEvict is Insert that also reports the evicted victim's block address,
+// the hook the two-level hierarchy uses to back-invalidate the private L2
+// when an inclusive LLC replaces a line. evicted is false when the block was
+// already present (refresh) or an invalid way absorbed the fill.
+func (c *Cache) InsertEvict(block uint64, prefetched bool) (victimBlock uint64, evicted, pollutedEvict bool) {
 	set := c.sets[block&c.setMask]
 	c.clock++
 	// Already present: refresh only.
 	for i := range set {
 		if set[i].valid && set[i].tag == block {
 			set[i].lastUse = c.clock
-			return false
+			return 0, false, false
 		}
 	}
 	victim := 0
@@ -97,13 +118,46 @@ func (c *Cache) Insert(block uint64, prefetched bool) (pollutedEvict bool) {
 			victim = i
 		}
 	}
+	victimBlock = set[victim].tag
+	evicted = true
 	if set[victim].prefetched && !set[victim].used {
 		c.EvictedUnusedPrefetches++
 		pollutedEvict = true
 	}
 fill:
 	set[victim] = line{tag: block, valid: true, lastUse: c.clock, prefetched: prefetched}
-	return pollutedEvict
+	return victimBlock, evicted, pollutedEvict
+}
+
+// MarkUsed flags a resident prefetched line as demand-used without
+// refreshing its LRU state — the bookkeeping hook for when a level closer
+// to the core absorbs the demand hit, so the copy here was still a useful
+// prefetch rather than pollution.
+func (c *Cache) MarkUsed(block uint64) {
+	set := c.sets[block&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			set[i].used = true
+			return
+		}
+	}
+}
+
+// Invalidate drops a block if present (inclusive-hierarchy back-invalidation)
+// and reports whether it was resident. An invalidated never-used prefetched
+// line counts toward this cache's pollution, same as an eviction would.
+func (c *Cache) Invalidate(block uint64) bool {
+	set := c.sets[block&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			if set[i].prefetched && !set[i].used {
+				c.EvictedUnusedPrefetches++
+			}
+			set[i] = line{}
+			return true
+		}
+	}
+	return false
 }
 
 // Occupancy returns the number of valid lines (for tests).

@@ -1,0 +1,239 @@
+package sim_test
+
+// External test package: the golden equivalence matrix drives the simulator
+// through the prefetch registry, which imports sim and therefore cannot be
+// exercised from package sim itself.
+
+import (
+	"testing"
+
+	"dart/internal/prefetch"
+	"dart/internal/sim"
+	"dart/internal/trace"
+)
+
+// goldenRow is one pre-hierarchy-refactor simulation result, captured from
+// the single-level simulator before the two-level code existed. The
+// degenerate (L2-disabled) configuration must reproduce every field exactly:
+// the refactor may not perturb the paper baseline by a single counter or
+// quarter-cycle.
+type goldenRow struct {
+	App, PF         string
+	Instructions    uint64
+	Cycles          float64
+	DemandHits      int
+	DemandMisses    int
+	LateCovered     int
+	PrefetchIssued  int
+	PrefetchUseful  int
+	PrefetchDropped int
+	Pollution       int
+}
+
+// goldenMatrix: 8 apps x {none, stride, bo, isb}, n=5000 accesses, degree 4,
+// DefaultConfig with LLCBlocks=4096. Captured from commit 459ef2f.
+var goldenMatrix = []goldenRow{
+	{"410.bwaves", "none", 101959, 837739.500000, 250, 4750, 0, 0, 0, 0, 0},
+	{"410.bwaves", "stride", 101959, 233536.000000, 1287, 195, 3518, 4587, 4555, 0, 1},
+	{"410.bwaves", "bo", 101959, 739254.500000, 569, 3049, 1382, 16107, 1706, 0, 11474},
+	{"410.bwaves", "isb", 101959, 837739.500000, 250, 4750, 0, 53, 0, 0, 30},
+	{"433.milc", "none", 101706, 841438.250000, 228, 4772, 0, 0, 0, 0, 0},
+	{"433.milc", "stride", 101706, 249455.000000, 1324, 363, 3313, 4455, 4413, 0, 0},
+	{"433.milc", "bo", 101706, 696745.000000, 1148, 2211, 1641, 15001, 2564, 0, 9514},
+	{"433.milc", "isb", 101706, 841267.250000, 229, 4771, 0, 266, 3, 0, 254},
+	{"437.leslie3d", "none", 101814, 799399.250000, 474, 4526, 0, 0, 0, 0, 0},
+	{"437.leslie3d", "stride", 101814, 251571.500000, 1249, 312, 3439, 4227, 4214, 0, 0},
+	{"437.leslie3d", "bo", 101814, 326957.250000, 2255, 615, 2130, 7622, 3911, 0, 2506},
+	{"437.leslie3d", "isb", 101814, 797689.250000, 484, 4516, 0, 84, 10, 0, 70},
+	{"462.libquantum", "none", 102546, 880636.250000, 0, 5000, 0, 0, 0, 0, 0},
+	{"462.libquantum", "stride", 102546, 230307.000000, 550, 25, 4425, 4983, 4975, 0, 0},
+	{"462.libquantum", "bo", 102546, 128228.000000, 1417, 6, 3577, 5058, 4994, 0, 8},
+	{"462.libquantum", "isb", 102546, 880636.250000, 0, 5000, 0, 0, 0, 0, 0},
+	{"602.gcc", "none", 102423, 752868.500000, 747, 4253, 0, 0, 0, 0, 0},
+	{"602.gcc", "stride", 102423, 295049.000000, 1631, 789, 2580, 3478, 3464, 0, 0},
+	{"602.gcc", "bo", 102423, 295788.000000, 2661, 270, 2069, 6976, 3984, 0, 1703},
+	{"602.gcc", "isb", 102423, 752868.500000, 747, 4253, 0, 8, 0, 0, 0},
+	{"605.mcf", "none", 102160, 832317.750000, 282, 4718, 0, 0, 0, 0, 0},
+	{"605.mcf", "stride", 102160, 666198.500000, 1201, 3716, 83, 1021, 1002, 0, 0},
+	{"605.mcf", "bo", 102160, 771525.750000, 636, 4359, 5, 17758, 377, 0, 14158},
+	{"605.mcf", "isb", 102160, 832317.750000, 282, 4718, 0, 19, 0, 0, 0},
+	{"619.lbm", "none", 103143, 841113.500000, 232, 4768, 0, 0, 0, 0, 0},
+	{"619.lbm", "stride", 103143, 236045.000000, 1048, 134, 3818, 4645, 4634, 0, 0},
+	{"619.lbm", "bo", 103143, 257379.500000, 1507, 26, 3467, 6084, 4742, 0, 41},
+	{"619.lbm", "isb", 103143, 841113.500000, 232, 4768, 0, 0, 0, 0, 0},
+	{"621.wrf", "none", 103400, 827497.750000, 312, 4688, 0, 0, 0, 0, 0},
+	{"621.wrf", "stride", 103400, 242687.000000, 1318, 278, 3404, 4448, 4411, 0, 5},
+	{"621.wrf", "bo", 103400, 577455.250000, 1314, 2679, 1007, 13190, 2020, 0, 9016},
+	{"621.wrf", "isb", 103400, 827668.750000, 311, 4689, 0, 359, 2, 0, 301},
+}
+
+func goldenConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.LLCBlocks = 4096
+	return cfg
+}
+
+// TestDegenerateHierarchyBitIdentical replays the full pre-refactor matrix
+// (8 apps x 4 prefetchers) through the hierarchy-capable simulator with the
+// L2 disabled and demands exact equality with the captured single-level
+// golden results — the PR 2-style parity proof for the hierarchy refactor.
+func TestDegenerateHierarchyBitIdentical(t *testing.T) {
+	reg := prefetch.NewRegistry()
+	traces := map[string][]trace.Record{}
+	for _, a := range trace.Apps() {
+		traces[a.Name] = trace.Generate(a, 5000)
+	}
+	for _, g := range goldenMatrix {
+		pf, err := reg.New(g.PF, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", g.PF, err)
+		}
+		res := sim.Run(traces[g.App], pf, goldenConfig())
+		res.Prefetcher = g.PF // golden rows carry registry keys, not display names
+		want := sim.Result{
+			Prefetcher:      g.PF,
+			Instructions:    g.Instructions,
+			Cycles:          g.Cycles,
+			IPC:             float64(g.Instructions) / g.Cycles,
+			Accesses:        5000,
+			DemandHits:      g.DemandHits,
+			DemandMisses:    g.DemandMisses,
+			LateCovered:     g.LateCovered,
+			PrefetchIssued:  g.PrefetchIssued,
+			PrefetchUseful:  g.PrefetchUseful,
+			PrefetchDropped: g.PrefetchDropped,
+			Pollution:       g.Pollution,
+		}
+		if res != want {
+			t.Errorf("%s/%s: result diverged from single-level golden\n got %+v\nwant %+v",
+				g.App, g.PF, res, want)
+		}
+	}
+}
+
+func TestTwoLevelConfigValidates(t *testing.T) {
+	if err := sim.TwoLevelConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sim.TwoLevelConfig()
+	bad.L2Ways = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("L2Blocks>0 with L2Ways=0 validated")
+	}
+	neg := sim.DefaultConfig()
+	neg.L2Blocks = -1
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative L2Blocks validated")
+	}
+}
+
+// hotTrace is a reuse-heavy workload whose hot set fits a small L2.
+func hotTrace(n int) []trace.Record {
+	return trace.ZipfSpec{Keys: 512, ValueBlocks: 1, S: 1.3, Seed: 99}.Generate(n)
+}
+
+func TestL2FiltersDemandAccesses(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.L2Blocks = 256
+	cfg.L2Ways = 4
+	cfg.L2HitLatency = 14
+	cfg.L2Inclusive = true
+	recs := hotTrace(20_000)
+	res := sim.Run(recs, sim.NoPrefetcher{}, cfg)
+	if res.Accesses != len(recs) {
+		t.Fatalf("Accesses %d != %d records", res.Accesses, len(recs))
+	}
+	if res.L2Hits == 0 {
+		t.Fatal("reuse-heavy trace produced no L2 hits")
+	}
+	// Every access resolves at exactly one place in the hierarchy.
+	if got := res.L2Hits + res.DemandHits + res.DemandMisses + res.LateCovered; got != res.Accesses {
+		t.Fatalf("hierarchy accounting leak: %d resolved of %d accesses", got, res.Accesses)
+	}
+	// The L2 shields the LLC, so the two-level machine is at least as fast.
+	base := sim.Run(recs, sim.NoPrefetcher{}, goldenConfig())
+	if res.Cycles > base.Cycles {
+		t.Fatalf("two-level run slower than single-level: %.1f > %.1f cycles", res.Cycles, base.Cycles)
+	}
+	if base.L2Hits != 0 || base.L2Pollution != 0 {
+		t.Fatalf("single-level run reported L2 counters: %+v", base)
+	}
+}
+
+func TestTwoLevelDeterministic(t *testing.T) {
+	recs := hotTrace(10_000)
+	cfg := sim.TwoLevelConfig()
+	cfg.LLCBlocks = 4096
+	reg := prefetch.NewRegistry()
+	pa, _ := reg.New("stride", 4)
+	pb, _ := reg.New("stride", 4)
+	if a, b := sim.Run(recs, pa, cfg), sim.Run(recs, pb, cfg); a != b {
+		t.Fatalf("two-level simulation not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestInclusionBackInvalidation(t *testing.T) {
+	// A thrashing LLC behind a roomy L2: with inclusion, LLC evictions kill
+	// the L2 copies, so the inclusive hierarchy must see fewer L2 hits than
+	// the non-inclusive one on the identical trace.
+	cfg := sim.DefaultConfig()
+	cfg.LLCBlocks = 256
+	cfg.LLCWays = 4
+	cfg.L2Blocks = 1024
+	cfg.L2Ways = 8
+	cfg.L2HitLatency = 14
+	recs := trace.ZipfSpec{Keys: 2048, ValueBlocks: 1, S: 1.1, Seed: 41}.Generate(30_000)
+
+	incl := cfg
+	incl.L2Inclusive = true
+	ri := sim.Run(recs, sim.NoPrefetcher{}, incl)
+	rn := sim.Run(recs, sim.NoPrefetcher{}, cfg)
+	if ri.L2Hits >= rn.L2Hits {
+		t.Fatalf("inclusive L2Hits %d not below non-inclusive %d; back-invalidation inert",
+			ri.L2Hits, rn.L2Hits)
+	}
+}
+
+func TestPrefetchFillLevel(t *testing.T) {
+	// A streaming trace under a stride prefetcher: filling prefetches into
+	// the L2 moves the hits from the LLC up to the L2 and keeps them counted
+	// as useful rather than polluting.
+	reg := prefetch.NewRegistry()
+	spec, _ := trace.AppByName("462.libquantum")
+	recs := trace.Generate(spec, 10_000)
+	cfg := sim.TwoLevelConfig()
+	cfg.LLCBlocks = 4096
+	cfg.L2Blocks = 512
+	cfg.L2Ways = 8
+
+	llcFill := cfg
+	pfA, _ := reg.New("stride", 4)
+	ra := sim.Run(recs, pfA, llcFill)
+
+	l2Fill := cfg
+	l2Fill.PrefetchFillL2 = true
+	pfB, _ := reg.New("stride", 4)
+	rb := sim.Run(recs, pfB, l2Fill)
+
+	if rb.L2Hits <= ra.L2Hits {
+		t.Fatalf("PrefetchFillL2 did not raise L2 hits: %d <= %d", rb.L2Hits, ra.L2Hits)
+	}
+	if rb.PrefetchUseful == 0 {
+		t.Fatal("L2-filled prefetches reported zero usefulness")
+	}
+	// Usefulness must not be destroyed by the fill level: the stream is
+	// fully predictable, so the overwhelming majority of issued prefetches
+	// stay useful either way.
+	if rb.Accuracy() < 0.5 {
+		t.Fatalf("L2-fill accuracy collapsed to %.2f", rb.Accuracy())
+	}
+}
+
+func TestMergeSumsL2Counters(t *testing.T) {
+	a := sim.Result{Accesses: 10, L2Hits: 4, L2Pollution: 1}
+	b := sim.Result{Accesses: 20, L2Hits: 6, L2Pollution: 2}
+	m := sim.Merge([]sim.Result{a, b})
+	if m.L2Hits != 10 || m.L2Pollution != 3 || m.Accesses != 30 {
+		t.Fatalf("merge dropped L2 counters: %+v", m)
+	}
+}

@@ -47,6 +47,7 @@ func Merge(results []Result) Result {
 		m.Instructions += r.Instructions
 		m.Cycles += r.Cycles
 		m.Accesses += r.Accesses
+		m.L2Hits += r.L2Hits
 		m.DemandHits += r.DemandHits
 		m.DemandMisses += r.DemandMisses
 		m.LateCovered += r.LateCovered
@@ -54,6 +55,7 @@ func Merge(results []Result) Result {
 		m.PrefetchUseful += r.PrefetchUseful
 		m.PrefetchDropped += r.PrefetchDropped
 		m.Pollution += r.Pollution
+		m.L2Pollution += r.L2Pollution
 	}
 	if m.Cycles > 0 {
 		m.IPC = float64(m.Instructions) / m.Cycles

