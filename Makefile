@@ -1,12 +1,14 @@
 GO ?= go
 BENCH_TOLERANCE ?= 1.5
 BENCH_MIN_SPEEDUP ?= 2.0
+BENCH_MIN_WIRE_SPEEDUP ?= 5.0
 COVER_MAX_DROP ?= 1.0
 BENCH_ONLINE = 'BenchmarkFeedbackIngest|BenchmarkModelSwap|BenchmarkTeacherInfer|BenchmarkStudentInfer|BenchmarkDistillCycle|BenchmarkDartInfer|BenchmarkTabularSwap'
+BENCH_WIRE = 'BenchmarkWireCodec|BenchmarkWireAccessBinary'
 
 FUZZTIME ?= 30s
 
-.PHONY: build test short race vet lint bench bench-ci bench-serve bench-update cover cover-update fuzz ci
+.PHONY: build test short race vet lint bench bench-ci bench-serve bench-update cover cover-update docs-lint fuzz ci
 
 build:
 	$(GO) build ./...
@@ -44,32 +46,49 @@ bench:
 ## distilled-student, and dart-table benchmarks regressing vs
 ## BENCH_serve.json's "online" section (which also holds the same-run
 ## "student strictly faster and smaller than teacher" and "dart tables
-## strictly faster than student" lines). -count 3 because the checker keeps the
-## per-benchmark minimum: the µs-scale grid points are noisy at low
-## iteration counts and min-of-3 filters scheduler interference.
+## strictly faster than student" lines). The DARTWIRE1 wire benchmarks run
+## with -benchmem because the gate also checks allocs/op against the
+## "binary" section — the recorded baseline is 0 allocs per steady-state
+## access, so one new allocation on the binary hot path fails the gate.
+## -count 3 because the checker keeps the per-benchmark minimum: the
+## µs-scale grid points are noisy at low iteration counts and min-of-3
+## filters scheduler interference.
 bench-ci:
 	$(GO) test -run '^$$' -bench 'BenchmarkMatMul|BenchmarkHierarchyQueryBatch' -benchtime 5x -count 3 -benchmem \
 		./internal/mat ./internal/tabular > bench-ci.out || { cat bench-ci.out; exit 1; }
 	$(GO) test -run '^$$' -bench $(BENCH_ONLINE) -benchtime 50ms -count 3 \
 		./internal/online >> bench-ci.out || { cat bench-ci.out; exit 1; }
+	$(GO) test -run '^$$' -bench $(BENCH_WIRE) -benchtime 100ms -count 3 -benchmem \
+		./internal/serve >> bench-ci.out || { cat bench-ci.out; exit 1; }
 	@cat bench-ci.out
 	$(GO) run ./cmd/dart-benchcheck -baseline BENCH_par.json -serve-baseline BENCH_serve.json \
-		-tolerance $(BENCH_TOLERANCE) -min-speedup $(BENCH_MIN_SPEEDUP) bench-ci.out
+		-tolerance $(BENCH_TOLERANCE) -min-speedup $(BENCH_MIN_SPEEDUP) \
+		-min-wire-speedup $(BENCH_MIN_WIRE_SPEEDUP) bench-ci.out
 
-## bench-serve: regenerate the serving-throughput report in BENCH_serve.json
-## (the "online" bench section is preserved; bench-update refreshes both)
+## bench-serve: regenerate the serving-throughput report in BENCH_serve.json.
+## The "report" section is the JSON-wire replay baseline the binary protocol's
+## 5x speedup gate compares against; the "online"/"binary" bench sections are
+## preserved (bench-update refreshes everything).
 bench-serve:
 	$(GO) run ./cmd/dart-serve -replay -sessions 8 -n 20000 -prefetcher stride -verify \
-		-json BENCH_serve.json
+		-proto json -json BENCH_serve.json
 
-## bench-update: regenerate every serving baseline in one step — the replay
-## throughput report plus the online-training benchmark numbers the bench-ci
-## gate enforces
+## bench-update: regenerate every serving baseline in one step — the JSON-wire
+## replay report, the DARTWIRE1 replay throughput (same workload over binary
+## framing; the pair feeds the ≥5x wire-speedup gate), the online-training
+## benchmark numbers, and the wire codec/alloc numbers the bench-ci gate
+## enforces
 bench-update: bench-serve
+	$(GO) run ./cmd/dart-serve -replay -sessions 8 -n 20000 -prefetcher stride -verify \
+		-proto binary -json BENCH_serve.json
 	$(GO) test -run '^$$' -bench $(BENCH_ONLINE) -benchtime 2s \
 		./internal/online > bench-online.out || { cat bench-online.out; exit 1; }
 	@cat bench-online.out
 	$(GO) run ./cmd/dart-benchcheck -write-online BENCH_serve.json bench-online.out
+	$(GO) test -run '^$$' -bench $(BENCH_WIRE) -benchtime 2s -benchmem \
+		./internal/serve > bench-wire.out || { cat bench-wire.out; exit 1; }
+	@cat bench-wire.out
+	$(GO) run ./cmd/dart-benchcheck -write-binary BENCH_serve.json bench-wire.out
 
 ## cover: coverage ratchet — total statement coverage may not drop more than
 ## COVER_MAX_DROP points below the committed COVERAGE.txt baseline
@@ -77,6 +96,12 @@ cover:
 	$(GO) test -short -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out > coverage-func.txt
 	$(GO) run ./cmd/dart-covercheck -baseline COVERAGE.txt -max-drop $(COVER_MAX_DROP) coverage-func.txt
+
+## docs-lint: documentation gate — every relative link in docs/ and the
+## READMEs must resolve, and every wire verb must be documented in
+## docs/PROTOCOL.md
+docs-lint:
+	$(GO) run ./cmd/dart-doccheck -root .
 
 ## fuzz: timed coverage-guided fuzzing of the CSV trace reader (the per-PR
 ## tier replays the committed corpus as ordinary tests; nightly runs 5m)
@@ -89,4 +114,4 @@ cover-update:
 	$(GO) tool cover -func=coverage.out > coverage-func.txt
 	$(GO) run ./cmd/dart-covercheck -write -baseline COVERAGE.txt coverage-func.txt
 
-ci: vet build test race
+ci: vet build test race docs-lint

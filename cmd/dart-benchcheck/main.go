@@ -30,6 +30,20 @@
 // "online" section in place — `make bench-update` uses this to refresh every
 // serving baseline in one step.
 //
+// -serve-baseline additionally gates the DARTWIRE1 binary protocol against
+// the "binary" section of the same file: BenchmarkWireCodec and
+// BenchmarkWireAccessBinary are checked for ns/op regressions like any other
+// benchmark, and their allocs/op (parsed from -benchmem output) must not
+// exceed the recorded baseline — which is zero, the tentpole's zero-alloc
+// guarantee, so a single new steady-state allocation on the binary hot path
+// fails CI. One static check needs no measurement at all: the recorded
+// binary replay throughput must beat the recorded JSON replay throughput
+// ("report".Throughput) by at least -min-wire-speedup (default 5x, the
+// binary protocol's acceptance bar; both numbers were recorded on the same
+// host by `make bench-update`). -write-binary rewrites the codec/alloc
+// fields of the "binary" section from measured benchmarks, preserving the
+// replay_* fields that `dart-serve -replay -proto binary -json` maintains.
+//
 // Exit status 0 when every check passes, 1 on regression, 2 on usage or
 // missing-data errors.
 package main
@@ -84,6 +98,19 @@ var onlineBenchNames = map[string]func(onlineBaseline) float64{
 	"BenchmarkTabularSwap":    func(b onlineBaseline) float64 { return b.TabularSwapNs },
 }
 
+// binaryBaseline is the "binary" section of BENCH_serve.json: the DARTWIRE1
+// wire-protocol benchmarks and the binary replay throughput recorded next to
+// the JSON replay baseline. The replay_* fields are written by `dart-serve
+// -replay -proto binary -json`; the codec/access fields by -write-binary.
+type binaryBaseline struct {
+	ReplayThroughput float64 `json:"replay_throughput"`
+	ReplayBatch      int     `json:"replay_batch"`
+	CodecNs          float64 `json:"codec_ns"`
+	CodecAllocs      float64 `json:"codec_allocs"`
+	WireAccessNs     float64 `json:"wire_access_ns"`
+	WireAccessAllocs float64 `json:"wire_access_allocs"`
+}
+
 // benchLine matches e.g. "BenchmarkMatMul/par/n512/w4-8   100  11093275 ns/op".
 // The -N GOMAXPROCS suffix is optional: go test omits it when GOMAXPROCS=1.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
@@ -93,9 +120,14 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) 
 // "<name>@storage_bytes".
 var storageMetric = regexp.MustCompile(`([0-9.]+) storage_bytes`)
 
-// parseBench extracts name -> ns/op (plus "<name>@storage_bytes" for custom
-// storage metrics) from go test -bench output. Repeated names (e.g. from
-// -count) keep the minimum, the standard noise filter.
+// allocsMetric matches the allocs/op column -benchmem appends; the value
+// lands in the parse map under "<name>@allocs".
+var allocsMetric = regexp.MustCompile(`([0-9]+) allocs/op`)
+
+// parseBench extracts name -> ns/op (plus "<name>@storage_bytes" and
+// "<name>@allocs" for the -benchmem / custom-metric columns) from go test
+// -bench output. Repeated names (e.g. from -count) keep the minimum, the
+// standard noise filter.
 func parseBench(r io.Reader) (map[string]float64, error) {
 	out := make(map[string]float64)
 	sc := bufio.NewScanner(r)
@@ -117,6 +149,16 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 				return nil, fmt.Errorf("bad storage_bytes in %q: %w", sc.Text(), err)
 			}
 			out[m[1]+"@storage_bytes"] = v
+		}
+		if am := allocsMetric.FindStringSubmatch(sc.Text()); am != nil {
+			v, err := strconv.ParseFloat(am[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			key := m[1] + "@allocs"
+			if prev, ok := out[key]; !ok || v < prev {
+				out[key] = v
+			}
 		}
 	}
 	return out, sc.Err()
@@ -255,6 +297,136 @@ func studentChecks(got map[string]float64) (checks []check, missing []string) {
 	return checks, missing
 }
 
+// binaryChecks gates the DARTWIRE1 benchmarks against the "binary" section
+// of the serve baseline file: ns/op within tolerance like any other
+// benchmark, allocs/op at most the recorded baseline with no tolerance
+// (allocation counts are deterministic, and the recorded baseline is zero —
+// the zero-alloc hot-path guarantee), plus the static recorded-throughput
+// ratio: binary replay must beat JSON replay by minWireSpeedup. Both replay
+// numbers come from the baseline file itself — `make bench-update` records
+// them on the same host minutes apart — so no fresh measurement is needed.
+func binaryChecks(servePath string, got map[string]float64, tolerance, minWireSpeedup float64, out io.Writer) (checks []check, missing []string, ok bool) {
+	raw, err := os.ReadFile(servePath)
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return nil, nil, false
+	}
+	var doc struct {
+		Binary *binaryBaseline `json:"binary"`
+		Report struct {
+			Throughput float64 `json:"Throughput"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fmt.Fprintf(out, "benchcheck: parsing %s: %v\n", servePath, err)
+		return nil, nil, false
+	}
+	if doc.Binary == nil {
+		fmt.Fprintf(out, "benchcheck: %s has no \"binary\" section (run `make bench-update`)\n", servePath)
+		return nil, nil, false
+	}
+	bin := *doc.Binary
+	addNs := func(name string, baseNs float64) {
+		if baseNs <= 0 {
+			missing = append(missing, name)
+			return
+		}
+		ns, measured := got[name]
+		if !measured {
+			missing = append(missing, name)
+			return
+		}
+		limit := baseNs * tolerance
+		checks = append(checks, check{name: name, measured: ns, limit: limit, ok: ns <= limit})
+	}
+	// Alloc baselines are exact: a baseline of 0 is the whole point, so 0 is
+	// a valid (and the expected) recorded value, unlike the ns fields.
+	addAllocs := func(name string, baseAllocs float64) {
+		allocs, measured := got[name]
+		if !measured {
+			missing = append(missing, name)
+			return
+		}
+		checks = append(checks, check{name: name, measured: allocs, limit: baseAllocs, ok: allocs <= baseAllocs})
+	}
+	addNs("BenchmarkWireCodec", bin.CodecNs)
+	addAllocs("BenchmarkWireCodec@allocs", bin.CodecAllocs)
+	addNs("BenchmarkWireAccessBinary", bin.WireAccessNs)
+	addAllocs("BenchmarkWireAccessBinary@allocs", bin.WireAccessAllocs)
+	if bin.ReplayThroughput <= 0 || doc.Report.Throughput <= 0 {
+		fmt.Fprintf(out, "benchcheck: %s lacks recorded replay throughputs for the wire-speedup check (run `make bench-update`)\n", servePath)
+		return nil, nil, false
+	}
+	ratio := bin.ReplayThroughput / doc.Report.Throughput
+	checks = append(checks, check{
+		name:     "speedup(binary vs json replay, recorded)",
+		measured: ratio,
+		limit:    minWireSpeedup,
+		ok:       ratio >= minWireSpeedup,
+	})
+	return checks, missing, true
+}
+
+// writeBinary rewrites the codec/access fields of the "binary" section of
+// the serve baseline file from the measured benchmarks, preserving the
+// replay_* fields (owned by `dart-serve -replay -proto binary -json`) and
+// every other key in the file.
+func writeBinary(servePath string, got map[string]float64, out io.Writer) int {
+	for _, name := range []string{
+		"BenchmarkWireCodec", "BenchmarkWireCodec@allocs",
+		"BenchmarkWireAccessBinary", "BenchmarkWireAccessBinary@allocs",
+	} {
+		if _, ok := got[name]; !ok {
+			fmt.Fprintf(out, "benchcheck: input has no %s result (need -benchmem); not updating %s\n", name, servePath)
+			return 2
+		}
+	}
+	raw, err := os.ReadFile(servePath)
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fmt.Fprintf(out, "benchcheck: parsing %s: %v\n", servePath, err)
+		return 2
+	}
+	bin := make(map[string]json.RawMessage)
+	if sec, ok := doc["binary"]; ok {
+		if err := json.Unmarshal(sec, &bin); err != nil {
+			fmt.Fprintf(out, "benchcheck: parsing %s \"binary\" section: %v\n", servePath, err)
+			return 2
+		}
+	}
+	set := func(key string, v float64) {
+		b, _ := json.Marshal(v)
+		bin[key] = b
+	}
+	set("codec_ns", got["BenchmarkWireCodec"])
+	set("codec_allocs", got["BenchmarkWireCodec@allocs"])
+	set("wire_access_ns", got["BenchmarkWireAccessBinary"])
+	set("wire_access_allocs", got["BenchmarkWireAccessBinary@allocs"])
+	sec, err := json.Marshal(bin)
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	doc["binary"] = sec
+	updated, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	if err := os.WriteFile(servePath, append(updated, '\n'), 0o644); err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(out, "benchcheck: %s binary section updated (codec %.0f ns / %.0f allocs, access %.0f ns / %.0f allocs)\n",
+		servePath, got["BenchmarkWireCodec"], got["BenchmarkWireCodec@allocs"],
+		got["BenchmarkWireAccessBinary"], got["BenchmarkWireAccessBinary@allocs"])
+	return 0
+}
+
 // writeOnline rewrites the "online" section of the serve baseline file from
 // the measured benchmarks, leaving every other key untouched.
 func writeOnline(servePath string, got map[string]float64, out io.Writer) int {
@@ -312,7 +484,7 @@ func writeOnline(servePath string, got map[string]float64, out io.Writer) int {
 }
 
 // run executes the gate and returns the process exit code.
-func run(baselinePath, servePath, updateOnline string, tolerance, minSpeedup float64, in io.Reader, out io.Writer) int {
+func run(baselinePath, servePath, updateOnline, updateBinary string, tolerance, minSpeedup, minWireSpeedup float64, in io.Reader, out io.Writer) int {
 	got, err := parseBench(in)
 	if err != nil {
 		fmt.Fprintf(out, "benchcheck: %v\n", err)
@@ -324,6 +496,9 @@ func run(baselinePath, servePath, updateOnline string, tolerance, minSpeedup flo
 	}
 	if updateOnline != "" {
 		return writeOnline(updateOnline, got, out)
+	}
+	if updateBinary != "" {
+		return writeBinary(updateBinary, got, out)
 	}
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -353,6 +528,18 @@ func run(baselinePath, servePath, updateOnline string, tolerance, minSpeedup flo
 			return 2
 		}
 		checks = append(checks, sChecks...)
+		bChecks, bMissing, ok := binaryChecks(servePath, got, tolerance, minWireSpeedup, out)
+		if !ok {
+			return 2
+		}
+		if len(bMissing) > 0 {
+			// Same fail-closed rule: the wire gate exists to catch a single
+			// new allocation on the binary hot path, and a missing benchmark
+			// (e.g. -benchmem dropped from bench-ci) would disable it.
+			fmt.Fprintf(out, "benchcheck: wire benchmarks missing from input or baseline: %v\n", bMissing)
+			return 2
+		}
+		checks = append(checks, bChecks...)
 	}
 	if len(checks) == 0 {
 		// Fail closed: benchmark names drifting away from the baseline
@@ -385,8 +572,10 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_par.json", "baseline JSON file")
 	servePath := flag.String("serve-baseline", "", "also gate online benchmarks against this file's \"online\" section (e.g. BENCH_serve.json)")
 	updateOnline := flag.String("write-online", "", "update mode: rewrite this file's \"online\" section from the measured benchmarks")
+	updateBinary := flag.String("write-binary", "", "update mode: rewrite this file's \"binary\" codec/access fields from the measured benchmarks")
 	tolerance := flag.Float64("tolerance", 1.5, "allowed slowdown vs baseline")
 	minSpeedup := flag.Float64("min-speedup", 2.0, "required same-run speedup of par w4 over serial")
+	minWireSpeedup := flag.Float64("min-wire-speedup", 5.0, "required recorded speedup of binary replay over json replay")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -399,5 +588,5 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	os.Exit(run(*baselinePath, *servePath, *updateOnline, *tolerance, *minSpeedup, in, os.Stdout))
+	os.Exit(run(*baselinePath, *servePath, *updateOnline, *updateBinary, *tolerance, *minSpeedup, *minWireSpeedup, in, os.Stdout))
 }

@@ -67,7 +67,7 @@ func writeBaseline(t *testing.T) string {
 
 func TestGatePassesWithinTolerance(t *testing.T) {
 	var out strings.Builder
-	code := run(writeBaseline(t), "", "", 1.5, 2.0, strings.NewReader(sampleBench), &out)
+	code := run(writeBaseline(t), "", "", "", 1.5, 2.0, 5, strings.NewReader(sampleBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -82,7 +82,7 @@ func TestGateFailsOnRegression(t *testing.T) {
 		"BenchmarkMatMul/par/n512/w4-1    10  11200000 ns/op",
 		"BenchmarkMatMul/par/n512/w4-1    10  33000000 ns/op", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), "", "", 1.5, 2.0, strings.NewReader(slow), &out)
+	code := run(writeBaseline(t), "", "", "", 1.5, 2.0, 5, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -99,7 +99,7 @@ func TestGateFailsOnLostSpeedup(t *testing.T) {
 BenchmarkMatMul/par/n512/w4-1 2 9000000 ns/op
 `
 	var out strings.Builder
-	code := run(writeBaseline(t), "", "", 1.5, 2.0, strings.NewReader(in), &out)
+	code := run(writeBaseline(t), "", "", "", 1.5, 2.0, 5, strings.NewReader(in), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -132,7 +132,7 @@ BenchmarkMatMul/par/n64/w4-1 40 24000 ns/op
 BenchmarkHierarchyQueryBatch-1 100 1700000 ns/op
 `
 	var out strings.Builder
-	code := run(writeBaseline(t), "", "", 1.5, 2.0, strings.NewReader(small), &out)
+	code := run(writeBaseline(t), "", "", "", 1.5, 2.0, 5, strings.NewReader(small), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -148,7 +148,7 @@ func TestGateFailsClosedWhenNothingMatches(t *testing.T) {
 BenchmarkSomethingElse-1 5 12345 ns/op
 `
 	var out strings.Builder
-	if code := run(writeBaseline(t), "", "", 1.5, 2.0, strings.NewReader(renamed), &out); code != 2 {
+	if code := run(writeBaseline(t), "", "", "", 1.5, 2.0, 5, strings.NewReader(renamed), &out); code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "no measured benchmark matched") {
@@ -158,14 +158,14 @@ BenchmarkSomethingElse-1 5 12345 ns/op
 
 func TestGateErrorsOnEmptyInput(t *testing.T) {
 	var out strings.Builder
-	if code := run(writeBaseline(t), "", "", 1.5, 2.0, strings.NewReader("no benchmarks here"), &out); code != 2 {
+	if code := run(writeBaseline(t), "", "", "", 1.5, 2.0, 5, strings.NewReader("no benchmarks here"), &out); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
 
 func TestGateErrorsOnMissingBaseline(t *testing.T) {
 	var out strings.Builder
-	if code := run(filepath.Join(t.TempDir(), "nope.json"), "", "", 1.5, 2.0, strings.NewReader(sampleBench), &out); code != 2 {
+	if code := run(filepath.Join(t.TempDir(), "nope.json"), "", "", "", 1.5, 2.0, 5, strings.NewReader(sampleBench), &out); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
@@ -174,7 +174,7 @@ func TestGateErrorsOnMissingBaseline(t *testing.T) {
 // against drifting away from the schema the gate reads.
 func TestRealBaselineParses(t *testing.T) {
 	var out strings.Builder
-	code := run("../../BENCH_par.json", "", "", 1.5, 2.0, strings.NewReader(sampleBench), &out)
+	code := run("../../BENCH_par.json", "", "", "", 1.5, 2.0, 5, strings.NewReader(sampleBench), &out)
 	// sampleBench numbers are far below the real baseline, so this passes
 	// unless the JSON fails to parse (exit 2).
 	if code == 2 {
@@ -191,6 +191,11 @@ const sampleServeBaseline = `{
     "teacher_storage_bytes": 44032, "student_storage_bytes": 13952,
     "dart_storage_bytes": 7982
   },
+  "binary": {
+    "replay_throughput": 3900000, "replay_batch": 64,
+    "codec_ns": 2100, "codec_allocs": 0,
+    "wire_access_ns": 520, "wire_access_allocs": 0
+  },
   "report": {"Throughput": 640000}
 }`
 
@@ -201,6 +206,9 @@ BenchmarkStudentInfer-1  712  321442 ns/op  13952 storage_bytes
 BenchmarkDistillCycle-1  84  3096250 ns/op
 BenchmarkDartInfer-1  951  249812 ns/op  7982 storage_bytes
 BenchmarkTabularSwap-1  200000  5100 ns/op
+BenchmarkWireCodec-1  550000  2156 ns/op  0 B/op  0 allocs/op
+BenchmarkWireAccessBinary-1  2000000  529.2 ns/op  0 B/op  0 allocs/op
+BenchmarkWireAccessJSON-1  150000  8101 ns/op  1969 B/op  45 allocs/op
 `
 
 func writeServeBaseline(t *testing.T, content string) string {
@@ -214,8 +222,8 @@ func writeServeBaseline(t *testing.T, content string) string {
 
 func TestOnlineGatePassesWithinTolerance(t *testing.T) {
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "",
-		1.5, 2.0, strings.NewReader(sampleOnlineBench), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
+		1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -230,8 +238,8 @@ func TestOnlineGateFailsOnRegression(t *testing.T) {
 		"BenchmarkFeedbackIngest-1  50000000  22.1 ns/op",
 		"BenchmarkFeedbackIngest-1  1000000  95.0 ns/op", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "",
-		1.5, 2.0, strings.NewReader(slow), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
+		1.5, 2.0, 5, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -244,8 +252,8 @@ func TestOnlineGateFailsClosedOnMissingBenchmark(t *testing.T) {
 	// Input has the matmul grid but neither online benchmark: the serve
 	// gate must error rather than degrade to a warning.
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "",
-		1.5, 2.0, strings.NewReader(sampleBench), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
+		1.5, 2.0, 5, strings.NewReader(sampleBench), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -256,8 +264,8 @@ func TestOnlineGateFailsClosedOnMissingBenchmark(t *testing.T) {
 
 func TestOnlineGateFailsClosedWithoutSection(t *testing.T) {
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, `{"report": {}}`), "",
-		1.5, 2.0, strings.NewReader(sampleOnlineBench), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, `{"report": {}}`), "", "",
+		1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -269,7 +277,7 @@ func TestOnlineGateFailsClosedWithoutSection(t *testing.T) {
 func TestWriteOnlinePreservesOtherKeys(t *testing.T) {
 	path := writeServeBaseline(t, sampleServeBaseline)
 	var out strings.Builder
-	code := run("", "", path, 1.5, 2.0, strings.NewReader(sampleOnlineBench), &out)
+	code := run("", "", path, "", 1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -284,7 +292,7 @@ func TestWriteOnlinePreservesOtherKeys(t *testing.T) {
 		}
 	}
 	// The refreshed file must pass its own gate.
-	code = run(writeBaseline(t), path, "", 1.5, 2.0, strings.NewReader(sampleOnlineBench), &out)
+	code = run(writeBaseline(t), path, "", "", 1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("self-gate exit %d:\n%s", code, out.String())
 	}
@@ -310,8 +318,8 @@ func TestStudentGateFailsWhenNotFaster(t *testing.T) {
 		"BenchmarkStudentInfer-1  712  321442 ns/op  13952 storage_bytes",
 		"BenchmarkStudentInfer-1  712  560000 ns/op  13952 storage_bytes", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "",
-		2.0, 2.0, strings.NewReader(slow), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
+		2.0, 2.0, 5, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -328,8 +336,8 @@ func TestDartGateFailsWhenNotFasterThanStudent(t *testing.T) {
 		"BenchmarkDartInfer-1  951  249812 ns/op  7982 storage_bytes",
 		"BenchmarkDartInfer-1  951  330000 ns/op  7982 storage_bytes", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "",
-		2.0, 2.0, strings.NewReader(slow), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
+		2.0, 2.0, 5, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -343,8 +351,8 @@ func TestStudentGateFailsWhenNotSmaller(t *testing.T) {
 		"BenchmarkStudentInfer-1  712  321442 ns/op  13952 storage_bytes",
 		"BenchmarkStudentInfer-1  712  321442 ns/op  44032 storage_bytes", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "",
-		1.5, 2.0, strings.NewReader(bloated), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
+		1.5, 2.0, 5, strings.NewReader(bloated), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -359,8 +367,8 @@ func TestStudentGateFailsClosedOnMissingStudentBench(t *testing.T) {
 	noStudent := strings.Replace(sampleOnlineBench,
 		"BenchmarkStudentInfer-1  712  321442 ns/op  13952 storage_bytes\n", "", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "",
-		1.5, 2.0, strings.NewReader(noStudent), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
+		1.5, 2.0, 5, strings.NewReader(noStudent), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -370,9 +378,194 @@ func TestWriteOnlineRefusesPartialInput(t *testing.T) {
 	path := writeServeBaseline(t, sampleServeBaseline)
 	var out strings.Builder
 	// Missing BenchmarkModelSwap: must refuse rather than zero the baseline.
-	code := run("", "", path, 1.5, 2.0,
+	code := run("", "", path, "", 1.5, 2.0, 5,
 		strings.NewReader("BenchmarkFeedbackIngest-1 100 20 ns/op\n"), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+	}
+}
+
+func TestParseBenchAllocsMetric(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOnlineBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got["BenchmarkWireAccessBinary@allocs"]; v != 0 {
+		t.Fatalf("binary allocs = %v, want 0", v)
+	}
+	if v := got["BenchmarkWireAccessJSON@allocs"]; v != 45 {
+		t.Fatalf("json allocs = %v, want 45", v)
+	}
+	// Repeated names keep the minimum, same as ns/op.
+	in := "BenchmarkWireCodec-1 100 2000 ns/op 32 B/op 2 allocs/op\n" +
+		"BenchmarkWireCodec-1 100 2100 ns/op 0 B/op 0 allocs/op\n"
+	got, err = parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got["BenchmarkWireCodec@allocs"]; v != 0 {
+		t.Fatalf("min allocs not kept: %v", v)
+	}
+}
+
+func TestBinaryGatePassesAtBaseline(t *testing.T) {
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
+		1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"BenchmarkWireCodec", "BenchmarkWireAccessBinary@allocs",
+		"speedup(binary vs json replay, recorded)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("wire gate %q not checked:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBinaryGateFailsOnNsRegression(t *testing.T) {
+	// Codec 4x slower than the 2100 ns baseline: beyond 1.5x tolerance.
+	slow := strings.Replace(sampleOnlineBench,
+		"BenchmarkWireCodec-1  550000  2156 ns/op  0 B/op  0 allocs/op",
+		"BenchmarkWireCodec-1  550000  9000 ns/op  0 B/op  0 allocs/op", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
+		1.5, 2.0, 5, strings.NewReader(slow), &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkWireCodec") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestBinaryGateFailsOnSingleAlloc(t *testing.T) {
+	// ns/op unchanged but the hot path picked up allocations: no tolerance
+	// applies — one alloc against a zero baseline fails.
+	leaky := strings.Replace(sampleOnlineBench,
+		"BenchmarkWireAccessBinary-1  2000000  529.2 ns/op  0 B/op  0 allocs/op",
+		"BenchmarkWireAccessBinary-1  2000000  529.2 ns/op  48 B/op  1 allocs/op", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
+		1.5, 2.0, 5, strings.NewReader(leaky), &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkWireAccessBinary@allocs") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestBinaryGateFailsClosedOnMissingWireBench(t *testing.T) {
+	// The wire benchmarks vanishing from the input (e.g. -benchmem dropped
+	// from bench-ci) must error, not silently stop gating allocations.
+	noWire := strings.Replace(sampleOnlineBench,
+		"BenchmarkWireCodec-1  550000  2156 ns/op  0 B/op  0 allocs/op\n", "", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
+		1.5, 2.0, 5, strings.NewReader(noWire), &out)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "wire benchmarks missing") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestBinaryGateFailsClosedWithoutSection(t *testing.T) {
+	// Online section present, binary section absent: fail closed.
+	noBinary := strings.Replace(sampleServeBaseline, `"binary": {
+    "replay_throughput": 3900000, "replay_batch": 64,
+    "codec_ns": 2100, "codec_allocs": 0,
+    "wire_access_ns": 520, "wire_access_allocs": 0
+  },
+  `, "", 1)
+	if noBinary == sampleServeBaseline {
+		t.Fatal("fixture replace failed")
+	}
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, noBinary), "", "",
+		1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), `"binary"`) {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestWireSpeedupGateFailsBelowBar(t *testing.T) {
+	// Recorded binary replay only 3x the JSON replay: below the 5x bar.
+	slow := strings.Replace(sampleServeBaseline,
+		`"replay_throughput": 3900000`, `"replay_throughput": 1920000`, 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, slow), "", "",
+		1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL speedup(binary vs json replay, recorded)") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestWireSpeedupFailsClosedWithoutRecordedThroughput(t *testing.T) {
+	// A binary section written only by -write-binary (no replay run yet)
+	// lacks replay_throughput: the speedup check must error, not pass.
+	noReplay := strings.Replace(sampleServeBaseline,
+		`"replay_throughput": 3900000, "replay_batch": 64,`, "", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, noReplay), "", "",
+		1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "replay throughputs") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestWriteBinaryPreservesReplayAndOtherKeys(t *testing.T) {
+	path := writeServeBaseline(t, sampleServeBaseline)
+	var out strings.Builder
+	code := run("", "", "", path, 1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	updated, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(updated)
+	for _, want := range []string{
+		`"codec_ns": 2156`, `"wire_access_ns": 529.2`, `"codec_allocs": 0`,
+		`"replay_throughput": 3900000`, `"replay_batch": 64`,
+		`"feedback_ingest_ns": 20`, `"Throughput": 640000`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("updated file missing %q:\n%s", want, s)
+		}
+	}
+	// The refreshed file must pass its own gate.
+	code = run(writeBaseline(t), path, "", "", 1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	if code != 0 {
+		t.Fatalf("self-gate exit %d:\n%s", code, out.String())
+	}
+}
+
+func TestWriteBinaryRefusesWithoutBenchmem(t *testing.T) {
+	path := writeServeBaseline(t, sampleServeBaseline)
+	var out strings.Builder
+	// Wire benchmarks measured without -benchmem: no allocs columns, so the
+	// update must refuse rather than zero the alloc baselines.
+	in := "BenchmarkWireCodec-1 550000 2156 ns/op\nBenchmarkWireAccessBinary-1 2000000 529.2 ns/op\n"
+	code := run("", "", "", path, 1.5, 2.0, 5, strings.NewReader(in), &out)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "-benchmem") {
+		t.Fatalf("output:\n%s", out.String())
 	}
 }

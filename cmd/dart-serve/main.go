@@ -126,6 +126,8 @@ func main() {
 	prefetcher := flag.String("prefetcher", "stride", "replay: prefetcher every session opens (none|bo|isb|stride|dart|online|student)")
 	degree := flag.Int("degree", 4, "replay: prefetch degree")
 	qps := flag.Float64("qps", 0, "replay: aggregate target accesses/sec (0 = unthrottled)")
+	proto := flag.String("proto", "direct", "replay/matrix: transport — direct (in-process), json, or binary (DARTWIRE1 over loopback TCP)")
+	batch := flag.Int("batch", 64, "replay/matrix: accesses per wire frame / pipelined burst (wire protocols only)")
 	verify := flag.Bool("verify", true, "replay: require bit-identity with the offline simulator")
 	soak := flag.Duration("soak", 0, "replay: repeat rounds until this much wall time has elapsed")
 	jsonOut := flag.String("json", "", "replay: also write the report as JSON to this file")
@@ -212,7 +214,8 @@ func main() {
 		if *matrixSpec == "" && !*useDart {
 			fatalf("matrix: the built-in matrix spans the online/student/dart serving classes; run with -dart, or pass -matrix-spec using classical classes only")
 		}
-		runMatrix(engine, *matrixSpec, *soak, *jsonOut)
+		runMatrix(engine, *matrixSpec, *soak, *jsonOut,
+			serve.MatrixOptions{Proto: *proto, Batch: *batch})
 		if learner != nil {
 			printLearner(learner)
 		}
@@ -224,6 +227,8 @@ func main() {
 			Degree:     *degree,
 			QPS:        *qps,
 			Verify:     *verify,
+			Proto:      *proto,
+			Batch:      *batch,
 		}, *soak, *jsonOut)
 		return
 	}
@@ -396,7 +401,7 @@ func runReplay(e *serve.Engine, learner *online.Learner, sessions, n int, opt se
 		printLearner(learner)
 	}
 	if jsonOut != "" {
-		writeJSON(jsonOut, rep)
+		writeJSON(jsonOut, rep, opt.Proto, opt.Batch)
 	}
 }
 
@@ -427,43 +432,54 @@ func orNone(s string) string {
 }
 
 // writeJSON dumps the replay report with enough host context to act as a
-// serving-throughput baseline (BENCH_serve.json). The "online" section —
-// the bench-gate baselines maintained by `make bench-update` — is carried
-// over from the existing file so a replay refresh cannot drop it.
-func writeJSON(path string, rep serve.Report) {
-	var onlineSec json.RawMessage
+// serving-throughput baseline (BENCH_serve.json). The file holds several
+// independently-maintained sections, and a refresh of one must never drop
+// the others: the "online" section (bench-gate baselines from `make
+// bench-update`), the "binary" section (DARTWIRE1 replay + codec baselines),
+// and the "report" section (the JSON-wire replay baseline the binary
+// speedup gate divides against). A -proto binary run updates only the
+// replay fields of the "binary" section (dart-benchcheck -write-binary owns
+// the codec fields); any other run rewrites the report/host fields.
+func writeJSON(path string, rep serve.Report, proto string, batch int) {
+	doc := map[string]json.RawMessage{}
 	if prev, err := os.ReadFile(path); err == nil {
-		var doc struct {
-			Online json.RawMessage `json:"online"`
-		}
-		if json.Unmarshal(prev, &doc) == nil {
-			onlineSec = doc.Online
+		if err := json.Unmarshal(prev, &doc); err != nil {
+			fatalf("%s: %v", path, err)
 		}
 	}
-	f, err := os.Create(path)
+	mustRaw := func(v any) json.RawMessage {
+		b, err := json.Marshal(v)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return b
+	}
+	if proto == "binary" {
+		bin := map[string]json.RawMessage{}
+		if sec, ok := doc["binary"]; ok {
+			if err := json.Unmarshal(sec, &bin); err != nil {
+				fatalf("%s: binary section: %v", path, err)
+			}
+		}
+		bin["replay_throughput"] = mustRaw(rep.Throughput)
+		bin["replay_batch"] = mustRaw(batch)
+		bin["replay_command"] = mustRaw(strings.Join(os.Args, " "))
+		bin["replay_generated"] = mustRaw(time.Now().Format("2006-01-02"))
+		doc["binary"] = mustRaw(bin)
+	} else {
+		doc["generated"] = mustRaw(time.Now().Format("2006-01-02"))
+		doc["command"] = mustRaw(strings.Join(os.Args, " "))
+		doc["host"] = mustRaw(hostInfo{
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		})
+		doc["report"] = mustRaw(rep)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fatalf("%v", err)
 	}
-	defer f.Close()
-	doc := struct {
-		Generated string          `json:"generated"`
-		Command   string          `json:"command"`
-		Host      hostInfo        `json:"host"`
-		Online    json.RawMessage `json:"online,omitempty"`
-		Report    serve.Report    `json:"report"`
-	}{
-		Generated: time.Now().Format("2006-01-02"),
-		Command:   strings.Join(os.Args, " "),
-		Host: hostInfo{
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
-		},
-		Online: onlineSec,
-		Report: rep,
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Printf("report written to %s\n", path)

@@ -105,10 +105,11 @@ const defaultMatrix = "svc:workload=chase,sessions=2,n=2000,class=online,weight=
 	"adv:workload=phase,sessions=1,n=2000,class=dart,cache=twolevel;" +
 	"batch:workload=milc,sessions=1,n=2000,class=stride"
 
-// runMatrix replays a scenario matrix through the engine, prints the report,
-// and enforces per-tenant completeness. With soak > 0 it repeats rounds until
-// the deadline passes, perturbing every tenant's trace seed each round.
-func runMatrix(e *serve.Engine, spec string, soak time.Duration, jsonOut string) {
+// runMatrix replays a scenario matrix through the engine — in-process or
+// over a wire protocol, per mopt — prints the report, and enforces
+// per-tenant completeness. With soak > 0 it repeats rounds until the
+// deadline passes, perturbing every tenant's trace seed each round.
+func runMatrix(e *serve.Engine, spec string, soak time.Duration, jsonOut string, mopt serve.MatrixOptions) {
 	if spec == "" {
 		spec = defaultMatrix
 	}
@@ -124,7 +125,7 @@ func runMatrix(e *serve.Engine, spec string, soak time.Duration, jsonOut string)
 		for i := range rt {
 			rt[i].Seed += int64(1000 * round)
 		}
-		rep, err = serve.ReplayMatrix(e, rt)
+		rep, err = serve.ReplayMatrix(e, rt, mopt)
 		if err != nil {
 			fatalf("matrix: %v", err)
 		}

@@ -66,7 +66,8 @@ func TestRunMatrixEndToEnd(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "matrix.json")
 	runMatrix(e,
 		"a:workload=chase,sessions=2,n=400,class=stride;"+
-			"b:workload=phase,n=400,class=bo,cache=twolevel", 0, out)
+			"b:workload=phase,n=400,class=bo,cache=twolevel", 0, out,
+		serve.MatrixOptions{Proto: "binary", Batch: 16})
 
 	raw, err := os.ReadFile(out)
 	if err != nil {

@@ -46,10 +46,14 @@
 //	                   queries across sessions (Hierarchy.QueryBatch for the
 //	                   static tables, a versioned nn forward pass for the
 //	                   online model) with weighted-round-robin fair-share
-//	                   admission across tenants, a line-JSON wire server, a
-//	                   QPS-paced replay driver with soak mode, and a
-//	                   mixed-tenant scenario-matrix replay (per-tenant
-//	                   workload, serving class, weight, and cache hierarchy)
+//	                   admission across tenants, a dual-protocol wire server
+//	                   (line-JSON for debugging, DARTWIRE1 binary framing
+//	                   with a zero-alloc hot path for production — see
+//	                   docs/PROTOCOL.md), a synchronous client for both
+//	                   encodings, a QPS-paced replay driver with soak mode
+//	                   and selectable transport, and a mixed-tenant
+//	                   scenario-matrix replay (per-tenant workload, serving
+//	                   class, weight, and cache hierarchy)
 //	internal/online    continual learning: per-session lock-free feedback
 //	                   rings, streaming example assembly, duty-cycled
 //	                   nn.Trainer fine-tuning of a shadow model, an online
@@ -96,10 +100,18 @@
 // open per tenant ("online"/"student"/"dart"), and the classes verb lists
 // every class's versions and modelled cost; dart-train -distill bridges
 // offline distillation and tabularization into the same checkpoint
-// directories. See internal/serve/README.md for the architecture and wire
-// protocol, internal/online/README.md for the feedback→train→publish→swap
+// directories. The server speaks two wire protocols, negotiated per
+// connection: line-delimited JSON for debugging and the DARTWIRE1 binary
+// framing (length-prefixed, CRC-guarded, varint-packed access records)
+// whose steady-state serve path allocates nothing per access — a guarantee
+// CI enforces through allocs/op benchmark gates (cmd/dart-benchcheck),
+// alongside a docs gate (cmd/dart-doccheck) that keeps every wire verb
+// documented. See docs/ARCHITECTURE.md for the pipeline map,
+// docs/PROTOCOL.md for both wire specifications,
+// internal/serve/README.md for the engine internals,
+// internal/online/README.md for the feedback→train→publish→swap
 // lifecycle, its serving classes, and version-consistency invariants, and
-// BENCH_serve.json for the measured serving baseline.
+// BENCH_serve.json for the measured serving baselines (JSON and binary).
 //
 // The benchmark files in this directory regenerate every table and figure of
 // the paper's evaluation section; see EXPERIMENTS.md for the index and

@@ -36,6 +36,7 @@ type BestOffset struct {
 	rr    []rrEntry // recent-requests ring
 	rrPos int
 	rrSet map[uint64]int // block -> refcount in ring
+	buf   []uint64       // OnAccess return buffer, reused every call
 
 	// Tunables (paper defaults).
 	ScoreMax int
@@ -117,14 +118,17 @@ func (b *BestOffset) OnAccess(a sim.Access) []uint64 {
 	}
 	b.insertRR(a.Block)
 
-	// Prefetch at the active offset (and multiples up to the degree).
-	out := make([]uint64, 0, b.degree)
+	// Prefetch at the active offset (and multiples up to the degree). The
+	// returned slice aliases a reused buffer: the simulator consumes it
+	// inside the same Step, before the next OnAccess can overwrite it.
+	out := b.buf[:0]
 	for i := 1; i <= b.degree; i++ {
 		nb := int64(a.Block) + b.active*int64(i)
 		if nb > 0 {
 			out = append(out, uint64(nb))
 		}
 	}
+	b.buf = out
 	return out
 }
 

@@ -16,6 +16,7 @@ type ISB struct {
 	ps       map[uint64]uint64 // physical -> structural
 	sp       map[uint64]uint64 // structural -> physical
 	nextBase uint64            // next free structural stream base
+	buf      []uint64          // OnAccess return buffer, reused every call
 }
 
 // streamGap separates structural streams so they never collide.
@@ -51,7 +52,9 @@ func (i *ISB) OnAccess(a sim.Access) []uint64 {
 	}
 	i.lastByPC[a.PC] = a.Block
 
-	out := make([]uint64, 0, i.degree)
+	// The returned slice aliases a reused buffer: the simulator consumes it
+	// inside the same Step, before the next OnAccess can overwrite it.
+	out := i.buf[:0]
 	if s, ok := i.ps[a.Block]; ok {
 		for d := uint64(1); d <= uint64(i.degree); d++ {
 			if p, ok := i.sp[s+d]; ok {
@@ -61,6 +64,7 @@ func (i *ISB) OnAccess(a sim.Access) []uint64 {
 			}
 		}
 	}
+	i.buf = out
 	return out
 }
 

@@ -197,7 +197,9 @@ func TestStrideLearnsPerPCStride(t *testing.T) {
 	// PC 1 strides by +3; PC 2 strides by -5; interleaved.
 	b1, b2 := int64(1000), int64(1<<20)
 	for i := 0; i < 10; i++ {
-		reqs = s.OnAccess(sim.Access{PC: 1, Block: uint64(b1)})
+		// OnAccess's return aliases a buffer reused by the next call, so
+		// copy before interleaving PC 2's accesses.
+		reqs = append(reqs[:0], s.OnAccess(sim.Access{PC: 1, Block: uint64(b1)})...)
 		b1 += 3
 		s.OnAccess(sim.Access{PC: 2, Block: uint64(b2)})
 		b2 -= 5

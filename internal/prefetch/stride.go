@@ -12,6 +12,7 @@ type Stride struct {
 	latency int
 	maxPCs  int
 	table   map[uint64]*strideEntry
+	buf     []uint64 // OnAccess return buffer, reused every call
 }
 
 type strideEntry struct {
@@ -62,12 +63,15 @@ func (s *Stride) OnAccess(a sim.Access) []uint64 {
 	if e.confidence < 2 || e.stride == 0 {
 		return nil
 	}
-	out := make([]uint64, 0, s.degree)
+	// The returned slice aliases a reused buffer: the simulator consumes it
+	// inside the same Step, before the next OnAccess can overwrite it.
+	out := s.buf[:0]
 	for i := 1; i <= s.degree; i++ {
 		nb := int64(a.Block) + e.stride*int64(i)
 		if nb > 0 {
 			out = append(out, uint64(nb))
 		}
 	}
+	s.buf = out
 	return out
 }

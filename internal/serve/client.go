@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"dart/internal/sim"
+	"dart/internal/trace"
+)
+
+// Client is a synchronous client for the daemon's wire protocols. It speaks
+// either encoding over one connection — line-delimited JSON, or DARTWIRE1
+// binary framing with the hot verbs packed as varint records and every other
+// verb riding as JSON inside control frames (see docs/PROTOCOL.md).
+//
+// A Client is not safe for concurrent use; the replay drivers hold one per
+// session. Its request and reply buffers are reused across calls, so in
+// steady state a binary-protocol access batch allocates nothing.
+type Client struct {
+	conn   net.Conn
+	bw     *bufio.Writer
+	binary bool
+	rd     wireReader     // binary frame reader
+	sc     *bufio.Scanner // JSON line reader
+	tag    uint64         // binary request tag (echoed by replies)
+	buf    []byte         // request build buffer
+	one    [1]trace.Record
+	res    []AccessResult // reply decode buffer, reused across calls
+	pf     []uint64       // backing store for AccessResult.Prefetches
+}
+
+// AccessResult is one served access decoded from either protocol.
+type AccessResult struct {
+	Seq     uint64
+	Hit     bool
+	Late    bool
+	Version uint64
+	// Prefetches aliases a client-owned buffer, valid until the next call.
+	Prefetches []uint64
+}
+
+// Dial connects to addr over TCP and negotiates proto ("json" or "binary").
+func Dial(addr, proto string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn, proto)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient wraps an established connection. proto "binary" performs the
+// DARTWIRE1 handshake (send the magic, require the server's echo) before
+// returning; "json" needs no handshake — the server negotiates off the
+// first byte of the first request line.
+func NewClient(conn net.Conn, proto string) (*Client, error) {
+	c := &Client{conn: conn, bw: bufio.NewWriterSize(conn, 1<<16)}
+	br := bufio.NewReaderSize(conn, 1<<16)
+	switch proto {
+	case "json":
+		c.sc = bufio.NewScanner(br)
+		c.sc.Buffer(make([]byte, 1<<20), 1<<20)
+	case "binary":
+		c.binary = true
+		c.rd.br = br
+		if _, err := c.bw.WriteString(wireMagic); err != nil {
+			return nil, err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return nil, err
+		}
+		var echo [len(wireMagic)]byte
+		if _, err := io.ReadFull(br, echo[:]); err != nil {
+			return nil, fmt.Errorf("serve: handshake failed: %w", err)
+		}
+		if string(echo[:]) != wireMagic {
+			return nil, fmt.Errorf("serve: bad handshake echo %q (want %q)", echo[:], wireMagic)
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown protocol %q (have \"json\" and \"binary\")", proto)
+	}
+	return c, nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// readLine returns the next JSON reply line.
+func (c *Client) readLine() ([]byte, error) {
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	return c.sc.Bytes(), nil
+}
+
+// wireErr decodes an error frame's payload (tag + message) into an error.
+func wireErr(p []byte) error {
+	if _, rest, err := readUvarint(p); err == nil {
+		return errors.New(string(rest))
+	}
+	return fmt.Errorf("serve: undecodable error frame %q", p)
+}
+
+// Do executes one verb synchronously and returns the decoded reply. On the
+// binary protocol the request travels as a JSON payload inside a control
+// frame, so every non-hot verb works identically over both encodings.
+func (c *Client) Do(req Request) (Reply, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return Reply{}, err
+	}
+	if c.binary {
+		c.tag++
+		c.buf = beginFrame(c.buf[:0], frameControl)
+		c.buf = append(c.buf, b...)
+		c.buf = finishFrame(c.buf, 0)
+		if _, err := c.bw.Write(c.buf); err != nil {
+			return Reply{}, err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return Reply{}, err
+		}
+		kind, p, err := c.rd.next()
+		if err != nil {
+			return Reply{}, err
+		}
+		switch kind {
+		case frameControlReply:
+			var rep Reply
+			if err := json.Unmarshal(p, &rep); err != nil {
+				return Reply{}, err
+			}
+			return rep, nil
+		case frameError:
+			return Reply{}, wireErr(p)
+		default:
+			return Reply{}, fmt.Errorf("serve: unexpected reply frame kind 0x%02x", kind)
+		}
+	}
+	if _, err := c.bw.Write(b); err != nil {
+		return Reply{}, err
+	}
+	if err := c.bw.WriteByte('\n'); err != nil {
+		return Reply{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Reply{}, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return Reply{}, err
+	}
+	var rep Reply
+	if err := json.Unmarshal(line, &rep); err != nil {
+		return Reply{}, err
+	}
+	return rep, nil
+}
+
+// do executes a verb and converts a protocol-level failure into an error.
+func (c *Client) do(req Request) (Reply, error) {
+	rep, err := c.Do(req)
+	if err != nil {
+		return rep, err
+	}
+	if !rep.OK {
+		return rep, errors.New(rep.Err)
+	}
+	return rep, nil
+}
+
+// Open opens a session with default options.
+func (c *Client) Open(id, prefetcher string, degree int) error {
+	return c.OpenSession(id, SessionOptions{Prefetcher: prefetcher, Degree: degree})
+}
+
+// OpenSession opens a session with the full option surface: tenant,
+// fair-share weight, and a per-session machine model.
+func (c *Client) OpenSession(id string, opt SessionOptions) error {
+	_, err := c.do(Request{
+		Op: "open", Session: id,
+		Prefetcher: opt.Prefetcher, Degree: opt.Degree,
+		Tenant: opt.Tenant, Weight: opt.Weight, Sim: opt.SimCfg,
+	})
+	return err
+}
+
+// CloseSession closes a session and returns its final simulator result.
+func (c *Client) CloseSession(id string) (sim.Result, error) {
+	rep, err := c.do(Request{Op: "close", Session: id})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if rep.Result == nil {
+		return sim.Result{}, fmt.Errorf("serve: close reply carries no result")
+	}
+	return *rep.Result, nil
+}
+
+// Access serves one record synchronously.
+func (c *Client) Access(id string, rec trace.Record) (AccessResult, error) {
+	c.one[0] = rec
+	res, err := c.AccessBatch(id, c.one[:])
+	if err != nil {
+		return AccessResult{}, err
+	}
+	return res[0], nil
+}
+
+// AccessBatch pumps recs through the session in order and returns one result
+// per record. On the binary protocol the whole batch travels in one frame
+// (the batch hot verb — or an access frame for a single record); on JSON the
+// access requests are pipelined and the replies read back in order. The
+// returned slice and its Prefetches alias client-owned buffers, valid until
+// the next call.
+func (c *Client) AccessBatch(id string, recs []trace.Record) ([]AccessResult, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	if c.binary {
+		c.tag++
+		kind := byte(frameBatch)
+		if len(recs) == 1 {
+			kind = frameAccess
+		}
+		c.buf = appendWireRequest(c.buf[:0], kind, c.tag, id, recs)
+		if _, err := c.bw.Write(c.buf); err != nil {
+			return nil, err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return nil, err
+		}
+		k, p, err := c.rd.next()
+		if err != nil {
+			return nil, err
+		}
+		switch k {
+		case frameAccessReply, frameBatchReply:
+			return c.decodeResults(k, p, len(recs))
+		case frameError:
+			return nil, wireErr(p)
+		default:
+			return nil, fmt.Errorf("serve: unexpected reply frame kind 0x%02x", k)
+		}
+	}
+	for i := range recs {
+		b, err := json.Marshal(Request{
+			Op: "access", Session: id,
+			InstrID: recs[i].InstrID, PC: Hex64(recs[i].PC),
+			Addr: Hex64(recs[i].Addr), IsLoad: recs[i].IsLoad,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.bw.Write(b); err != nil {
+			return nil, err
+		}
+		if err := c.bw.WriteByte('\n'); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	c.res, c.pf = c.res[:0], c.pf[:0]
+	for range recs {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		var rep Reply
+		if err := json.Unmarshal(line, &rep); err != nil {
+			return nil, err
+		}
+		if !rep.OK {
+			return nil, errors.New(rep.Err)
+		}
+		start := len(c.pf)
+		for _, h := range rep.Prefetch {
+			c.pf = append(c.pf, uint64(h))
+		}
+		c.res = append(c.res, AccessResult{
+			Seq: rep.Seq, Hit: rep.Hit, Late: rep.Late,
+			Version: rep.Version, Prefetches: c.pf[start:len(c.pf):len(c.pf)],
+		})
+	}
+	return c.res, nil
+}
+
+// decodeResults parses an access or batch reply payload into the client's
+// reusable result buffers.
+func (c *Client) decodeResults(kind byte, p []byte, want int) ([]AccessResult, error) {
+	tag, p, err := readUvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	if tag != c.tag {
+		return nil, fmt.Errorf("serve: reply tag %d for request tag %d", tag, c.tag)
+	}
+	seq, p, err := readUvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	count := uint64(1)
+	if kind == frameBatchReply {
+		if count, p, err = readUvarint(p); err != nil {
+			return nil, err
+		}
+	}
+	if count != uint64(want) {
+		return nil, fmt.Errorf("serve: reply carries %d results, want %d", count, want)
+	}
+	c.res, c.pf = c.res[:0], c.pf[:0]
+	for i := uint64(0); i < count; i++ {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("serve: wire result %d missing flags byte", i)
+		}
+		fl := p[0]
+		p = p[1:]
+		var ver, np uint64
+		if ver, p, err = readUvarint(p); err != nil {
+			return nil, err
+		}
+		if np, p, err = readUvarint(p); err != nil {
+			return nil, err
+		}
+		start := len(c.pf)
+		for k := uint64(0); k < np; k++ {
+			var pb uint64
+			if pb, p, err = readUvarint(p); err != nil {
+				return nil, err
+			}
+			c.pf = append(c.pf, pb)
+		}
+		c.res = append(c.res, AccessResult{
+			Seq: seq + i, Hit: fl&wireHit != 0, Late: fl&wireLate != 0,
+			Version: ver, Prefetches: c.pf[start:len(c.pf):len(c.pf)],
+		})
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("serve: %d trailing bytes in wire reply", len(p))
+	}
+	return c.res, nil
+}

@@ -25,8 +25,8 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -114,20 +114,34 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Interned protocol errors. The access path must stay allocation-free even
+// on a miss (a client hammering a dead session id would otherwise churn
+// garbage), so the common failures are shared sentinels without the session
+// id in the message — wire replies carry the id in their own session field.
+var (
+	ErrUnknownSession = errors.New("serve: unknown session")
+	ErrSessionClosed  = errors.New("serve: session is closed")
+)
+
 // Response is what one served access produced.
 type Response struct {
-	Session    string
-	Seq        uint64 // per-session sequence number, starting at 1
-	Hit        bool
-	Late       bool
-	Prefetches []uint64 // block addresses issued
-	Version    uint64   // online model version that served this access (0: not an online session, or no model query yet)
+	Session string
+	Seq     uint64 // per-session sequence number, starting at 1
+	Hit     bool
+	Late    bool
+	// Prefetches lists the block addresses issued (post admission). It
+	// aliases a buffer the session reuses on its next access: callbacks
+	// must consume or copy it before returning.
+	Prefetches []uint64
+	Version    uint64 // online model version that served this access (0: not an online session, or no model query yet)
 }
 
-// item is one queued access plus its completion callback.
+// item is one queued access plus its completion callback — or, from the
+// binary wire path, a whole frame of accesses carried as a job.
 type item struct {
 	rec trace.Record
 	fn  func(Response)
+	job *wireJob // when non-nil, rec/fn are unused
 }
 
 // session is the per-stream actor: private prefetcher state, an incremental
@@ -164,27 +178,11 @@ type session struct {
 func (s *session) run() {
 	defer close(s.done)
 	for it := range s.inbox {
-		st := s.sim.Step(it.rec)
-		s.seq++
-		if s.ring != nil {
-			// Tap the access (and the outcome feedback sim delivered
-			// inside this Step, if any) into the learner's ring. Push is
-			// lock-free and lossy: training never backpressures serving.
-			ev := online.Event{Access: sim.Access{
-				InstrID: it.rec.InstrID, PC: it.rec.PC,
-				Block: it.rec.Block(), Hit: st.Hit,
-			}}
-			if s.hasFB {
-				ev.HasFB, ev.Feedback = true, s.pendFB
-				s.hasFB = false
-			}
-			s.ring.Push(ev)
+		if it.job != nil {
+			s.runJob(it.job)
+			continue
 		}
-		if s.seq%256 == 0 {
-			s.snapMu.Lock()
-			s.snap = s.sim.Result()
-			s.snapMu.Unlock()
-		}
+		st := s.step(it.rec)
 		if it.fn != nil {
 			resp := Response{
 				Session:    s.id,
@@ -200,6 +198,36 @@ func (s *session) run() {
 		}
 	}
 	s.res = s.sim.Result()
+}
+
+// step advances the session's simulator by one record and performs the
+// per-access actor bookkeeping: the sequence number, the learner ring tap,
+// and the periodic stats snapshot. Every serving path — direct, JSON, and
+// binary frames — funnels through here, which is what keeps their results
+// bit-identical.
+func (s *session) step(rec trace.Record) sim.Step {
+	st := s.sim.Step(rec)
+	s.seq++
+	if s.ring != nil {
+		// Tap the access (and the outcome feedback sim delivered
+		// inside this Step, if any) into the learner's ring. Push is
+		// lock-free and lossy: training never backpressures serving.
+		ev := online.Event{Access: sim.Access{
+			InstrID: rec.InstrID, PC: rec.PC,
+			Block: rec.Block(), Hit: st.Hit,
+		}}
+		if s.hasFB {
+			ev.HasFB, ev.Feedback = true, s.pendFB
+			s.hasFB = false
+		}
+		s.ring.Push(ev)
+	}
+	if s.seq%256 == 0 {
+		s.snapMu.Lock()
+		s.snap = s.sim.Result()
+		s.snapMu.Unlock()
+	}
+	return st
 }
 
 // shard is one slice of the session map.
@@ -313,21 +341,43 @@ func NewEngine(cfg Config) *Engine {
 	return e
 }
 
-// shardFor hashes a session id onto its shard.
-func (e *Engine) shardFor(id string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(id))
-	return &e.shards[h.Sum32()%uint32(len(e.shards))]
+// fnv32a is FNV-1a, hand-rolled because hash/fnv's New32a allocates its
+// state object on every call, and generic so the binary wire path can hash
+// session ids still sitting in the read buffer without a string conversion.
+func fnv32a[T ~string | ~[]byte](s T) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
 }
 
-// lookup returns the live session or an error.
+// shardFor hashes a session id onto its shard.
+func (e *Engine) shardFor(id string) *shard {
+	return &e.shards[fnv32a(id)%uint32(len(e.shards))]
+}
+
+// lookup returns the live session or ErrUnknownSession.
 func (e *Engine) lookup(id string) (*session, error) {
 	sh := e.shardFor(id)
 	sh.mu.RLock()
 	s := sh.m[id]
 	sh.mu.RUnlock()
 	if s == nil {
-		return nil, fmt.Errorf("serve: unknown session %q", id)
+		return nil, ErrUnknownSession
+	}
+	return s, nil
+}
+
+// lookupBytes is lookup for a session id still in a wire buffer: the
+// m[string(b)] map read compiles to a no-allocation lookup.
+func (e *Engine) lookupBytes(id []byte) (*session, error) {
+	sh := &e.shards[fnv32a(id)%uint32(len(e.shards))]
+	sh.mu.RLock()
+	s := sh.m[string(id)]
+	sh.mu.RUnlock()
+	if s == nil {
+		return nil, ErrUnknownSession
 	}
 	return s, nil
 }
@@ -459,7 +509,7 @@ func (e *Engine) Submit(id string, rec trace.Record, fn func(Response)) error {
 	s.sendMu.RLock()
 	if s.closed {
 		s.sendMu.RUnlock()
-		return fmt.Errorf("serve: session %q is closed", id)
+		return ErrSessionClosed
 	}
 	// The read lock is held across the (possibly blocking) send so Close
 	// cannot close the channel out from under it; the actor drains the
@@ -467,6 +517,23 @@ func (e *Engine) Submit(id string, rec trace.Record, fn func(Response)) error {
 	s.inbox <- item{rec: rec, fn: fn}
 	s.sendMu.RUnlock()
 	e.accepted.Add(1)
+	return nil
+}
+
+// submitJob enqueues a decoded binary frame on a session actor: Submit minus
+// the lookup and the callback — the caller already resolved the *session
+// (the connection keeps a local cache) and the reply is encoded in place by
+// the actor. Returns ErrSessionClosed if the actor is gone; the caller must
+// then drop its cached pointer.
+func (e *Engine) submitJob(s *session, j *wireJob) error {
+	s.sendMu.RLock()
+	if s.closed {
+		s.sendMu.RUnlock()
+		return ErrSessionClosed
+	}
+	s.inbox <- item{job: j}
+	s.sendMu.RUnlock()
+	e.accepted.Add(uint64(len(j.recs)))
 	return nil
 }
 

@@ -152,7 +152,7 @@ func TestFairShareMatrixUnderLoad(t *testing.T) {
 		{Name: "hot", Workload: "zipf", Class: "dart", Sessions: 12, N: 500, QPS: 50000},
 		{Name: "cold1", Workload: "chase", Class: "dart", Sessions: 1, N: 60, QPS: 500},
 		{Name: "cold2", Workload: "phase", Class: "dart", Sessions: 1, N: 60, QPS: 500},
-	})
+	}, MatrixOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

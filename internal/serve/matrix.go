@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
@@ -67,6 +68,16 @@ type MatrixReport struct {
 	Complete      bool // conjunction of every tenant's Complete
 }
 
+// MatrixOptions selects the transport for a matrix replay. The zero value
+// drives the engine with in-process calls, exactly as before.
+type MatrixOptions struct {
+	// Proto: "" or "direct" for in-process engine calls; "json" or
+	// "binary" to run the whole matrix through a loopback TCP server
+	// speaking that wire protocol (one connection per session).
+	Proto string
+	Batch int // accesses per wire frame / pipelined burst (default 64)
+}
+
 // ReplayMatrix drives a mixed-tenant scenario matrix through one engine:
 // every tenant's sessions run concurrently, each pumping its own
 // deterministic workload-zoo trace in order and synchronously (access n+1
@@ -75,8 +86,21 @@ type MatrixReport struct {
 // tenant it verifies completeness (each session's reply sequence numbers are
 // exactly 1..N — nothing dropped, nothing reordered), merges the per-session
 // simulator results, and reports request-latency percentiles plus the
-// tenant's fair-share admission stats.
-func ReplayMatrix(e *Engine, tenants []TenantSpec) (MatrixReport, error) {
+// tenant's fair-share admission stats. With a wire transport in opt the same
+// matrix — tenant options, per-tenant machine models, serving classes —
+// runs over the chosen protocol instead, including completeness checks on
+// the sequence numbers each reply frame carries.
+func ReplayMatrix(e *Engine, tenants []TenantSpec, opt MatrixOptions) (MatrixReport, error) {
+	switch opt.Proto {
+	case "", "direct", "json", "binary":
+	default:
+		return MatrixReport{}, fmt.Errorf("serve: unknown matrix protocol %q (have direct, json, binary)", opt.Proto)
+	}
+	wire := opt.Proto == "json" || opt.Proto == "binary"
+	batch := opt.Batch
+	if batch <= 0 {
+		batch = 64
+	}
 	if len(tenants) == 0 {
 		return MatrixReport{}, fmt.Errorf("serve: empty scenario matrix")
 	}
@@ -97,15 +121,37 @@ func ReplayMatrix(e *Engine, tenants []TenantSpec) (MatrixReport, error) {
 		}
 	}
 
+	// Wire transports run the matrix through a loopback server: one client
+	// connection per session, closed (with the server) on every exit path.
+	var addr string
+	if wire {
+		srv := NewServer(e)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return MatrixReport{}, err
+		}
+		go srv.Serve(ln)
+		defer srv.Stop()
+		addr = ln.Addr().String()
+	}
+
 	type sessionRun struct {
 		tenant  int
 		id      string
 		recs    []trace.Record
 		hist    *metrics.Histogram
+		client  *Client // nil on the direct transport
 		orderOK bool
 		err     error
 	}
 	var runs []*sessionRun
+	defer func() {
+		for _, r := range runs {
+			if r.client != nil {
+				r.client.Close()
+			}
+		}
+	}()
 	open := make(map[string]bool)
 	defer func() {
 		for id := range open {
@@ -116,24 +162,34 @@ func ReplayMatrix(e *Engine, tenants []TenantSpec) (MatrixReport, error) {
 		w, _ := trace.WorkloadByName(t.Workload)
 		for si := 0; si < t.Sessions; si++ {
 			id := fmt.Sprintf("%s/%d", t.Name, si)
-			err := e.OpenSession(id, SessionOptions{
+			sopt := SessionOptions{
 				Prefetcher: t.Class,
 				Degree:     t.Degree,
 				Tenant:     t.Name,
 				Weight:     t.Weight,
 				SimCfg:     t.SimCfg,
-			})
-			if err != nil {
-				return MatrixReport{}, fmt.Errorf("serve: tenant %q: %w", t.Name, err)
 			}
-			open[id] = true
-			runs = append(runs, &sessionRun{
+			r := &sessionRun{
 				tenant:  ti,
 				id:      id,
 				recs:    w.Generate(t.Seed+int64(si), t.N),
 				hist:    &metrics.Histogram{},
 				orderOK: true,
-			})
+			}
+			var err error
+			if wire {
+				if r.client, err = Dial(addr, opt.Proto); err == nil {
+					runs = append(runs, r) // before Open, so the defer closes the conn
+					err = r.client.OpenSession(id, sopt)
+				}
+			} else {
+				runs = append(runs, r)
+				err = e.OpenSession(id, sopt)
+			}
+			if err != nil {
+				return MatrixReport{}, fmt.Errorf("serve: tenant %q: %w", t.Name, err)
+			}
+			open[id] = true
 		}
 	}
 
@@ -149,6 +205,42 @@ func ReplayMatrix(e *Engine, tenants []TenantSpec) (MatrixReport, error) {
 		wg.Add(1)
 		go func(r *sessionRun, interval time.Duration) {
 			defer wg.Done()
+			if r.client != nil {
+				// Wire transport: frames of `batch` accesses; each reply
+				// frame carries the per-access sequence numbers, so the
+				// completeness check is exactly the direct transport's.
+				expect := uint64(1)
+				next := time.Now()
+				for lo := 0; lo < len(r.recs); lo += batch {
+					hi := lo + batch
+					if hi > len(r.recs) {
+						hi = len(r.recs)
+					}
+					if interval > 0 {
+						if d := time.Until(next); d > 0 {
+							time.Sleep(d)
+						}
+						next = next.Add(interval * time.Duration(hi-lo))
+					}
+					t0 := time.Now()
+					res, err := r.client.AccessBatch(r.id, r.recs[lo:hi])
+					if err != nil {
+						r.err = err
+						return
+					}
+					r.hist.ObserveDuration(time.Since(t0))
+					for _, ar := range res {
+						if ar.Seq != expect {
+							r.orderOK = false
+							r.err = fmt.Errorf("serve: session %s: access %d served as seq %d",
+								r.id, expect, ar.Seq)
+							return
+						}
+						expect++
+					}
+				}
+				return
+			}
 			next := time.Now()
 			for i, rec := range r.recs {
 				if interval > 0 {
@@ -181,7 +273,8 @@ func ReplayMatrix(e *Engine, tenants []TenantSpec) (MatrixReport, error) {
 		}
 	}
 
-	// Close every session and fold results per tenant.
+	// Close every session and fold results per tenant. Wire sessions close
+	// over their own connection so the final result crosses the protocol.
 	perTenant := make([][]sim.Result, len(specs))
 	hists := make([]*metrics.Histogram, len(specs))
 	for i := range hists {
@@ -192,7 +285,13 @@ func ReplayMatrix(e *Engine, tenants []TenantSpec) (MatrixReport, error) {
 		orderOK[i] = true
 	}
 	for _, r := range runs {
-		res, err := e.Close(r.id)
+		var res sim.Result
+		var err error
+		if r.client != nil {
+			res, err = r.client.CloseSession(r.id)
+		} else {
+			res, err = e.Close(r.id)
+		}
 		delete(open, r.id)
 		if err != nil {
 			return MatrixReport{}, err

@@ -22,28 +22,33 @@ func TestReplayMatrixValidation(t *testing.T) {
 	e := NewEngine(Config{SimCfg: smallSimCfg()})
 	defer e.Drain()
 
-	if _, err := ReplayMatrix(e, nil); err == nil {
+	if _, err := ReplayMatrix(e, nil, MatrixOptions{}); err == nil {
 		t.Fatal("empty matrix accepted")
 	}
-	if _, err := ReplayMatrix(e, []TenantSpec{{Workload: "zipf"}}); err == nil {
+	if _, err := ReplayMatrix(e, []TenantSpec{{Workload: "zipf"}}, MatrixOptions{}); err == nil {
 		t.Fatal("unnamed tenant accepted")
 	}
 	if _, err := ReplayMatrix(e, []TenantSpec{
 		{Name: "a", Workload: "zipf"}, {Name: "a", Workload: "chase"},
-	}); err == nil {
+	}, MatrixOptions{}); err == nil {
 		t.Fatal("duplicate tenant accepted")
 	}
 	if _, err := ReplayMatrix(e, []TenantSpec{
 		{Name: "a", Workload: "no-such-workload"},
-	}); err == nil {
+	}, MatrixOptions{}); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 	bad := smallSimCfg()
 	bad.LLCWays = -1
 	if _, err := ReplayMatrix(e, []TenantSpec{
 		{Name: "a", Workload: "zipf", SimCfg: &bad},
-	}); err == nil {
+	}, MatrixOptions{}); err == nil {
 		t.Fatal("invalid per-tenant sim config accepted")
+	}
+	if _, err := ReplayMatrix(e, []TenantSpec{
+		{Name: "a", Workload: "zipf"},
+	}, MatrixOptions{Proto: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown matrix protocol accepted")
 	}
 	if got := len(e.Sessions()); got != 0 {
 		t.Fatalf("%d sessions leaked by failed matrix runs", got)
@@ -56,8 +61,19 @@ func TestReplayMatrixValidation(t *testing.T) {
 // cache hierarchies (engine-default single-level and a per-tenant two-level
 // override), and all three hot-swappable serving classes plus a classical
 // baseline — replayed concurrently through one engine with per-tenant
-// fair-share weights. Every access must come back in order, per tenant.
+// fair-share weights. Every access must come back in order, per tenant. The
+// same matrix runs once in-process and once over DARTWIRE1 binary framing:
+// the wire must carry every tenant option (class selection, weights,
+// per-tenant machine models) without changing the outcome shape.
 func TestReplayMatrixMixedTenants(t *testing.T) {
+	for _, proto := range []string{"direct", "binary"} {
+		t.Run(proto, func(t *testing.T) {
+			testMatrixMixedTenants(t, MatrixOptions{Proto: proto, Batch: 32})
+		})
+	}
+}
+
+func testMatrixMixedTenants(t *testing.T, mopt MatrixOptions) {
 	l := testDartLearner(t, t.TempDir())
 	l.Start()
 	defer l.Stop()
@@ -70,7 +86,7 @@ func TestReplayMatrixMixedTenants(t *testing.T) {
 		{Name: "kv", Workload: "zipf", Class: "student", Sessions: 1, N: 600, SimCfg: &twoLevel},
 		{Name: "adv", Workload: "phase", Class: "dart", Sessions: 1, N: 600, SimCfg: &twoLevel, Seed: 5},
 	}
-	rep, err := ReplayMatrix(e, tenants)
+	rep, err := ReplayMatrix(e, tenants, mopt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +173,7 @@ func TestReplayMatrixDeterministicTraces(t *testing.T) {
 			{Name: "a", Workload: "chase", Class: "stride", Sessions: 2, N: 500},
 			{Name: "b", Workload: "graph", Class: "bo", N: 500},
 			{Name: "c", Workload: "zipf", Class: "isb", N: 500, SimCfg: &twoLevel},
-		})
+		}, MatrixOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -48,6 +48,15 @@ func (h *Hex64) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// Verbs lists every wire verb of the serving protocol, in both encodings:
+// the JSON op strings, which the binary protocol reuses for control frames,
+// plus the binary-only "batch" hot verb. docs/PROTOCOL.md must document each
+// one — cmd/dart-doccheck enforces that in CI.
+var Verbs = []string{
+	"open", "access", "batch", "close",
+	"stats", "model", "swap", "rollback", "classes",
+}
+
 // Request is one line of the client→server protocol. Op selects the action:
 //
 //	open     {"op":"open","session":"s1","prefetcher":"stride","degree":4}
@@ -63,16 +72,25 @@ func (h *Hex64) UnmarshalJSON(b []byte) error {
 // (or omitted) addresses the online teacher, "class":"student" the distilled
 // student tier, "class":"dart" the tabularized table tier, e.g.
 // {"op":"swap","class":"dart"} (a forced re-tabularize + publish).
+//
+// The open verb accepts the full serve.SessionOptions surface: tenant and
+// weight route the session's model-class queries through the fair-share
+// admission batchers, and sim overrides the engine's machine model for this
+// session (the mixed-tenant matrix runs different cache hierarchies side by
+// side through one daemon).
 type Request struct {
-	Op         string `json:"op"`
-	Session    string `json:"session,omitempty"`
-	Prefetcher string `json:"prefetcher,omitempty"`
-	Degree     int    `json:"degree,omitempty"`
-	Class      string `json:"class,omitempty"`
-	InstrID    uint64 `json:"instr_id,omitempty"`
-	PC         Hex64  `json:"pc,omitempty"`
-	Addr       Hex64  `json:"addr,omitempty"`
-	IsLoad     bool   `json:"is_load,omitempty"`
+	Op         string      `json:"op"`
+	Session    string      `json:"session,omitempty"`
+	Prefetcher string      `json:"prefetcher,omitempty"`
+	Degree     int         `json:"degree,omitempty"`
+	Class      string      `json:"class,omitempty"`
+	InstrID    uint64      `json:"instr_id,omitempty"`
+	PC         Hex64       `json:"pc,omitempty"`
+	Addr       Hex64       `json:"addr,omitempty"`
+	IsLoad     bool        `json:"is_load,omitempty"`
+	Tenant     string      `json:"tenant,omitempty"`
+	Weight     int         `json:"weight,omitempty"`
+	Sim        *sim.Config `json:"sim,omitempty"`
 }
 
 // Record converts an access request to a trace record.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"net"
 	"sort"
 	"sync"
 	"time"
@@ -17,6 +18,15 @@ type ReplayOptions struct {
 	Degree     int     // prefetch degree
 	QPS        float64 // aggregate target accesses/sec across sessions; 0 = unthrottled
 	Verify     bool    // re-run each trace offline and require bit-identity
+
+	// Proto selects the transport. "" or "direct" calls the engine
+	// in-process; "json" and "binary" replay through a real loopback TCP
+	// server speaking that wire protocol, so the measured throughput
+	// includes the full read→decode→infer→encode→write path. With a wire
+	// transport the latency histogram observes per-frame round trips
+	// (Batch accesses each) rather than single accesses.
+	Proto string
+	Batch int // accesses per wire frame / pipelined burst (default 64)
 }
 
 // SessionReport is one session's replay outcome.
@@ -31,7 +41,7 @@ type SessionReport struct {
 type Report struct {
 	Sessions    []SessionReport
 	Merged      sim.Result
-	Latency     metrics.Summary // per-access request latency (seconds)
+	Latency     metrics.Summary // per-request latency (seconds); per-frame on wire transports
 	WallSeconds float64
 	Throughput  float64 // accesses/sec actually sustained
 	Verified    bool    // every session bit-identical (false when Verify off)
@@ -46,10 +56,11 @@ type Report struct {
 // continuous-request-load evaluation mode — and reports per-session results,
 // sustained throughput, and request-latency percentiles. Each session's
 // accesses are submitted in order and synchronously (access n+1 enters the
-// engine after n's reply), so batching pressure comes from cross-session
-// concurrency exactly as in live serving. With Verify set, every trace is
-// re-run through the offline simulator and the served results must match
-// bit-for-bit.
+// engine after n's reply; on wire transports, frame n+1 after frame n's
+// reply), so batching pressure comes from cross-session concurrency exactly
+// as in live serving. With Verify set, every trace is re-run through the
+// offline simulator and the served results must match bit-for-bit —
+// including results that travelled over a wire protocol.
 func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Report, error) {
 	if opt.Prefetcher == "" {
 		opt.Prefetcher = "stride"
@@ -64,7 +75,27 @@ func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Rep
 		total += len(recs)
 	}
 	sort.Strings(ids)
+	switch opt.Proto {
+	case "", "direct":
+		return replayDirect(e, traces, opt, ids, total)
+	case "json", "binary":
+		return replayWire(e, traces, opt, ids, total)
+	default:
+		return Report{}, fmt.Errorf("serve: unknown replay protocol %q (have direct, json, binary)", opt.Proto)
+	}
+}
 
+// pacing returns the per-access submit interval for the aggregate QPS target.
+func pacing(qps float64, sessions int) time.Duration {
+	if qps <= 0 || sessions == 0 {
+		return 0
+	}
+	perSession := qps / float64(sessions)
+	return time.Duration(float64(time.Second) / perSession)
+}
+
+// replayDirect drives the engine with in-process calls.
+func replayDirect(e *Engine, traces map[string][]trace.Record, opt ReplayOptions, ids []string, total int) (Report, error) {
 	// Track which sessions this replay has opened and not yet closed, and
 	// close the leftovers on every exit path: any early error return (a
 	// mid-loop Open conflict, an Access failure, a Close failure) used to
@@ -83,13 +114,7 @@ func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Rep
 		open[id] = true
 	}
 
-	// Pace each session at its share of the aggregate target.
-	var interval time.Duration
-	if opt.QPS > 0 && len(ids) > 0 {
-		perSession := opt.QPS / float64(len(ids))
-		interval = time.Duration(float64(time.Second) / perSession)
-	}
-
+	interval := pacing(opt.QPS, len(ids))
 	hists := make([]*metrics.Histogram, len(ids))
 	errs := make([]error, len(ids))
 	var wg sync.WaitGroup
@@ -124,6 +149,118 @@ func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Rep
 		}
 	}
 
+	results := make(map[string]sim.Result, len(ids))
+	for _, id := range ids {
+		res, err := e.Close(id)
+		delete(open, id) // even a failed Close means this replay no longer owns it
+		if err != nil {
+			return Report{}, err
+		}
+		results[id] = res
+	}
+	return finishReport(e, traces, opt, ids, results, hists, wall, total)
+}
+
+// replayWire replays through a loopback TCP server speaking opt.Proto: one
+// connection per session, each pumping its trace in Batch-sized frames
+// (binary) or pipelined access bursts (json). Session results come back over
+// the wire via the close verb, so Verify proves bit-identity end to end
+// through the chosen protocol's codec.
+func replayWire(e *Engine, traces map[string][]trace.Record, opt ReplayOptions, ids []string, total int) (Report, error) {
+	batch := opt.Batch
+	if batch <= 0 {
+		batch = 64
+	}
+	srv := NewServer(e)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Report{}, err
+	}
+	go srv.Serve(ln)
+	defer srv.Stop()
+
+	open := make(map[string]bool, len(ids))
+	defer func() {
+		for id := range open {
+			e.Close(id) // reclaim on early error exits
+		}
+	}()
+	clients := make(map[string]*Client, len(ids))
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for _, id := range ids {
+		c, err := Dial(ln.Addr().String(), opt.Proto)
+		if err != nil {
+			return Report{}, err
+		}
+		clients[id] = c
+		if err := c.Open(id, opt.Prefetcher, opt.Degree); err != nil {
+			return Report{}, err
+		}
+		open[id] = true
+	}
+
+	interval := pacing(opt.QPS, len(ids))
+	hists := make([]*metrics.Histogram, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, id := range ids {
+		hists[i] = &metrics.Histogram{}
+		wg.Add(1)
+		go func(i int, id string, c *Client) {
+			defer wg.Done()
+			recs := traces[id]
+			next := time.Now()
+			for lo := 0; lo < len(recs); lo += batch {
+				hi := lo + batch
+				if hi > len(recs) {
+					hi = len(recs)
+				}
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval * time.Duration(hi-lo))
+				}
+				t0 := time.Now()
+				if _, err := c.AccessBatch(id, recs[lo:hi]); err != nil {
+					errs[i] = err
+					return
+				}
+				hists[i].ObserveDuration(time.Since(t0))
+			}
+		}(i, id, clients[id])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return Report{}, err
+		}
+	}
+
+	results := make(map[string]sim.Result, len(ids))
+	for _, id := range ids {
+		res, err := clients[id].CloseSession(id)
+		delete(open, id)
+		if err != nil {
+			return Report{}, err
+		}
+		results[id] = res
+	}
+	return finishReport(e, traces, opt, ids, results, hists, wall, total)
+}
+
+// finishReport folds per-session results, the optional offline
+// verification, latency percentiles, and batcher counters into a Report.
+func finishReport(e *Engine, traces map[string][]trace.Record, opt ReplayOptions,
+	ids []string, results map[string]sim.Result, hists []*metrics.Histogram,
+	wall time.Duration, total int) (Report, error) {
+
 	rep := Report{WallSeconds: wall.Seconds()}
 	if wall > 0 {
 		rep.Throughput = float64(total) / wall.Seconds()
@@ -134,13 +271,9 @@ func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Rep
 	}
 	rep.Latency = lat.Summarize()
 
-	results := make([]sim.Result, 0, len(ids))
+	merged := make([]sim.Result, 0, len(ids))
 	for _, id := range ids {
-		res, err := e.Close(id)
-		delete(open, id) // even a failed Close means this replay no longer owns it
-		if err != nil {
-			return Report{}, err
-		}
+		res := results[id]
 		sr := SessionReport{ID: id, Result: res}
 		if opt.Verify {
 			pf, err := e.cfg.Registry.New(opt.Prefetcher, opt.Degree)
@@ -151,9 +284,9 @@ func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Rep
 			sr.Identical = sr.Offline == sr.Result
 		}
 		rep.Sessions = append(rep.Sessions, sr)
-		results = append(results, res)
+		merged = append(merged, res)
 	}
-	rep.Merged = sim.Merge(results)
+	rep.Merged = sim.Merge(merged)
 	if opt.Verify {
 		rep.Verified = true
 		for _, sr := range rep.Sessions {

@@ -205,10 +205,14 @@ type pendingFill struct {
 // engine, online trainers) that need per-access visibility rather than the
 // aggregate Result.
 type Step struct {
-	Hit        bool     // demand hit (line was resident)
-	Late       bool     // covered by an in-flight prefetch
-	Stall      float64  // cycles the core stalled on this access
-	Prefetches []uint64 // block addresses issued this step (post admission)
+	Hit   bool    // demand hit (line was resident)
+	Late  bool    // covered by an in-flight prefetch
+	Stall float64 // cycles the core stalled on this access
+
+	// Prefetches lists the block addresses issued this step (post
+	// admission). It aliases a buffer owned by the Sim and reused on the
+	// next Step — callers that need the blocks afterwards must copy them.
+	Prefetches []uint64
 }
 
 // Sim is the incremental form of Run: a long-lived simulator that consumes
@@ -234,6 +238,7 @@ type Sim struct {
 
 	pending  []pendingFill
 	inFlight map[uint64]int // block -> index+1 in pending
+	pfBuf    []uint64       // backing store for Step.Prefetches, reused every Step
 }
 
 // NewSim builds an incremental simulator. It panics on an invalid config,
@@ -422,6 +427,7 @@ func (s *Sim) Step(r trace.Record) Step {
 	})
 	issueAt := s.cycle + float64(s.pf.Latency())
 	degree := 0
+	s.pfBuf = s.pfBuf[:0]
 	for _, pb := range reqs {
 		if degree >= cfg.MaxDegree {
 			s.res.PrefetchDropped++
@@ -439,7 +445,10 @@ func (s *Sim) Step(r trace.Record) Step {
 		s.inFlight[pb] = len(s.pending)
 		s.res.PrefetchIssued++
 		degree++
-		info.Prefetches = append(info.Prefetches, pb)
+		s.pfBuf = append(s.pfBuf, pb)
+	}
+	if len(s.pfBuf) > 0 {
+		info.Prefetches = s.pfBuf
 	}
 	return info
 }
