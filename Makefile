@@ -2,9 +2,11 @@ GO ?= go
 BENCH_TOLERANCE ?= 1.5
 BENCH_MIN_SPEEDUP ?= 2.0
 BENCH_MIN_WIRE_SPEEDUP ?= 5.0
+BENCH_MAX_ROUTER_OVERHEAD ?= 3.0
 COVER_MAX_DROP ?= 1.0
 BENCH_ONLINE = 'BenchmarkFeedbackIngest|BenchmarkModelSwap|BenchmarkTeacherInfer|BenchmarkStudentInfer|BenchmarkDistillCycle|BenchmarkDartInfer|BenchmarkTabularSwap'
 BENCH_WIRE = 'BenchmarkWireCodec|BenchmarkWireAccessBinary'
+BENCH_ROUTER = 'BenchmarkRouterAccess|BenchmarkDirectAccess'
 
 FUZZTIME ?= 30s
 
@@ -60,10 +62,12 @@ bench-ci:
 		./internal/online >> bench-ci.out || { cat bench-ci.out; exit 1; }
 	$(GO) test -run '^$$' -bench $(BENCH_WIRE) -benchtime 100ms -count 3 -benchmem \
 		./internal/serve >> bench-ci.out || { cat bench-ci.out; exit 1; }
+	$(GO) test -run '^$$' -bench $(BENCH_ROUTER) -benchtime 100ms -count 3 -benchmem \
+		./internal/route >> bench-ci.out || { cat bench-ci.out; exit 1; }
 	@cat bench-ci.out
 	$(GO) run ./cmd/dart-benchcheck -baseline BENCH_par.json -serve-baseline BENCH_serve.json \
 		-tolerance $(BENCH_TOLERANCE) -min-speedup $(BENCH_MIN_SPEEDUP) \
-		-min-wire-speedup $(BENCH_MIN_WIRE_SPEEDUP) bench-ci.out
+		-min-wire-speedup $(BENCH_MIN_WIRE_SPEEDUP) -max-router-overhead $(BENCH_MAX_ROUTER_OVERHEAD) bench-ci.out
 
 ## bench-serve: regenerate the serving-throughput report in BENCH_serve.json.
 ## The "report" section is the JSON-wire replay baseline the binary protocol's
@@ -76,8 +80,10 @@ bench-serve:
 ## bench-update: regenerate every serving baseline in one step — the JSON-wire
 ## replay report, the DARTWIRE1 replay throughput (same workload over binary
 ## framing; the pair feeds the ≥5x wire-speedup gate), the online-training
-## benchmark numbers, and the wire codec/alloc numbers the bench-ci gate
-## enforces
+## benchmark numbers, the wire codec/alloc numbers the bench-ci gate
+## enforces, the routed replay (same workload through a 3-backend dart-router,
+## verified bit-identical), and the routed/direct access benchmarks behind
+## the router-overhead gate
 bench-update: bench-serve
 	$(GO) run ./cmd/dart-serve -replay -sessions 8 -n 20000 -prefetcher stride -verify \
 		-proto binary -json BENCH_serve.json
@@ -89,6 +95,12 @@ bench-update: bench-serve
 		./internal/serve > bench-wire.out || { cat bench-wire.out; exit 1; }
 	@cat bench-wire.out
 	$(GO) run ./cmd/dart-benchcheck -write-binary BENCH_serve.json bench-wire.out
+	$(GO) run ./cmd/dart-router -spawn 3 -replay -sessions 8 -n 20000 -prefetcher stride -verify \
+		-proto binary -json BENCH_serve.json
+	$(GO) test -run '^$$' -bench $(BENCH_ROUTER) -benchtime 1s -benchmem \
+		./internal/route > bench-router.out || { cat bench-router.out; exit 1; }
+	@cat bench-router.out
+	$(GO) run ./cmd/dart-benchcheck -write-router BENCH_serve.json bench-router.out
 
 ## cover: coverage ratchet — total statement coverage may not drop more than
 ## COVER_MAX_DROP points below the committed COVERAGE.txt baseline

@@ -44,6 +44,16 @@
 // fields of the "binary" section from measured benchmarks, preserving the
 // replay_* fields that `dart-serve -replay -proto binary -json` maintains.
 //
+// -serve-baseline also gates the sharding tier against the "router" section
+// of the same file: BenchmarkRouterAccess and BenchmarkDirectAccess are
+// checked for ns/op regressions, and the same-run routed-vs-direct overhead
+// ratio (both sides measured seconds apart on the same host, through the
+// same loopback wire) must stay under -max-router-overhead (default 3x) —
+// the router hop's decode → journal → re-encode must stay a constant factor,
+// not a new bottleneck. -write-router rewrites the ns fields of the "router"
+// section from measured benchmarks, preserving the replay_* fields that
+// `dart-router -replay -json` maintains.
+//
 // Exit status 0 when every check passes, 1 on regression, 2 on usage or
 // missing-data errors.
 package main
@@ -109,6 +119,15 @@ type binaryBaseline struct {
 	CodecAllocs      float64 `json:"codec_allocs"`
 	WireAccessNs     float64 `json:"wire_access_ns"`
 	WireAccessAllocs float64 `json:"wire_access_allocs"`
+}
+
+// routerBaseline is the "router" section of BENCH_serve.json: the sharding
+// tier's benchmarks. The replay_* fields are written by `dart-router -replay
+// -json`; the ns fields by -write-router.
+type routerBaseline struct {
+	RouterAccessNs   float64 `json:"router_access_ns"`
+	DirectAccessNs   float64 `json:"direct_access_ns"`
+	ReplayThroughput float64 `json:"replay_throughput"`
 }
 
 // benchLine matches e.g. "BenchmarkMatMul/par/n512/w4-8   100  11093275 ns/op".
@@ -367,6 +386,113 @@ func binaryChecks(servePath string, got map[string]float64, tolerance, minWireSp
 	return checks, missing, true
 }
 
+// routerChecks gates the sharding tier against the "router" section of the
+// serve baseline file: the routed and direct access benchmarks for ns/op
+// regressions like any other benchmark, plus the host-independent same-run
+// overhead ratio — routed ns/op over direct ns/op, both measured on the same
+// host through the same loopback wire, must stay under maxOverhead. That
+// ratio is the router's cost contract: decode, journal append, re-encode and
+// one extra hop, a constant factor over a direct backend call.
+func routerChecks(servePath string, got map[string]float64, tolerance, maxOverhead float64, out io.Writer) (checks []check, missing []string, ok bool) {
+	raw, err := os.ReadFile(servePath)
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return nil, nil, false
+	}
+	var doc struct {
+		Router *routerBaseline `json:"router"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fmt.Fprintf(out, "benchcheck: parsing %s: %v\n", servePath, err)
+		return nil, nil, false
+	}
+	if doc.Router == nil {
+		fmt.Fprintf(out, "benchcheck: %s has no \"router\" section (run `make bench-update`)\n", servePath)
+		return nil, nil, false
+	}
+	addNs := func(name string, baseNs float64) {
+		if baseNs <= 0 {
+			missing = append(missing, name)
+			return
+		}
+		ns, measured := got[name]
+		if !measured {
+			missing = append(missing, name)
+			return
+		}
+		limit := baseNs * tolerance
+		checks = append(checks, check{name: name, measured: ns, limit: limit, ok: ns <= limit})
+	}
+	addNs("BenchmarkRouterAccess", doc.Router.RouterAccessNs)
+	addNs("BenchmarkDirectAccess", doc.Router.DirectAccessNs)
+	routed, ok1 := got["BenchmarkRouterAccess"]
+	direct, ok2 := got["BenchmarkDirectAccess"]
+	if ok1 && ok2 {
+		ratio := routed / direct
+		checks = append(checks, check{
+			name:     "overhead(routed vs direct access, same run)",
+			measured: ratio,
+			limit:    maxOverhead,
+			ok:       ratio <= maxOverhead,
+		})
+	}
+	return checks, missing, true
+}
+
+// writeRouter rewrites the ns fields of the "router" section of the serve
+// baseline file from the measured benchmarks, preserving the replay_* fields
+// (owned by `dart-router -replay -json`) and every other key in the file.
+func writeRouter(servePath string, got map[string]float64, out io.Writer) int {
+	for _, name := range []string{"BenchmarkRouterAccess", "BenchmarkDirectAccess"} {
+		if _, ok := got[name]; !ok {
+			fmt.Fprintf(out, "benchcheck: input has no %s result; not updating %s\n", name, servePath)
+			return 2
+		}
+	}
+	raw, err := os.ReadFile(servePath)
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fmt.Fprintf(out, "benchcheck: parsing %s: %v\n", servePath, err)
+		return 2
+	}
+	sec := make(map[string]json.RawMessage)
+	if prev, ok := doc["router"]; ok {
+		if err := json.Unmarshal(prev, &sec); err != nil {
+			fmt.Fprintf(out, "benchcheck: parsing %s \"router\" section: %v\n", servePath, err)
+			return 2
+		}
+	}
+	set := func(key string, v float64) {
+		b, _ := json.Marshal(v)
+		sec[key] = b
+	}
+	set("router_access_ns", got["BenchmarkRouterAccess"])
+	set("direct_access_ns", got["BenchmarkDirectAccess"])
+	updatedSec, err := json.Marshal(sec)
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	doc["router"] = updatedSec
+	updated, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	if err := os.WriteFile(servePath, append(updated, '\n'), 0o644); err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(out, "benchcheck: %s router section updated (routed %.0f ns, direct %.0f ns, overhead %.2fx)\n",
+		servePath, got["BenchmarkRouterAccess"], got["BenchmarkDirectAccess"],
+		got["BenchmarkRouterAccess"]/got["BenchmarkDirectAccess"])
+	return 0
+}
+
 // writeBinary rewrites the codec/access fields of the "binary" section of
 // the serve baseline file from the measured benchmarks, preserving the
 // replay_* fields (owned by `dart-serve -replay -proto binary -json`) and
@@ -484,7 +610,7 @@ func writeOnline(servePath string, got map[string]float64, out io.Writer) int {
 }
 
 // run executes the gate and returns the process exit code.
-func run(baselinePath, servePath, updateOnline, updateBinary string, tolerance, minSpeedup, minWireSpeedup float64, in io.Reader, out io.Writer) int {
+func run(baselinePath, servePath, updateOnline, updateBinary, updateRouter string, tolerance, minSpeedup, minWireSpeedup, maxRouterOverhead float64, in io.Reader, out io.Writer) int {
 	got, err := parseBench(in)
 	if err != nil {
 		fmt.Fprintf(out, "benchcheck: %v\n", err)
@@ -499,6 +625,9 @@ func run(baselinePath, servePath, updateOnline, updateBinary string, tolerance, 
 	}
 	if updateBinary != "" {
 		return writeBinary(updateBinary, got, out)
+	}
+	if updateRouter != "" {
+		return writeRouter(updateRouter, got, out)
 	}
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -540,6 +669,18 @@ func run(baselinePath, servePath, updateOnline, updateBinary string, tolerance, 
 			return 2
 		}
 		checks = append(checks, bChecks...)
+		rChecks, rMissing, ok := routerChecks(servePath, got, tolerance, maxRouterOverhead, out)
+		if !ok {
+			return 2
+		}
+		if len(rMissing) > 0 {
+			// Same fail-closed rule: the overhead gate is the sharding tier's
+			// cost contract, and a benchmark dropped from bench-ci would
+			// silently stop enforcing it.
+			fmt.Fprintf(out, "benchcheck: router benchmarks missing from input or baseline: %v\n", rMissing)
+			return 2
+		}
+		checks = append(checks, rChecks...)
 	}
 	if len(checks) == 0 {
 		// Fail closed: benchmark names drifting away from the baseline
@@ -573,9 +714,11 @@ func main() {
 	servePath := flag.String("serve-baseline", "", "also gate online benchmarks against this file's \"online\" section (e.g. BENCH_serve.json)")
 	updateOnline := flag.String("write-online", "", "update mode: rewrite this file's \"online\" section from the measured benchmarks")
 	updateBinary := flag.String("write-binary", "", "update mode: rewrite this file's \"binary\" codec/access fields from the measured benchmarks")
+	updateRouter := flag.String("write-router", "", "update mode: rewrite this file's \"router\" ns fields from the measured benchmarks")
 	tolerance := flag.Float64("tolerance", 1.5, "allowed slowdown vs baseline")
 	minSpeedup := flag.Float64("min-speedup", 2.0, "required same-run speedup of par w4 over serial")
 	minWireSpeedup := flag.Float64("min-wire-speedup", 5.0, "required recorded speedup of binary replay over json replay")
+	maxRouterOverhead := flag.Float64("max-router-overhead", 3.0, "allowed same-run overhead of routed access over direct access")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -588,5 +731,5 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	os.Exit(run(*baselinePath, *servePath, *updateOnline, *updateBinary, *tolerance, *minSpeedup, *minWireSpeedup, in, os.Stdout))
+	os.Exit(run(*baselinePath, *servePath, *updateOnline, *updateBinary, *updateRouter, *tolerance, *minSpeedup, *minWireSpeedup, *maxRouterOverhead, in, os.Stdout))
 }

@@ -67,7 +67,7 @@ func writeBaseline(t *testing.T) string {
 
 func TestGatePassesWithinTolerance(t *testing.T) {
 	var out strings.Builder
-	code := run(writeBaseline(t), "", "", "", 1.5, 2.0, 5, strings.NewReader(sampleBench), &out)
+	code := run(writeBaseline(t), "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(sampleBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -82,7 +82,7 @@ func TestGateFailsOnRegression(t *testing.T) {
 		"BenchmarkMatMul/par/n512/w4-1    10  11200000 ns/op",
 		"BenchmarkMatMul/par/n512/w4-1    10  33000000 ns/op", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), "", "", "", 1.5, 2.0, 5, strings.NewReader(slow), &out)
+	code := run(writeBaseline(t), "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -99,7 +99,7 @@ func TestGateFailsOnLostSpeedup(t *testing.T) {
 BenchmarkMatMul/par/n512/w4-1 2 9000000 ns/op
 `
 	var out strings.Builder
-	code := run(writeBaseline(t), "", "", "", 1.5, 2.0, 5, strings.NewReader(in), &out)
+	code := run(writeBaseline(t), "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(in), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -132,7 +132,7 @@ BenchmarkMatMul/par/n64/w4-1 40 24000 ns/op
 BenchmarkHierarchyQueryBatch-1 100 1700000 ns/op
 `
 	var out strings.Builder
-	code := run(writeBaseline(t), "", "", "", 1.5, 2.0, 5, strings.NewReader(small), &out)
+	code := run(writeBaseline(t), "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(small), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -148,7 +148,7 @@ func TestGateFailsClosedWhenNothingMatches(t *testing.T) {
 BenchmarkSomethingElse-1 5 12345 ns/op
 `
 	var out strings.Builder
-	if code := run(writeBaseline(t), "", "", "", 1.5, 2.0, 5, strings.NewReader(renamed), &out); code != 2 {
+	if code := run(writeBaseline(t), "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(renamed), &out); code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "no measured benchmark matched") {
@@ -158,14 +158,14 @@ BenchmarkSomethingElse-1 5 12345 ns/op
 
 func TestGateErrorsOnEmptyInput(t *testing.T) {
 	var out strings.Builder
-	if code := run(writeBaseline(t), "", "", "", 1.5, 2.0, 5, strings.NewReader("no benchmarks here"), &out); code != 2 {
+	if code := run(writeBaseline(t), "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader("no benchmarks here"), &out); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
 
 func TestGateErrorsOnMissingBaseline(t *testing.T) {
 	var out strings.Builder
-	if code := run(filepath.Join(t.TempDir(), "nope.json"), "", "", "", 1.5, 2.0, 5, strings.NewReader(sampleBench), &out); code != 2 {
+	if code := run(filepath.Join(t.TempDir(), "nope.json"), "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(sampleBench), &out); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
@@ -174,7 +174,7 @@ func TestGateErrorsOnMissingBaseline(t *testing.T) {
 // against drifting away from the schema the gate reads.
 func TestRealBaselineParses(t *testing.T) {
 	var out strings.Builder
-	code := run("../../BENCH_par.json", "", "", "", 1.5, 2.0, 5, strings.NewReader(sampleBench), &out)
+	code := run("../../BENCH_par.json", "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(sampleBench), &out)
 	// sampleBench numbers are far below the real baseline, so this passes
 	// unless the JSON fails to parse (exit 2).
 	if code == 2 {
@@ -196,6 +196,10 @@ const sampleServeBaseline = `{
     "codec_ns": 2100, "codec_allocs": 0,
     "wire_access_ns": 520, "wire_access_allocs": 0
   },
+  "router": {
+    "router_access_ns": 5900, "direct_access_ns": 2950,
+    "replay_throughput": 300000
+  },
   "report": {"Throughput": 640000}
 }`
 
@@ -209,6 +213,8 @@ BenchmarkTabularSwap-1  200000  5100 ns/op
 BenchmarkWireCodec-1  550000  2156 ns/op  0 B/op  0 allocs/op
 BenchmarkWireAccessBinary-1  2000000  529.2 ns/op  0 B/op  0 allocs/op
 BenchmarkWireAccessJSON-1  150000  8101 ns/op  1969 B/op  45 allocs/op
+BenchmarkRouterAccess-1  200000  6012 ns/op  120 B/op  3 allocs/op
+BenchmarkDirectAccess-1  400000  2987 ns/op  80 B/op  2 allocs/op
 `
 
 func writeServeBaseline(t *testing.T, content string) string {
@@ -222,8 +228,8 @@ func writeServeBaseline(t *testing.T, content string) string {
 
 func TestOnlineGatePassesWithinTolerance(t *testing.T) {
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
-		1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -238,8 +244,8 @@ func TestOnlineGateFailsOnRegression(t *testing.T) {
 		"BenchmarkFeedbackIngest-1  50000000  22.1 ns/op",
 		"BenchmarkFeedbackIngest-1  1000000  95.0 ns/op", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
-		1.5, 2.0, 5, strings.NewReader(slow), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -252,8 +258,8 @@ func TestOnlineGateFailsClosedOnMissingBenchmark(t *testing.T) {
 	// Input has the matmul grid but neither online benchmark: the serve
 	// gate must error rather than degrade to a warning.
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
-		1.5, 2.0, 5, strings.NewReader(sampleBench), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(sampleBench), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -264,8 +270,8 @@ func TestOnlineGateFailsClosedOnMissingBenchmark(t *testing.T) {
 
 func TestOnlineGateFailsClosedWithoutSection(t *testing.T) {
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, `{"report": {}}`), "", "",
-		1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, `{"report": {}}`), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -277,7 +283,7 @@ func TestOnlineGateFailsClosedWithoutSection(t *testing.T) {
 func TestWriteOnlinePreservesOtherKeys(t *testing.T) {
 	path := writeServeBaseline(t, sampleServeBaseline)
 	var out strings.Builder
-	code := run("", "", path, "", 1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	code := run("", "", path, "", "", 1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -292,7 +298,7 @@ func TestWriteOnlinePreservesOtherKeys(t *testing.T) {
 		}
 	}
 	// The refreshed file must pass its own gate.
-	code = run(writeBaseline(t), path, "", "", 1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	code = run(writeBaseline(t), path, "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("self-gate exit %d:\n%s", code, out.String())
 	}
@@ -318,8 +324,8 @@ func TestStudentGateFailsWhenNotFaster(t *testing.T) {
 		"BenchmarkStudentInfer-1  712  321442 ns/op  13952 storage_bytes",
 		"BenchmarkStudentInfer-1  712  560000 ns/op  13952 storage_bytes", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
-		2.0, 2.0, 5, strings.NewReader(slow), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		2.0, 2.0, 5, 3, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -336,8 +342,8 @@ func TestDartGateFailsWhenNotFasterThanStudent(t *testing.T) {
 		"BenchmarkDartInfer-1  951  249812 ns/op  7982 storage_bytes",
 		"BenchmarkDartInfer-1  951  330000 ns/op  7982 storage_bytes", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
-		2.0, 2.0, 5, strings.NewReader(slow), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		2.0, 2.0, 5, 3, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -351,8 +357,8 @@ func TestStudentGateFailsWhenNotSmaller(t *testing.T) {
 		"BenchmarkStudentInfer-1  712  321442 ns/op  13952 storage_bytes",
 		"BenchmarkStudentInfer-1  712  321442 ns/op  44032 storage_bytes", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
-		1.5, 2.0, 5, strings.NewReader(bloated), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(bloated), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -367,8 +373,8 @@ func TestStudentGateFailsClosedOnMissingStudentBench(t *testing.T) {
 	noStudent := strings.Replace(sampleOnlineBench,
 		"BenchmarkStudentInfer-1  712  321442 ns/op  13952 storage_bytes\n", "", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
-		1.5, 2.0, 5, strings.NewReader(noStudent), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(noStudent), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -378,7 +384,7 @@ func TestWriteOnlineRefusesPartialInput(t *testing.T) {
 	path := writeServeBaseline(t, sampleServeBaseline)
 	var out strings.Builder
 	// Missing BenchmarkModelSwap: must refuse rather than zero the baseline.
-	code := run("", "", path, "", 1.5, 2.0, 5,
+	code := run("", "", path, "", "", 1.5, 2.0, 5, 3,
 		strings.NewReader("BenchmarkFeedbackIngest-1 100 20 ns/op\n"), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
@@ -410,8 +416,8 @@ func TestParseBenchAllocsMetric(t *testing.T) {
 
 func TestBinaryGatePassesAtBaseline(t *testing.T) {
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
-		1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -431,8 +437,8 @@ func TestBinaryGateFailsOnNsRegression(t *testing.T) {
 		"BenchmarkWireCodec-1  550000  2156 ns/op  0 B/op  0 allocs/op",
 		"BenchmarkWireCodec-1  550000  9000 ns/op  0 B/op  0 allocs/op", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
-		1.5, 2.0, 5, strings.NewReader(slow), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -448,8 +454,8 @@ func TestBinaryGateFailsOnSingleAlloc(t *testing.T) {
 		"BenchmarkWireAccessBinary-1  2000000  529.2 ns/op  0 B/op  0 allocs/op",
 		"BenchmarkWireAccessBinary-1  2000000  529.2 ns/op  48 B/op  1 allocs/op", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
-		1.5, 2.0, 5, strings.NewReader(leaky), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(leaky), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -464,8 +470,8 @@ func TestBinaryGateFailsClosedOnMissingWireBench(t *testing.T) {
 	noWire := strings.Replace(sampleOnlineBench,
 		"BenchmarkWireCodec-1  550000  2156 ns/op  0 B/op  0 allocs/op\n", "", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "",
-		1.5, 2.0, 5, strings.NewReader(noWire), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(noWire), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -486,8 +492,8 @@ func TestBinaryGateFailsClosedWithoutSection(t *testing.T) {
 		t.Fatal("fixture replace failed")
 	}
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, noBinary), "", "",
-		1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, noBinary), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -501,8 +507,8 @@ func TestWireSpeedupGateFailsBelowBar(t *testing.T) {
 	slow := strings.Replace(sampleServeBaseline,
 		`"replay_throughput": 3900000`, `"replay_throughput": 1920000`, 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, slow), "", "",
-		1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, slow), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -517,8 +523,8 @@ func TestWireSpeedupFailsClosedWithoutRecordedThroughput(t *testing.T) {
 	noReplay := strings.Replace(sampleServeBaseline,
 		`"replay_throughput": 3900000, "replay_batch": 64,`, "", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), writeServeBaseline(t, noReplay), "", "",
-		1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	code := run(writeBaseline(t), writeServeBaseline(t, noReplay), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -530,7 +536,7 @@ func TestWireSpeedupFailsClosedWithoutRecordedThroughput(t *testing.T) {
 func TestWriteBinaryPreservesReplayAndOtherKeys(t *testing.T) {
 	path := writeServeBaseline(t, sampleServeBaseline)
 	var out strings.Builder
-	code := run("", "", "", path, 1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	code := run("", "", "", path, "", 1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -549,9 +555,117 @@ func TestWriteBinaryPreservesReplayAndOtherKeys(t *testing.T) {
 		}
 	}
 	// The refreshed file must pass its own gate.
-	code = run(writeBaseline(t), path, "", "", 1.5, 2.0, 5, strings.NewReader(sampleOnlineBench), &out)
+	code = run(writeBaseline(t), path, "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("self-gate exit %d:\n%s", code, out.String())
+	}
+}
+
+func TestRouterGatePassesAtBaseline(t *testing.T) {
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"BenchmarkRouterAccess", "BenchmarkDirectAccess",
+		"overhead(routed vs direct access, same run)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("router gate %q not checked:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRouterGateFailsOnOverhead(t *testing.T) {
+	// Routed access 4x the direct access: absolute baselines may pass under a
+	// loose tolerance, but the same-run overhead contract (3x) must fail.
+	slow := strings.Replace(sampleOnlineBench,
+		"BenchmarkRouterAccess-1  200000  6012 ns/op  120 B/op  3 allocs/op",
+		"BenchmarkRouterAccess-1  200000  12100 ns/op  120 B/op  3 allocs/op", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		5.0, 2.0, 5, 3, strings.NewReader(slow), &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL overhead(routed vs direct access") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRouterGateFailsClosedOnMissingBench(t *testing.T) {
+	// The router benchmarks vanishing from bench-ci's input must error, not
+	// silently stop enforcing the overhead contract.
+	noRouter := strings.Replace(sampleOnlineBench,
+		"BenchmarkRouterAccess-1  200000  6012 ns/op  120 B/op  3 allocs/op\n", "", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(noRouter), &out)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "router benchmarks missing") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRouterGateFailsClosedWithoutSection(t *testing.T) {
+	noSection := strings.Replace(sampleServeBaseline, `"router": {
+    "router_access_ns": 5900, "direct_access_ns": 2950,
+    "replay_throughput": 300000
+  },
+  `, "", 1)
+	if noSection == sampleServeBaseline {
+		t.Fatal("fixture replace failed")
+	}
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, noSection), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), `"router"`) {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestWriteRouterPreservesReplayAndOtherKeys(t *testing.T) {
+	path := writeServeBaseline(t, sampleServeBaseline)
+	var out strings.Builder
+	code := run("", "", "", "", path, 1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	updated, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(updated)
+	for _, want := range []string{
+		`"router_access_ns": 6012`, `"direct_access_ns": 2987`,
+		`"replay_throughput": 300000`, `"codec_ns": 2100`, `"feedback_ingest_ns": 20`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("updated file missing %q:\n%s", want, s)
+		}
+	}
+	// The refreshed file must pass its own gate.
+	code = run(writeBaseline(t), path, "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+	if code != 0 {
+		t.Fatalf("self-gate exit %d:\n%s", code, out.String())
+	}
+}
+
+func TestWriteRouterRefusesPartialInput(t *testing.T) {
+	path := writeServeBaseline(t, sampleServeBaseline)
+	var out strings.Builder
+	// Missing BenchmarkDirectAccess: must refuse rather than gut the section.
+	code := run("", "", "", "", path, 1.5, 2.0, 5, 3,
+		strings.NewReader("BenchmarkRouterAccess-1 100 6012 ns/op\n"), &out)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
 }
 
@@ -561,11 +675,41 @@ func TestWriteBinaryRefusesWithoutBenchmem(t *testing.T) {
 	// Wire benchmarks measured without -benchmem: no allocs columns, so the
 	// update must refuse rather than zero the alloc baselines.
 	in := "BenchmarkWireCodec-1 550000 2156 ns/op\nBenchmarkWireAccessBinary-1 2000000 529.2 ns/op\n"
-	code := run("", "", "", path, 1.5, 2.0, 5, strings.NewReader(in), &out)
+	code := run("", "", "", path, "", 1.5, 2.0, 5, 3, strings.NewReader(in), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "-benchmem") {
 		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+// TestWriteRouterBadBaselineFile: every way the baseline file itself can be
+// wrong — missing, not JSON, or holding a "router" section that is not an
+// object — refuses loudly with exit 2 instead of writing anything.
+func TestWriteRouterBadBaselineFile(t *testing.T) {
+	in := "BenchmarkRouterAccess-1 100 6012 ns/op\nBenchmarkDirectAccess-1 100 2987 ns/op\n"
+	cases := []struct {
+		name, contents string
+		missing        bool
+	}{
+		{name: "missing file", missing: true},
+		{name: "not json", contents: "{nope"},
+		{name: "router not an object", contents: `{"router": 7}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "serve.json")
+			if !c.missing {
+				if err := os.WriteFile(path, []byte(c.contents), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var out strings.Builder
+			code := run("", "", "", "", path, 1.5, 2.0, 5, 3, strings.NewReader(in), &out)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+			}
+		})
 	}
 }

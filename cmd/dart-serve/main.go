@@ -214,22 +214,26 @@ func main() {
 		if *matrixSpec == "" && !*useDart {
 			fatalf("matrix: the built-in matrix spans the online/student/dart serving classes; run with -dart, or pass -matrix-spec using classical classes only")
 		}
-		runMatrix(engine, *matrixSpec, *soak, *jsonOut,
-			serve.MatrixOptions{Proto: *proto, Batch: *batch})
+		runMatrix(serve.ReplaySpec{
+			Engine: engine,
+			Proto:  *proto,
+			Batch:  *batch,
+		}, *matrixSpec, *soak, *jsonOut)
 		if learner != nil {
 			printLearner(learner)
 		}
 		return
 	}
 	if *replay {
-		runReplay(engine, learner, *sessions, *n, serve.ReplayOptions{
+		runReplay(serve.ReplaySpec{
+			Engine:     engine,
 			Prefetcher: *prefetcher,
 			Degree:     *degree,
 			QPS:        *qps,
 			Verify:     *verify,
 			Proto:      *proto,
 			Batch:      *batch,
-		}, *soak, *jsonOut)
+		}, learner, *sessions, *n, *soak, *jsonOut)
 		return
 	}
 
@@ -353,12 +357,12 @@ func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration, s
 // account for exactly the submitted accesses, dropped-free, whatever the
 // prefetcher — the online model changes under training, but delivery must
 // not.
-func runReplay(e *serve.Engine, learner *online.Learner, sessions, n int, opt serve.ReplayOptions, soak time.Duration, jsonOut string) {
-	versioned := opt.Prefetcher == "online" || opt.Prefetcher == "student" ||
-		(opt.Prefetcher == "dart" && learner != nil && learner.HasDart())
-	if versioned && opt.Verify {
+func runReplay(spec serve.ReplaySpec, learner *online.Learner, sessions, n int, soak time.Duration, jsonOut string) {
+	versioned := spec.Prefetcher == "online" || spec.Prefetcher == "student" ||
+		(spec.Prefetcher == "dart" && learner != nil && learner.HasDart())
+	if versioned && spec.Verify {
 		fmt.Println("verify: versioned classes hot-swap under training; checking completeness instead of bit-identity")
-		opt.Verify = false
+		spec.Verify = false
 	}
 	apps := trace.Apps()
 	deadline := time.Now().Add(soak)
@@ -375,7 +379,7 @@ func runReplay(e *serve.Engine, learner *online.Learner, sessions, n int, opt se
 			traces[id] = trace.Generate(spec, n)
 		}
 		var err error
-		rep, err = serve.Replay(e, traces, opt)
+		rep, err = serve.Replay(spec, traces)
 		if err != nil {
 			fatalf("replay: %v", err)
 		}
@@ -384,7 +388,7 @@ func runReplay(e *serve.Engine, learner *online.Learner, sessions, n int, opt se
 				rep.Merged.Accesses, sessions*n)
 		}
 		fmt.Print(rep)
-		if opt.Verify {
+		if spec.Verify {
 			if !rep.Verified {
 				fatalf("VERIFY FAILED: served results are not bit-identical to the offline simulator")
 			}
@@ -401,7 +405,7 @@ func runReplay(e *serve.Engine, learner *online.Learner, sessions, n int, opt se
 		printLearner(learner)
 	}
 	if jsonOut != "" {
-		writeJSON(jsonOut, rep, opt.Proto, opt.Batch)
+		writeJSON(jsonOut, rep, spec.Proto, spec.Batch)
 	}
 }
 

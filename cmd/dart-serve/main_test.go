@@ -69,9 +69,9 @@ func TestRunReplayDartCompleteness(t *testing.T) {
 	e := serve.NewEngine(serve.Config{Online: learner})
 
 	out := filepath.Join(t.TempDir(), "report.json")
-	runReplay(e, learner, 2, 500, serve.ReplayOptions{
-		Prefetcher: "dart", Degree: 4, Verify: true,
-	}, 0, out)
+	runReplay(serve.ReplaySpec{
+		Engine: e, Prefetcher: "dart", Degree: 4, Verify: true,
+	}, learner, 2, 500, 0, out)
 
 	raw, err := os.ReadFile(out)
 	if err != nil {
@@ -105,7 +105,49 @@ func TestRunReplaySoakRound(t *testing.T) {
 	learner.Start()
 	defer learner.Stop()
 	e := serve.NewEngine(serve.Config{Online: learner})
-	runReplay(e, learner, 2, 400, serve.ReplayOptions{
-		Prefetcher: "student", Degree: 4, Verify: true,
-	}, 200*time.Millisecond, "")
+	runReplay(serve.ReplaySpec{
+		Engine: e, Prefetcher: "student", Degree: 4, Verify: true,
+	}, learner, 2, 400, 200*time.Millisecond, "")
+}
+
+// TestWriteJSONBothSections pins the report writer's two shapes: a binary
+// replay updates only the "binary" section (merging with what is already
+// there), and a JSON replay writes the top-level report — without either
+// clobbering the other's keys.
+func TestWriteJSONBothSections(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	seed := `{"binary":{"codec_roundtrip_ns":2156},"router":{"keep":1}}`
+	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeJSON(path, serve.Report{Throughput: 123456}, "binary", 64)
+	writeJSON(path, serve.Report{Throughput: 654321}, "json", 1)
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Binary struct {
+			Codec      float64 `json:"codec_roundtrip_ns"`
+			Throughput float64 `json:"replay_throughput"`
+			Batch      int     `json:"replay_batch"`
+		} `json:"binary"`
+		Router struct {
+			Keep int `json:"keep"`
+		} `json:"router"`
+		Report *serve.Report `json:"report"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Binary.Throughput != 123456 || doc.Binary.Batch != 64 || doc.Binary.Codec != 2156 {
+		t.Fatalf("binary section after update: %+v", doc.Binary)
+	}
+	if doc.Router.Keep != 1 {
+		t.Fatal("updating the binary section clobbered the router section")
+	}
+	if doc.Report == nil || doc.Report.Throughput != 654321 {
+		t.Fatalf("json report not written: %+v", doc.Report)
+	}
 }

@@ -5,115 +5,21 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
 	"strings"
 	"time"
 
 	"dart/internal/serve"
-	"dart/internal/sim"
-	"dart/internal/trace"
 )
 
-// parseMatrix turns a scenario-matrix spec string into tenant specs. The
-// grammar is semicolon-separated tenants, each "name:key=value,..." — e.g.
-//
-//	hot:workload=zipf,sessions=4,n=2000,class=dart,qps=5000,weight=3;\
-//	cold:workload=chase,class=online,cache=twolevel
-//
-// Keys: workload (required; any trace.Workloads name), sessions, n, class,
-// degree, qps, weight, seed, cache (default|twolevel). Unset keys take the
-// serve.TenantSpec defaults; cache "" uses the engine's machine model.
-func parseMatrix(spec string) ([]serve.TenantSpec, error) {
-	var tenants []serve.TenantSpec
-	for _, raw := range strings.Split(spec, ";") {
-		raw = strings.TrimSpace(raw)
-		if raw == "" {
-			continue
-		}
-		name, rest, ok := strings.Cut(raw, ":")
-		if !ok || strings.TrimSpace(name) == "" {
-			return nil, fmt.Errorf("tenant %q: want name:key=value,...", raw)
-		}
-		t := serve.TenantSpec{Name: strings.TrimSpace(name)}
-		for _, kv := range strings.Split(rest, ",") {
-			kv = strings.TrimSpace(kv)
-			if kv == "" {
-				continue
-			}
-			k, v, ok := strings.Cut(kv, "=")
-			if !ok {
-				return nil, fmt.Errorf("tenant %q: bad pair %q", t.Name, kv)
-			}
-			var err error
-			switch k {
-			case "workload":
-				if _, ok := trace.WorkloadByName(v); !ok {
-					return nil, fmt.Errorf("tenant %q: unknown workload %q", t.Name, v)
-				}
-				t.Workload = v
-			case "class":
-				t.Class = v
-			case "sessions":
-				t.Sessions, err = strconv.Atoi(v)
-			case "n":
-				t.N, err = strconv.Atoi(v)
-			case "degree":
-				t.Degree, err = strconv.Atoi(v)
-			case "weight":
-				t.Weight, err = strconv.Atoi(v)
-			case "qps":
-				t.QPS, err = strconv.ParseFloat(v, 64)
-			case "seed":
-				var s int64
-				s, err = strconv.ParseInt(v, 10, 64)
-				t.Seed = s
-			case "cache":
-				var cfg sim.Config
-				switch v {
-				case "default":
-					cfg = sim.DefaultConfig()
-				case "twolevel":
-					cfg = sim.TwoLevelConfig()
-				default:
-					return nil, fmt.Errorf("tenant %q: unknown cache %q (default|twolevel)", t.Name, v)
-				}
-				t.SimCfg = &cfg
-			default:
-				return nil, fmt.Errorf("tenant %q: unknown key %q", t.Name, k)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("tenant %q: %s=%q: %w", t.Name, k, v, err)
-			}
-		}
-		if t.Workload == "" {
-			return nil, fmt.Errorf("tenant %q: workload is required", t.Name)
-		}
-		tenants = append(tenants, t)
-	}
-	if len(tenants) == 0 {
-		return nil, fmt.Errorf("empty matrix spec")
-	}
-	return tenants, nil
-}
-
-// defaultMatrix is the mixed-tenant scenario the nightly soak replays when
-// -matrix is given no spec: four tenants across four workload-zoo families,
-// two cache hierarchies, and (when the tiers are up) all three hot-swappable
-// serving classes plus a classical baseline.
-const defaultMatrix = "svc:workload=chase,sessions=2,n=2000,class=online,weight=3;" +
-	"kv:workload=zipf,sessions=2,n=2000,class=student,cache=twolevel;" +
-	"adv:workload=phase,sessions=1,n=2000,class=dart,cache=twolevel;" +
-	"batch:workload=milc,sessions=1,n=2000,class=stride"
-
-// runMatrix replays a scenario matrix through the engine — in-process or
-// over a wire protocol, per mopt — prints the report, and enforces
-// per-tenant completeness. With soak > 0 it repeats rounds until the
-// deadline passes, perturbing every tenant's trace seed each round.
-func runMatrix(e *serve.Engine, spec string, soak time.Duration, jsonOut string, mopt serve.MatrixOptions) {
+// runMatrix replays a scenario matrix through the spec's target — in-process
+// or over a wire protocol — prints the report, and enforces per-tenant
+// completeness. With soak > 0 it repeats rounds until the deadline passes,
+// perturbing every tenant's trace seed each round.
+func runMatrix(base serve.ReplaySpec, spec string, soak time.Duration, jsonOut string) {
 	if spec == "" {
-		spec = defaultMatrix
+		spec = serve.DefaultMatrixSpec
 	}
-	tenants, err := parseMatrix(spec)
+	tenants, err := serve.ParseMatrixSpec(spec)
 	if err != nil {
 		fatalf("matrix: %v", err)
 	}
@@ -125,13 +31,17 @@ func runMatrix(e *serve.Engine, spec string, soak time.Duration, jsonOut string,
 		for i := range rt {
 			rt[i].Seed += int64(1000 * round)
 		}
-		rep, err = serve.ReplayMatrix(e, rt, mopt)
+		base.Tenants = rt
+		rep, err = serve.ReplayMatrix(base)
 		if err != nil {
 			fatalf("matrix: %v", err)
 		}
 		fmt.Print(rep)
 		if !rep.Complete {
 			fatalf("COMPLETENESS FAILED: a tenant dropped or reordered accesses")
+		}
+		if base.Verify && !rep.Verified {
+			fatalf("VERIFY FAILED: a checkable tenant is not bit-identical to the offline simulator")
 		}
 		if soak <= 0 || time.Now().After(deadline) {
 			break

@@ -9,65 +9,15 @@ import (
 	"dart/internal/serve"
 )
 
-func TestParseMatrix(t *testing.T) {
-	tenants, err := parseMatrix(
-		"hot:workload=zipf,sessions=4,n=2000,class=dart,qps=5000,weight=3,cache=twolevel,seed=9;" +
-			"cold:workload=chase,class=online,cache=default")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(tenants) != 2 {
-		t.Fatalf("%d tenants, want 2", len(tenants))
-	}
-	hot := tenants[0]
-	if hot.Name != "hot" || hot.Workload != "zipf" || hot.Sessions != 4 || hot.N != 2000 ||
-		hot.Class != "dart" || hot.QPS != 5000 || hot.Weight != 3 || hot.Seed != 9 {
-		t.Fatalf("hot parsed wrong: %+v", hot)
-	}
-	if hot.SimCfg == nil || hot.SimCfg.L2Blocks == 0 {
-		t.Fatalf("cache=twolevel did not select an L2: %+v", hot.SimCfg)
-	}
-	cold := tenants[1]
-	if cold.SimCfg == nil || cold.SimCfg.L2Blocks != 0 {
-		t.Fatalf("cache=default is not single-level: %+v", cold.SimCfg)
-	}
-
-	// The built-in matrix must always parse.
-	def, err := parseMatrix(defaultMatrix)
-	if err != nil {
-		t.Fatalf("default matrix does not parse: %v", err)
-	}
-	if len(def) != 4 {
-		t.Fatalf("default matrix has %d tenants, want 4", len(def))
-	}
-
-	for _, bad := range []string{
-		"",
-		"justaname",
-		":workload=zipf",
-		"a:workload=nope",
-		"a:workload=zipf,sessions=x",
-		"a:workload=zipf,cache=l9",
-		"a:workload=zipf,color=red",
-		"a:class=stride", // workload missing
-		"a:workload",     // pair without =
-	} {
-		if _, err := parseMatrix(bad); err == nil {
-			t.Errorf("spec %q accepted", bad)
-		}
-	}
-}
-
 // TestRunMatrixEndToEnd drives the CLI matrix path against a classical-class
 // matrix (no learner needed): report printed, completeness enforced, JSON
 // written with per-tenant admission-capable reports.
 func TestRunMatrixEndToEnd(t *testing.T) {
 	e := serve.NewEngine(serve.Config{})
 	out := filepath.Join(t.TempDir(), "matrix.json")
-	runMatrix(e,
+	runMatrix(serve.ReplaySpec{Engine: e, Proto: "binary", Batch: 16, Verify: true},
 		"a:workload=chase,sessions=2,n=400,class=stride;"+
-			"b:workload=phase,n=400,class=bo,cache=twolevel", 0, out,
-		serve.MatrixOptions{Proto: "binary", Batch: 16})
+			"b:workload=phase,n=400,class=bo,cache=twolevel", 0, out)
 
 	raw, err := os.ReadFile(out)
 	if err != nil {

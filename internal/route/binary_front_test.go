@@ -1,0 +1,194 @@
+package route
+
+import (
+	"bufio"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dart/internal/serve"
+)
+
+// rawFrame hand-assembles one DARTWIRE1 frame: kind, 4-byte big-endian
+// payload length, 4-byte big-endian CRC32, payload. Built by hand so these
+// tests can also produce frames the client library would refuse to send.
+func rawFrame(kind byte, payload []byte) []byte {
+	buf := make([]byte, 9+len(payload))
+	buf[0] = kind
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[5:9], crc32.ChecksumIEEE(payload))
+	copy(buf[9:], payload)
+	return buf
+}
+
+// TestBinaryFrontEndErrors covers the front end's binary failure surface:
+// a wrong protocol magic is refused in plain text, routed per-request
+// failures (unknown session) come back as tagged error frames that keep
+// the connection usable, and a corrupt control frame answers with a tag-0
+// error frame before hanging up — the same contract a backend honours.
+func TestBinaryFrontEndErrors(t *testing.T) {
+	_, r := startCluster(t, 1, Config{HealthInterval: 20 * time.Millisecond, Logf: t.Logf})
+	addr := startFrontEnd(t, r)
+
+	srv := NewServer(r)
+	if srv.Router() != r {
+		t.Fatal("Server.Router() does not expose the wrapped router")
+	}
+
+	// Wrong magic (first byte sniffs as binary, rest does not match): a
+	// plain-text diagnostic, then the connection closes.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("DARTWIRE9")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil || !strings.Contains(line, "bad protocol magic") {
+		t.Fatalf("bad magic answered %q, %v", line, err)
+	}
+	conn.Close()
+
+	// Good handshake. An access to a session nobody opened must come back
+	// as an error frame carrying the request's tag — and the connection
+	// must survive it.
+	conn, err = net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(serve.WireMagic)); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	magic := make([]byte, len(serve.WireMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != serve.WireMagic {
+		t.Fatalf("handshake echoed %q, %v", magic, err)
+	}
+	fr := serve.NewFrameReader(br)
+
+	if _, err := conn.Write(serve.AppendAccessRequest(nil, 77, "ghost", sessionTrace(1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := fr.Next()
+	if err != nil || kind != serve.FrameError {
+		t.Fatalf("unknown session answered kind 0x%02x, %v", kind, err)
+	}
+	if !strings.Contains(string(payload), "unknown session") {
+		t.Fatalf("error frame %q lacks the cause", payload)
+	}
+
+	// Still alive: a stats control frame round-trips on the same conn.
+	if _, err := conn.Write(rawFrame(serve.FrameControl, []byte(`{"op":"stats"}`))); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err = fr.Next()
+	if err != nil || kind != serve.FrameControlReply {
+		t.Fatalf("stats after an error frame answered kind 0x%02x, %v", kind, err)
+	}
+	if !strings.Contains(string(payload), `"backends"`) {
+		t.Fatalf("routed stats reply %q lacks the backends array", payload)
+	}
+
+	// A control frame that is not JSON: tag-0 error frame, then hang-up.
+	if _, err := conn.Write(rawFrame(serve.FrameControl, []byte(`{"op":`))); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err = fr.Next()
+	if err != nil || kind != serve.FrameError {
+		t.Fatalf("corrupt control frame answered kind 0x%02x, %v", kind, err)
+	}
+	if !strings.Contains(string(payload), "bad control frame") {
+		t.Fatalf("corrupt-control error %q lacks the cause", payload)
+	}
+	if _, _, err := fr.Next(); err == nil {
+		t.Fatal("connection survived a corrupt control frame")
+	}
+}
+
+// TestRoutedCloseSessionErrors: closing a session that was never opened (or
+// was already closed) is an application error, not a retry storm.
+func TestRoutedCloseSessionErrors(t *testing.T) {
+	_, r := startCluster(t, 2, Config{HealthInterval: 20 * time.Millisecond, Logf: t.Logf})
+	if _, err := r.CloseSession("never-opened"); err == nil ||
+		!strings.Contains(err.Error(), "unknown session") {
+		t.Fatalf("closing an unopened session returned %v", err)
+	}
+	if err := r.Open("once", serve.SessionOptions{Prefetcher: "stride", Degree: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Access("once", sessionTrace(3, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CloseSession("once"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CloseSession("once"); err == nil ||
+		!strings.Contains(err.Error(), "unknown session") {
+		t.Fatalf("double close returned %v", err)
+	}
+}
+
+// TestControlVerbDispatch pins the router's non-hot verb table: read verbs
+// forward to the first healthy backend (skipping ejected ones), mutating
+// verbs fan to all and refuse to half-apply, hot verbs in control frames
+// are rejected, and unknown ops name themselves.
+func TestControlVerbDispatch(t *testing.T) {
+	bs, r := startCluster(t, 2, Config{HealthInterval: 20 * time.Millisecond, Logf: t.Logf})
+
+	// No tiers are configured on the test backends, so the forwarded verb
+	// answers with the backend's own error — proof it reached a shard.
+	if rep := r.Control(serve.Request{Op: "classes"}, nil); rep.OK ||
+		!strings.Contains(rep.Err, "no online learner") {
+		t.Fatalf("classes via firstHealthy returned %+v", rep)
+	}
+	// No online tiers are configured, so a swap must fail on the first
+	// backend and surface which shard refused — not half-apply.
+	rep := r.Control(serve.Request{Op: "swap", Class: "online"}, nil)
+	if rep.OK || !strings.Contains(rep.Err, "route: backend") {
+		t.Fatalf("swap on tier-less backends returned %+v", rep)
+	}
+	if rep := r.Control(serve.Request{Op: "access"}, nil); rep.OK ||
+		!strings.Contains(rep.Err, "hot verb in a control frame") {
+		t.Fatalf("hot verb in control frame returned %+v", rep)
+	}
+	if rep := r.Control(serve.Request{Op: "frobnicate"}, nil); rep.OK ||
+		!strings.Contains(rep.Err, "unknown op") {
+		t.Fatalf("unknown op returned %+v", rep)
+	}
+
+	// Eject one backend: read verbs must skip it and still answer.
+	bs[0].kill()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rep, err := r.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := 0
+		for _, row := range rep.Stats.Backends {
+			if row.Healthy {
+				h++
+			}
+		}
+		if h == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("prober never ejected the dead backend")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rep := r.Control(serve.Request{Op: "classes"}, nil); rep.OK ||
+		!strings.Contains(rep.Err, "no online learner") {
+		t.Fatalf("classes with one ejected backend returned %+v", rep)
+	}
+	if rep := r.Control(serve.Request{Op: "model", Class: "nope"}, nil); rep.OK {
+		t.Fatal("model for an unconfigured class reported OK")
+	}
+}

@@ -1,0 +1,224 @@
+package route
+
+import (
+	"errors"
+	"fmt"
+
+	"dart/internal/serve"
+)
+
+// This file is the control-plane fan-out: the router answers the non-session
+// verbs by asking its backends and merging the replies (docs/PROTOCOL.md,
+// "Router pass-through" section, specifies the merged shapes).
+
+// forEach calls fn once per configured backend in config order, handing it a
+// pooled connection. Unreachable backends get fn(nil, err) so the caller can
+// report them without aborting the fan-out.
+func (r *Router) forEach(fn func(b *backend, c *serve.Client, dialErr error)) {
+	r.mu.Lock()
+	bs := make([]*backend, 0, len(r.order))
+	for _, name := range r.order {
+		bs = append(bs, r.backends[name])
+	}
+	r.mu.Unlock()
+	for _, b := range bs {
+		c, err := r.checkout(b)
+		if err != nil {
+			r.markFailure(b, err)
+			fn(b, nil, err)
+			continue
+		}
+		fn(b, c, nil)
+		r.checkin(b, c)
+	}
+}
+
+// Stats fans the stats verb to every backend and merges: counters sum,
+// MaxBatch takes the max, and one BackendStat row per backend reports
+// health, per-backend session ownership, and the dial/verb error if any.
+func (r *Router) Stats() (serve.Reply, error) {
+	owned := make(map[string]int)
+	r.mu.Lock()
+	for _, s := range r.sessions {
+		if o := s.getOwner(); o != "" {
+			owned[o]++
+		}
+	}
+	routed := len(r.sessions)
+	r.mu.Unlock()
+
+	merged := &serve.StatsReply{}
+	r.forEach(func(b *backend, c *serve.Client, dialErr error) {
+		row := serve.BackendStat{Name: b.name, Addr: b.addr, Sessions: owned[b.name]}
+		b.mu.Lock()
+		row.Healthy = b.healthy
+		b.mu.Unlock()
+		if dialErr != nil {
+			row.Healthy = false
+			row.Err = dialErr.Error()
+			merged.Backends = append(merged.Backends, row)
+			return
+		}
+		rep, err := c.Do(serve.Request{Op: "stats"})
+		if err == nil && !rep.OK {
+			err = errors.New(rep.Err)
+		}
+		if err != nil || rep.Stats == nil {
+			if err == nil {
+				err = errors.New("route: stats reply carries no stats")
+			}
+			row.Err = err.Error()
+			merged.Backends = append(merged.Backends, row)
+			return
+		}
+		merged.Sessions += rep.Stats.Sessions
+		merged.Accepted += rep.Stats.Accepted
+		merged.Batches += rep.Stats.Batches
+		merged.Batched += rep.Stats.Batched
+		if rep.Stats.MaxBatch > merged.MaxBatch {
+			merged.MaxBatch = rep.Stats.MaxBatch
+		}
+		merged.Backends = append(merged.Backends, row)
+	})
+	// The router's own view of session count wins: backends may briefly hold
+	// a stale copy around a migration, and routed sessions are the truth the
+	// client cares about.
+	merged.Sessions = routed
+	return serve.Reply{OK: true, Stats: merged}, nil
+}
+
+// firstHealthy forwards one request to the first backend that answers it.
+func (r *Router) firstHealthy(req serve.Request) (serve.Reply, error) {
+	var lastErr error
+	r.mu.Lock()
+	bs := make([]*backend, 0, len(r.order))
+	for _, name := range r.order {
+		bs = append(bs, r.backends[name])
+	}
+	r.mu.Unlock()
+	for _, b := range bs {
+		b.mu.Lock()
+		healthy := b.healthy
+		b.mu.Unlock()
+		if !healthy {
+			continue
+		}
+		c, err := r.checkout(b)
+		if err != nil {
+			r.markFailure(b, err)
+			lastErr = err
+			continue
+		}
+		rep, err := c.Do(req)
+		r.checkin(b, c)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return rep, nil
+	}
+	if lastErr == nil {
+		lastErr = errNoBackends
+	}
+	return serve.Reply{}, lastErr
+}
+
+// fanAll sends one mutating control verb (swap, rollback) to every healthy
+// backend. All must succeed — a half-swapped fleet would serve different
+// versions per shard — and the merged reply carries the highest version.
+func (r *Router) fanAll(req serve.Request) (serve.Reply, error) {
+	var (
+		out     serve.Reply
+		applied int
+		firstE  error
+	)
+	r.forEach(func(b *backend, c *serve.Client, dialErr error) {
+		b.mu.Lock()
+		healthy := b.healthy
+		b.mu.Unlock()
+		if dialErr != nil || !healthy {
+			return
+		}
+		rep, err := c.Do(req)
+		if err == nil && !rep.OK {
+			err = errors.New(rep.Err)
+		}
+		if err != nil {
+			if firstE == nil {
+				firstE = fmt.Errorf("route: backend %s: %w", b.name, err)
+			}
+			return
+		}
+		applied++
+		if rep.Version >= out.Version {
+			out = rep
+		}
+	})
+	if firstE != nil {
+		return serve.Reply{}, firstE
+	}
+	if applied == 0 {
+		return serve.Reply{}, errNoBackends
+	}
+	out.OK = true
+	return out, nil
+}
+
+// Control dispatches one non-hot verb the router way: session verbs hit the
+// routing table, stats merges the fleet, read verbs forward to one healthy
+// backend, and mutating verbs fan to all. opened tracks sessions owned by
+// the calling connection for crash reclaim, exactly like serve.Server.
+func (r *Router) Control(req serve.Request, opened map[string]struct{}) serve.Reply {
+	fail := func(err error) serve.Reply {
+		return serve.Reply{OK: false, Session: req.Session, Err: err.Error()}
+	}
+	switch req.Op {
+	case "open":
+		err := r.Open(req.Session, serve.SessionOptions{
+			Prefetcher: req.Prefetcher,
+			Degree:     req.Degree,
+			Tenant:     req.Tenant,
+			Weight:     req.Weight,
+			SimCfg:     req.Sim,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		if opened != nil {
+			opened[req.Session] = struct{}{}
+		}
+		return serve.Reply{OK: true, Session: req.Session}
+	case "close":
+		res, err := r.CloseSession(req.Session)
+		if err != nil {
+			return fail(err)
+		}
+		if opened != nil {
+			delete(opened, req.Session)
+		}
+		return serve.Reply{OK: true, Session: req.Session, Result: &res}
+	case "stats":
+		rep, err := r.Stats()
+		if err != nil {
+			return fail(err)
+		}
+		return rep
+	case "model", "classes":
+		rep, err := r.firstHealthy(serve.Request{Op: req.Op, Class: req.Class})
+		if err != nil {
+			return fail(err)
+		}
+		return rep
+	case "swap", "rollback":
+		rep, err := r.fanAll(serve.Request{Op: req.Op, Class: req.Class})
+		if err != nil {
+			return fail(err)
+		}
+		return rep
+	case "access", "batch":
+		return serve.Reply{OK: false, Session: req.Session,
+			Err: "route: hot verb in a control frame: use access/batch frames"}
+	default:
+		return serve.Reply{OK: false, Err: "route: unknown op " + req.Op}
+	}
+}

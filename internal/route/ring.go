@@ -1,0 +1,163 @@
+// Package route is the horizontal-sharding tier: a dart-router front-end
+// terminates both serving wire protocols, consistent-hashes sessions by
+// tenant onto N dart-serve backends with a bounded-load ring, health-checks
+// the backends with eject/readmit and backoff, and migrates sessions across
+// backend leave/join by journal replay — bit-identically for deterministic
+// serving classes. See README.md in this directory for the architecture.
+package route
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Ring is a consistent-hash ring with bounded loads (the CHWBL construction:
+// each node appears at Replicas virtual points; a key walks clockwise from
+// its hash and lands on the first alive node whose load is still under
+// c·(total/alive) — so keys barely move when membership changes, while no
+// single hot spot can sink one node).
+//
+// The ring itself is immutable after New: aliveness and loads are passed per
+// lookup, so the router can consult one ring under its own lock without the
+// ring needing one.
+type Ring struct {
+	replicas int
+	c        float64
+	names    []string // all configured nodes, sorted
+	points   []point  // virtual points, sorted by hash
+}
+
+type point struct {
+	hash uint64
+	node int // index into names
+}
+
+// NewRing builds a ring over the configured node names. replicas <= 0
+// defaults to 64 virtual points per node; c <= 1 defaults to 1.25 (25%
+// headroom over a perfectly even spread before a key walks past a node).
+func NewRing(nodes []string, replicas int, c float64) *Ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	if c <= 1 {
+		c = 1.25
+	}
+	names := append([]string(nil), nodes...)
+	sort.Strings(names)
+	r := &Ring{replicas: replicas, c: c, names: names}
+	for i, name := range names {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: ringHash(name, v), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// Nodes returns the configured node names (sorted).
+func (r *Ring) Nodes() []string { return r.names }
+
+// minBound floors the per-node capacity: with only a handful of keys in the
+// whole system a strict ceil(c·total/alive) is 1, which would shatter tenant
+// affinity (every session of a tenant forced to a different node) for no
+// balance benefit. Small systems are never overloaded; the bound exists for
+// hot tenants at scale.
+const minBound = 8
+
+// bound is the CHWBL per-node capacity for a system placing total keys on
+// alive nodes: ceil(c · total / alive), floored at minBound.
+func (r *Ring) bound(total, alive int) int {
+	if alive <= 0 {
+		return 0
+	}
+	b := int(math.Ceil(float64(total) * r.c / float64(alive)))
+	if b < minBound {
+		b = minBound
+	}
+	return b
+}
+
+// Pick places one key: walk clockwise from the key's hash over the virtual
+// points, skipping dead nodes and nodes already at the load bound for
+// total+1 keys. Falls back to the least-loaded alive node if every alive
+// node is somehow at the bound (can't happen with c > 1, but a ring must
+// never strand a key). Returns false only when no node is alive.
+func (r *Ring) Pick(key string, alive map[string]bool, loads map[string]int, total int) (string, bool) {
+	nAlive := 0
+	for _, name := range r.names {
+		if alive[name] {
+			nAlive++
+		}
+	}
+	if nAlive == 0 {
+		return "", false
+	}
+	limit := r.bound(total+1, nAlive)
+	h := ringHash(key, -1)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		name := r.names[p.node]
+		if !alive[name] || loads[name] >= limit {
+			continue
+		}
+		return name, true
+	}
+	best, bestLoad := "", -1
+	for _, name := range r.names {
+		if alive[name] && (bestLoad < 0 || loads[name] < bestLoad) {
+			best, bestLoad = name, loads[name]
+		}
+	}
+	return best, true
+}
+
+// Placement assigns every key in order, from scratch, over the alive set —
+// the deterministic full placement the router computes when membership
+// changes (and the object of the ring-stability property test: adding one
+// node to n must move only about 1/(n+1) of the keys). Keys may repeat (one
+// per session of a tenant), so the result is positional: out[i] is keys[i]'s
+// node. Returns nil when no node is alive.
+func (r *Ring) Placement(keys []string, alive map[string]bool) []string {
+	loads := make(map[string]int, len(r.names))
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		// Every pick sees the bound for the FINAL key count, not the running
+		// one: a bound that tightens as keys stream in would overflow early
+		// keys off half-empty nodes, and those cascades — not the hash — would
+		// decide the placement, wrecking stability across membership changes.
+		node, ok := r.Pick(k, alive, loads, len(keys)-1)
+		if !ok {
+			return nil
+		}
+		out[i] = node
+		loads[node]++
+	}
+	return out
+}
+
+// ringHash hashes a name (v >= 0 appends a virtual-point suffix; v < 0
+// hashes the bare key). Raw FNV-1a is NOT enough here: inputs differing only
+// in a trailing byte hash to values one FNV-prime multiple apart, so a node's
+// virtual points — and sequentially-named tenants — all collapse into one
+// narrow arc of the 64-bit circle. The MurmurHash3 finalizer avalanches the
+// FNV state so the points actually scatter.
+func ringHash(name string, v int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	if v >= 0 {
+		var suf [3]byte
+		suf[0] = '#'
+		suf[1] = byte(v >> 8)
+		suf[2] = byte(v)
+		h.Write(suf[:])
+	}
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

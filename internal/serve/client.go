@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"dart/internal/sim"
 	"dart/internal/trace"
@@ -20,17 +21,25 @@ import (
 // A Client is not safe for concurrent use; the replay drivers hold one per
 // session. Its request and reply buffers are reused across calls, so in
 // steady state a binary-protocol access batch allocates nothing.
+//
+// A transport-level failure — a dead connection, a timeout, a corrupt frame —
+// poisons the client: the first root cause is recorded and every subsequent
+// call returns it (wrapped), never a bare io.EOF. Application-level errors
+// (unknown session, bad verb) leave the connection usable.
 type Client struct {
-	conn   net.Conn
-	bw     *bufio.Writer
-	binary bool
-	rd     wireReader     // binary frame reader
-	sc     *bufio.Scanner // JSON line reader
-	tag    uint64         // binary request tag (echoed by replies)
-	buf    []byte         // request build buffer
-	one    [1]trace.Record
-	res    []AccessResult // reply decode buffer, reused across calls
-	pf     []uint64       // backing store for AccessResult.Prefetches
+	conn    net.Conn
+	bw      *bufio.Writer
+	binary  bool
+	rd      wireReader     // binary frame reader
+	sc      *bufio.Scanner // JSON line reader
+	tag     uint64         // binary request tag (echoed by replies)
+	timeout time.Duration  // per-call connection deadline; 0 = none
+	batch   int            // preferred accesses per frame (WithBatchSize)
+	err     error          // sticky first transport failure
+	buf     []byte         // request build buffer
+	one     [1]trace.Record
+	res     []AccessResult // reply decode buffer, reused across calls
+	pf      []uint64       // backing store for AccessResult.Prefetches
 }
 
 // AccessResult is one served access decoded from either protocol.
@@ -43,34 +52,28 @@ type AccessResult struct {
 	Prefetches []uint64
 }
 
-// Dial connects to addr over TCP and negotiates proto ("json" or "binary").
-func Dial(addr, proto string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	c, err := NewClient(conn, proto)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	return c, nil
-}
+// errClientClosed poisons a client whose own Close was called.
+var errClientClosed = errors.New("serve: client closed")
 
-// NewClient wraps an established connection. proto "binary" performs the
-// DARTWIRE1 handshake (send the magic, require the server's echo) before
-// returning; "json" needs no handshake — the server negotiates off the
-// first byte of the first request line.
-func NewClient(conn net.Conn, proto string) (*Client, error) {
-	c := &Client{conn: conn, bw: bufio.NewWriterSize(conn, 1<<16)}
+// newClient wraps an established connection per the Connect options. proto
+// "binary" performs the DARTWIRE1 handshake (send the magic, require the
+// server's echo) before returning; "json" needs no handshake — the server
+// negotiates off the first byte of the first request line.
+func newClient(conn net.Conn, o clientOptions) (*Client, error) {
+	if o.batch <= 0 {
+		o.batch = 64
+	}
+	c := &Client{conn: conn, bw: bufio.NewWriterSize(conn, 1<<16),
+		timeout: o.timeout, batch: o.batch}
 	br := bufio.NewReaderSize(conn, 1<<16)
-	switch proto {
+	switch o.proto {
 	case "json":
 		c.sc = bufio.NewScanner(br)
 		c.sc.Buffer(make([]byte, 1<<20), 1<<20)
 	case "binary":
 		c.binary = true
 		c.rd.br = br
+		c.arm()
 		if _, err := c.bw.WriteString(wireMagic); err != nil {
 			return nil, err
 		}
@@ -85,53 +88,126 @@ func NewClient(conn net.Conn, proto string) (*Client, error) {
 			return nil, fmt.Errorf("serve: bad handshake echo %q (want %q)", echo[:], wireMagic)
 		}
 	default:
-		return nil, fmt.Errorf("serve: unknown protocol %q (have \"json\" and \"binary\")", proto)
+		return nil, fmt.Errorf("serve: unknown protocol %q (have \"json\" and \"binary\")", o.proto)
 	}
 	return c, nil
 }
 
-// Close closes the underlying connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// BatchSize reports the preferred accesses-per-frame configured at Connect
+// (WithBatchSize; default 64). Replay drivers size their frames with it.
+func (c *Client) BatchSize() int { return c.batch }
 
-// readLine returns the next JSON reply line.
+// Broken reports the sticky transport failure that poisoned this client, or
+// nil while it is usable. Connection pools (the router tier) use it to decide
+// whether a client can be checked back in after a call returned an error —
+// application errors leave Broken nil.
+func (c *Client) Broken() error { return c.err }
+
+// Close closes the underlying connection and poisons the client.
+func (c *Client) Close() error {
+	if c.err == nil {
+		c.err = errClientClosed
+	}
+	return c.conn.Close()
+}
+
+// arm starts the per-call deadline configured by WithTimeout.
+func (c *Client) arm() {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+// fail records the first transport-level failure as the client's sticky
+// error. Every later call reports that original cause — the router's health
+// checks rely on "connection reset by peer" staying distinguishable from a
+// clean close long after the failing call returned.
+func (c *Client) fail(err error) error {
+	if c.err == nil {
+		c.err = err
+	}
+	return err
+}
+
+// dead reports the sticky error, wrapped so late callers see both that the
+// client is unusable and why it became so.
+func (c *Client) dead() error {
+	if c.err == nil {
+		return nil
+	}
+	return fmt.Errorf("serve: connection dead: %w", c.err)
+}
+
+// readLine returns the next JSON reply line. Every caller is owed a reply, so
+// end-of-stream here is never a clean EOF: it surfaces the scanner's root
+// cause (a reset, a too-long line) or io.ErrUnexpectedEOF for a silent close.
 func (c *Client) readLine() ([]byte, error) {
 	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
-			return nil, err
+		err := c.sc.Err()
+		if err == nil {
+			err = io.ErrUnexpectedEOF
 		}
-		return nil, io.EOF
+		return nil, c.fail(fmt.Errorf("serve: connection closed awaiting reply: %w", err))
 	}
 	return c.sc.Bytes(), nil
 }
 
-// wireErr decodes an error frame's payload (tag + message) into an error.
-func wireErr(p []byte) error {
-	if _, rest, err := readUvarint(p); err == nil {
-		return errors.New(string(rest))
+// readFrame returns the next binary reply frame, converting end-of-stream
+// into the owed-a-reply form like readLine.
+func (c *Client) readFrame() (byte, []byte, error) {
+	kind, p, err := c.rd.next()
+	if err != nil {
+		if err == io.EOF {
+			err = fmt.Errorf("serve: connection closed awaiting reply: %w", io.ErrUnexpectedEOF)
+		}
+		return 0, nil, c.fail(err)
 	}
-	return fmt.Errorf("serve: undecodable error frame %q", p)
+	return kind, p, nil
+}
+
+// wireErr decodes an error frame's payload into its tag and message. Tag 0
+// marks a connection-level failure — the server hangs up after sending it.
+func wireErr(p []byte) (uint64, error) {
+	if tag, rest, err := readUvarint(p); err == nil {
+		return tag, errors.New(string(rest))
+	}
+	return 0, fmt.Errorf("serve: undecodable error frame %q", p)
+}
+
+// errorFrame converts an error reply to the call's error, poisoning the
+// client when the server declared the connection itself broken (tag 0).
+func (c *Client) errorFrame(p []byte) error {
+	tag, err := wireErr(p)
+	if tag == 0 {
+		return c.fail(fmt.Errorf("serve: server failed the connection: %w", err))
+	}
+	return err
 }
 
 // Do executes one verb synchronously and returns the decoded reply. On the
 // binary protocol the request travels as a JSON payload inside a control
 // frame, so every non-hot verb works identically over both encodings.
 func (c *Client) Do(req Request) (Reply, error) {
+	if err := c.dead(); err != nil {
+		return Reply{}, err
+	}
 	b, err := json.Marshal(req)
 	if err != nil {
 		return Reply{}, err
 	}
+	c.arm()
 	if c.binary {
 		c.tag++
 		c.buf = beginFrame(c.buf[:0], frameControl)
 		c.buf = append(c.buf, b...)
 		c.buf = finishFrame(c.buf, 0)
 		if _, err := c.bw.Write(c.buf); err != nil {
-			return Reply{}, err
+			return Reply{}, c.fail(err)
 		}
 		if err := c.bw.Flush(); err != nil {
-			return Reply{}, err
+			return Reply{}, c.fail(err)
 		}
-		kind, p, err := c.rd.next()
+		kind, p, err := c.readFrame()
 		if err != nil {
 			return Reply{}, err
 		}
@@ -139,23 +215,23 @@ func (c *Client) Do(req Request) (Reply, error) {
 		case frameControlReply:
 			var rep Reply
 			if err := json.Unmarshal(p, &rep); err != nil {
-				return Reply{}, err
+				return Reply{}, c.fail(err)
 			}
 			return rep, nil
 		case frameError:
-			return Reply{}, wireErr(p)
+			return Reply{}, c.errorFrame(p)
 		default:
-			return Reply{}, fmt.Errorf("serve: unexpected reply frame kind 0x%02x", kind)
+			return Reply{}, c.fail(fmt.Errorf("serve: unexpected reply frame kind 0x%02x", kind))
 		}
 	}
 	if _, err := c.bw.Write(b); err != nil {
-		return Reply{}, err
+		return Reply{}, c.fail(err)
 	}
 	if err := c.bw.WriteByte('\n'); err != nil {
-		return Reply{}, err
+		return Reply{}, c.fail(err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return Reply{}, err
+		return Reply{}, c.fail(err)
 	}
 	line, err := c.readLine()
 	if err != nil {
@@ -163,7 +239,7 @@ func (c *Client) Do(req Request) (Reply, error) {
 	}
 	var rep Reply
 	if err := json.Unmarshal(line, &rep); err != nil {
-		return Reply{}, err
+		return Reply{}, c.fail(err)
 	}
 	return rep, nil
 }
@@ -228,6 +304,10 @@ func (c *Client) AccessBatch(id string, recs []trace.Record) ([]AccessResult, er
 	if len(recs) == 0 {
 		return nil, nil
 	}
+	if err := c.dead(); err != nil {
+		return nil, err
+	}
+	c.arm()
 	if c.binary {
 		c.tag++
 		kind := byte(frameBatch)
@@ -236,12 +316,12 @@ func (c *Client) AccessBatch(id string, recs []trace.Record) ([]AccessResult, er
 		}
 		c.buf = appendWireRequest(c.buf[:0], kind, c.tag, id, recs)
 		if _, err := c.bw.Write(c.buf); err != nil {
-			return nil, err
+			return nil, c.fail(err)
 		}
 		if err := c.bw.Flush(); err != nil {
-			return nil, err
+			return nil, c.fail(err)
 		}
-		k, p, err := c.rd.next()
+		k, p, err := c.readFrame()
 		if err != nil {
 			return nil, err
 		}
@@ -249,9 +329,9 @@ func (c *Client) AccessBatch(id string, recs []trace.Record) ([]AccessResult, er
 		case frameAccessReply, frameBatchReply:
 			return c.decodeResults(k, p, len(recs))
 		case frameError:
-			return nil, wireErr(p)
+			return nil, c.errorFrame(p)
 		default:
-			return nil, fmt.Errorf("serve: unexpected reply frame kind 0x%02x", k)
+			return nil, c.fail(fmt.Errorf("serve: unexpected reply frame kind 0x%02x", k))
 		}
 	}
 	for i := range recs {
@@ -264,14 +344,14 @@ func (c *Client) AccessBatch(id string, recs []trace.Record) ([]AccessResult, er
 			return nil, err
 		}
 		if _, err := c.bw.Write(b); err != nil {
-			return nil, err
+			return nil, c.fail(err)
 		}
 		if err := c.bw.WriteByte('\n'); err != nil {
-			return nil, err
+			return nil, c.fail(err)
 		}
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	c.res, c.pf = c.res[:0], c.pf[:0]
 	for range recs {
@@ -281,7 +361,7 @@ func (c *Client) AccessBatch(id string, recs []trace.Record) ([]AccessResult, er
 		}
 		var rep Reply
 		if err := json.Unmarshal(line, &rep); err != nil {
-			return nil, err
+			return nil, c.fail(err)
 		}
 		if !rep.OK {
 			return nil, errors.New(rep.Err)
@@ -299,47 +379,48 @@ func (c *Client) AccessBatch(id string, recs []trace.Record) ([]AccessResult, er
 }
 
 // decodeResults parses an access or batch reply payload into the client's
-// reusable result buffers.
+// reusable result buffers. Decode failures poison the client — a stream that
+// framed garbage is no longer trustworthy.
 func (c *Client) decodeResults(kind byte, p []byte, want int) ([]AccessResult, error) {
 	tag, p, err := readUvarint(p)
 	if err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	if tag != c.tag {
-		return nil, fmt.Errorf("serve: reply tag %d for request tag %d", tag, c.tag)
+		return nil, c.fail(fmt.Errorf("serve: reply tag %d for request tag %d", tag, c.tag))
 	}
 	seq, p, err := readUvarint(p)
 	if err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	count := uint64(1)
 	if kind == frameBatchReply {
 		if count, p, err = readUvarint(p); err != nil {
-			return nil, err
+			return nil, c.fail(err)
 		}
 	}
 	if count != uint64(want) {
-		return nil, fmt.Errorf("serve: reply carries %d results, want %d", count, want)
+		return nil, c.fail(fmt.Errorf("serve: reply carries %d results, want %d", count, want))
 	}
 	c.res, c.pf = c.res[:0], c.pf[:0]
 	for i := uint64(0); i < count; i++ {
 		if len(p) == 0 {
-			return nil, fmt.Errorf("serve: wire result %d missing flags byte", i)
+			return nil, c.fail(fmt.Errorf("serve: wire result %d missing flags byte", i))
 		}
 		fl := p[0]
 		p = p[1:]
 		var ver, np uint64
 		if ver, p, err = readUvarint(p); err != nil {
-			return nil, err
+			return nil, c.fail(err)
 		}
 		if np, p, err = readUvarint(p); err != nil {
-			return nil, err
+			return nil, c.fail(err)
 		}
 		start := len(c.pf)
 		for k := uint64(0); k < np; k++ {
 			var pb uint64
 			if pb, p, err = readUvarint(p); err != nil {
-				return nil, err
+				return nil, c.fail(err)
 			}
 			c.pf = append(c.pf, pb)
 		}
@@ -349,7 +430,7 @@ func (c *Client) decodeResults(kind byte, p []byte, want int) ([]AccessResult, e
 		})
 	}
 	if len(p) != 0 {
-		return nil, fmt.Errorf("serve: %d trailing bytes in wire reply", len(p))
+		return nil, c.fail(fmt.Errorf("serve: %d trailing bytes in wire reply", len(p)))
 	}
 	return c.res, nil
 }

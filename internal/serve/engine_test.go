@@ -327,7 +327,7 @@ func TestReplayVerifiesOffline(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		traces[fmt.Sprintf("core%d", i)] = sessionTrace(int64(i), 800)
 	}
-	rep, err := Replay(e, traces, ReplayOptions{Prefetcher: "bo", Degree: 4, Verify: true})
+	rep, err := Replay(ReplaySpec{Engine: e, Prefetcher: "bo", Degree: 4, Verify: true}, traces)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +356,7 @@ func TestReplayThrottled(t *testing.T) {
 		"a": sessionTrace(1, 200),
 		"b": sessionTrace(2, 200),
 	}
-	rep, err := Replay(e, traces, ReplayOptions{Prefetcher: "stride", QPS: 2000})
+	rep, err := Replay(ReplaySpec{Engine: e, Prefetcher: "stride", QPS: 2000}, traces)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -148,11 +148,11 @@ func TestFairShareMatrixUnderLoad(t *testing.T) {
 		Model: h, Data: data, ModelLatency: 37, ModelStorage: 1 << 16,
 	})
 
-	rep, err := ReplayMatrix(e, []TenantSpec{
+	rep, err := ReplayMatrix(ReplaySpec{Engine: e, Tenants: []TenantSpec{
 		{Name: "hot", Workload: "zipf", Class: "dart", Sessions: 12, N: 500, QPS: 50000},
 		{Name: "cold1", Workload: "chase", Class: "dart", Sessions: 1, N: 60, QPS: 500},
 		{Name: "cold2", Workload: "phase", Class: "dart", Sessions: 1, N: 60, QPS: 500},
-	}, MatrixOptions{})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}

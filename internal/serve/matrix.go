@@ -56,7 +56,9 @@ type TenantReport struct {
 	Merged    sim.Result      // per-session results merged
 	Latency   metrics.Summary // request latency across the tenant's sessions
 	Complete  bool            // every access served, in order, none dropped
-	Admission TenantAdmission // fair-share view from the admission batchers
+	Verified  bool            // Verify: every session bit-identical to the offline sim
+	Unchecked bool            // Verify requested but the class cannot be offline-verified
+	Admission TenantAdmission // fair-share view from the admission batchers (engine targets)
 }
 
 // MatrixReport summarises a mixed-tenant scenario replay.
@@ -66,41 +68,52 @@ type MatrixReport struct {
 	TotalAccesses int
 	Throughput    float64
 	Complete      bool // conjunction of every tenant's Complete
+	Verified      bool // Verify: every checkable tenant bit-identical (versioned classes check completeness instead)
 }
 
-// MatrixOptions selects the transport for a matrix replay. The zero value
-// drives the engine with in-process calls, exactly as before.
-type MatrixOptions struct {
-	// Proto: "" or "direct" for in-process engine calls; "json" or
-	// "binary" to run the whole matrix through a loopback TCP server
-	// speaking that wire protocol (one connection per session).
-	Proto string
-	Batch int // accesses per wire frame / pipelined burst (default 64)
+// classVerifiable reports whether a serving class can be re-run offline for
+// the bit-identity check: versioned classes hot-swap under training by
+// design, so only the deterministic classes (the rule-based baselines, and a
+// static pretrained dart table on engine targets) are checkable.
+func (s ReplaySpec) classVerifiable(class string) bool {
+	switch class {
+	case "online", "student":
+		return false
+	}
+	if e := s.Engine; e != nil {
+		if l := e.Learner(); l != nil && class == "dart" && l.HasDart() {
+			return false
+		}
+	}
+	return true
 }
 
-// ReplayMatrix drives a mixed-tenant scenario matrix through one engine:
-// every tenant's sessions run concurrently, each pumping its own
-// deterministic workload-zoo trace in order and synchronously (access n+1
-// enters the engine only after n's reply), so cross-tenant interference is
-// real — shared admission batchers, shared learner, shared worker pool. Per
-// tenant it verifies completeness (each session's reply sequence numbers are
-// exactly 1..N — nothing dropped, nothing reordered), merges the per-session
-// simulator results, and reports request-latency percentiles plus the
-// tenant's fair-share admission stats. With a wire transport in opt the same
-// matrix — tenant options, per-tenant machine models, serving classes —
-// runs over the chosen protocol instead, including completeness checks on
-// the sequence numbers each reply frame carries.
-func ReplayMatrix(e *Engine, tenants []TenantSpec, opt MatrixOptions) (MatrixReport, error) {
-	switch opt.Proto {
-	case "", "direct", "json", "binary":
-	default:
-		return MatrixReport{}, fmt.Errorf("serve: unknown matrix protocol %q (have direct, json, binary)", opt.Proto)
+// ReplayMatrix drives the spec's mixed-tenant scenario matrix (spec.Tenants)
+// through its target: every tenant's sessions run concurrently, each pumping
+// its own deterministic workload-zoo trace in order and synchronously (access
+// n+1 enters the engine only after n's reply), so cross-tenant interference
+// is real — shared admission batchers, shared learner, shared worker pool.
+// Per tenant it verifies completeness (each session's reply sequence numbers
+// are exactly 1..N and the merged result accounts every access — nothing
+// dropped, nothing reordered), merges the per-session simulator results, and
+// reports request-latency percentiles plus the tenant's fair-share admission
+// stats. With a wire transport the same matrix runs over the chosen protocol
+// — against spec.Addr (a daemon or a dart-router front-end) when set, else a
+// loopback server around spec.Engine — including completeness checks on the
+// sequence numbers each reply frame carries. With spec.Verify, tenants on
+// deterministic classes are additionally re-run offline and must match
+// bit-for-bit.
+func ReplayMatrix(spec ReplaySpec) (MatrixReport, error) {
+	spec, err := spec.normalized()
+	if err != nil {
+		return MatrixReport{}, err
 	}
-	wire := opt.Proto == "json" || opt.Proto == "binary"
-	batch := opt.Batch
-	if batch <= 0 {
-		batch = 64
+	e := spec.Engine
+	wire := spec.Proto != "direct"
+	if !wire && e == nil {
+		return MatrixReport{}, fmt.Errorf("serve: direct matrix replay needs an engine")
 	}
+	tenants := spec.Tenants
 	if len(tenants) == 0 {
 		return MatrixReport{}, fmt.Errorf("serve: empty scenario matrix")
 	}
@@ -121,10 +134,10 @@ func ReplayMatrix(e *Engine, tenants []TenantSpec, opt MatrixOptions) (MatrixRep
 		}
 	}
 
-	// Wire transports run the matrix through a loopback server: one client
-	// connection per session, closed (with the server) on every exit path.
-	var addr string
-	if wire {
+	// Wire transports with an engine target run the matrix through a
+	// loopback server; an Addr target is dialed as-is (daemon or router).
+	addr := spec.Addr
+	if wire && e != nil {
 		srv := NewServer(e)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -142,6 +155,7 @@ func ReplayMatrix(e *Engine, tenants []TenantSpec, opt MatrixOptions) (MatrixRep
 		hist    *metrics.Histogram
 		client  *Client // nil on the direct transport
 		orderOK bool
+		result  sim.Result
 		err     error
 	}
 	var runs []*sessionRun
@@ -154,8 +168,17 @@ func ReplayMatrix(e *Engine, tenants []TenantSpec, opt MatrixOptions) (MatrixRep
 	}()
 	open := make(map[string]bool)
 	defer func() {
-		for id := range open {
-			e.Close(id) // best effort on early error paths
+		// Best-effort reclaim on early error paths: in-process when the
+		// engine is ours, over each session's client otherwise.
+		for _, r := range runs {
+			if !open[r.id] {
+				continue
+			}
+			if e != nil {
+				e.Close(r.id)
+			} else if r.client != nil {
+				r.client.CloseSession(r.id)
+			}
 		}
 	}()
 	for ti, t := range specs {
@@ -178,7 +201,7 @@ func ReplayMatrix(e *Engine, tenants []TenantSpec, opt MatrixOptions) (MatrixRep
 			}
 			var err error
 			if wire {
-				if r.client, err = Dial(addr, opt.Proto); err == nil {
+				if r.client, err = spec.dial(addr); err == nil {
 					runs = append(runs, r) // before Open, so the defer closes the conn
 					err = r.client.OpenSession(id, sopt)
 				}
@@ -193,6 +216,7 @@ func ReplayMatrix(e *Engine, tenants []TenantSpec, opt MatrixOptions) (MatrixRep
 		}
 	}
 
+	batch := spec.Batch
 	var wg sync.WaitGroup
 	start := time.Now()
 	for _, r := range runs {
@@ -281,28 +305,51 @@ func ReplayMatrix(e *Engine, tenants []TenantSpec, opt MatrixOptions) (MatrixRep
 		hists[i] = &metrics.Histogram{}
 	}
 	orderOK := make([]bool, len(specs))
+	identical := make([]bool, len(specs))
 	for i := range orderOK {
-		orderOK[i] = true
+		orderOK[i], identical[i] = true, true
 	}
 	for _, r := range runs {
-		var res sim.Result
 		var err error
 		if r.client != nil {
-			res, err = r.client.CloseSession(r.id)
+			r.result, err = r.client.CloseSession(r.id)
 		} else {
-			res, err = e.Close(r.id)
+			r.result, err = e.Close(r.id)
 		}
 		delete(open, r.id)
 		if err != nil {
 			return MatrixReport{}, err
 		}
-		perTenant[r.tenant] = append(perTenant[r.tenant], res)
+		perTenant[r.tenant] = append(perTenant[r.tenant], r.result)
 		hists[r.tenant].Merge(r.hist)
 		orderOK[r.tenant] = orderOK[r.tenant] && r.orderOK
 	}
 
-	admissions := e.TenantAdmissions()
-	rep := MatrixReport{WallSeconds: wall.Seconds(), Complete: true}
+	// Offline verification pass for checkable tenants.
+	unchecked := make([]bool, len(specs))
+	if spec.Verify {
+		for _, r := range runs {
+			t := specs[r.tenant]
+			if !spec.classVerifiable(t.Class) {
+				unchecked[r.tenant] = true
+				continue
+			}
+			off, err := spec.offline(t.Class, t.Degree, t.SimCfg, r.recs)
+			if err != nil {
+				// The class is not resolvable offline (e.g. a remote-only
+				// class): completeness still applies, bit-identity cannot.
+				unchecked[r.tenant] = true
+				continue
+			}
+			identical[r.tenant] = identical[r.tenant] && off == r.result
+		}
+	}
+
+	var admissions map[string]TenantAdmission
+	if e != nil {
+		admissions = e.TenantAdmissions()
+	}
+	rep := MatrixReport{WallSeconds: wall.Seconds(), Complete: true, Verified: spec.Verify}
 	for ti, t := range specs {
 		merged := sim.Merge(perTenant[ti])
 		merged.Prefetcher = t.Class
@@ -315,11 +362,14 @@ func ReplayMatrix(e *Engine, tenants []TenantSpec, opt MatrixOptions) (MatrixRep
 			Merged:    merged,
 			Latency:   hists[ti].Summarize(),
 			Complete:  complete,
+			Verified:  spec.Verify && !unchecked[ti] && identical[ti],
+			Unchecked: spec.Verify && unchecked[ti],
 			Admission: admissions[t.Name],
 		}
 		rep.Tenants = append(rep.Tenants, tr)
 		rep.TotalAccesses += merged.Accesses
 		rep.Complete = rep.Complete && complete
+		rep.Verified = rep.Verified && (tr.Verified || tr.Unchecked)
 	}
 	if wall > 0 {
 		rep.Throughput = float64(rep.TotalAccesses) / wall.Seconds()
@@ -332,10 +382,16 @@ func (r MatrixReport) String() string {
 	s := fmt.Sprintf("matrix: %d tenants, %d accesses in %.2fs (%.0f acc/s), complete=%v\n",
 		len(r.Tenants), r.TotalAccesses, r.WallSeconds, r.Throughput, r.Complete)
 	for _, t := range r.Tenants {
-		s += fmt.Sprintf("  %-10s %-8s class=%-8s sess=%d  IPC %.3f  acc %5.1f%%  misses %d  l2hits %d  complete=%v\n",
+		verify := ""
+		if t.Verified {
+			verify = "  [= offline]"
+		} else if t.Unchecked {
+			verify = "  [unchecked]"
+		}
+		s += fmt.Sprintf("  %-10s %-8s class=%-8s sess=%d  IPC %.3f  acc %5.1f%%  misses %d  l2hits %d  complete=%v%s\n",
 			t.Tenant, t.Workload, t.Class, t.Sessions,
 			t.Merged.IPC, t.Merged.Accuracy()*100, t.Merged.DemandMisses,
-			t.Merged.L2Hits, t.Complete)
+			t.Merged.L2Hits, t.Complete, verify)
 		if t.Admission.Queries > 0 {
 			s += fmt.Sprintf("             admission: weight %d, %d queries, starved %d batches, max wait %d batches\n",
 				t.Admission.Weight, t.Admission.Queries, t.Admission.Starved, t.Admission.MaxWaitBatches)

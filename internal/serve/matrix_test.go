@@ -22,32 +22,31 @@ func TestReplayMatrixValidation(t *testing.T) {
 	e := NewEngine(Config{SimCfg: smallSimCfg()})
 	defer e.Drain()
 
-	if _, err := ReplayMatrix(e, nil, MatrixOptions{}); err == nil {
+	matrix := func(proto string, tenants ...TenantSpec) error {
+		_, err := ReplayMatrix(ReplaySpec{Engine: e, Proto: proto, Tenants: tenants})
+		return err
+	}
+	if err := matrix(""); err == nil {
 		t.Fatal("empty matrix accepted")
 	}
-	if _, err := ReplayMatrix(e, []TenantSpec{{Workload: "zipf"}}, MatrixOptions{}); err == nil {
+	if err := matrix("", TenantSpec{Workload: "zipf"}); err == nil {
 		t.Fatal("unnamed tenant accepted")
 	}
-	if _, err := ReplayMatrix(e, []TenantSpec{
-		{Name: "a", Workload: "zipf"}, {Name: "a", Workload: "chase"},
-	}, MatrixOptions{}); err == nil {
+	if err := matrix("",
+		TenantSpec{Name: "a", Workload: "zipf"},
+		TenantSpec{Name: "a", Workload: "chase"},
+	); err == nil {
 		t.Fatal("duplicate tenant accepted")
 	}
-	if _, err := ReplayMatrix(e, []TenantSpec{
-		{Name: "a", Workload: "no-such-workload"},
-	}, MatrixOptions{}); err == nil {
+	if err := matrix("", TenantSpec{Name: "a", Workload: "no-such-workload"}); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 	bad := smallSimCfg()
 	bad.LLCWays = -1
-	if _, err := ReplayMatrix(e, []TenantSpec{
-		{Name: "a", Workload: "zipf", SimCfg: &bad},
-	}, MatrixOptions{}); err == nil {
+	if err := matrix("", TenantSpec{Name: "a", Workload: "zipf", SimCfg: &bad}); err == nil {
 		t.Fatal("invalid per-tenant sim config accepted")
 	}
-	if _, err := ReplayMatrix(e, []TenantSpec{
-		{Name: "a", Workload: "zipf"},
-	}, MatrixOptions{Proto: "carrier-pigeon"}); err == nil {
+	if err := matrix("carrier-pigeon", TenantSpec{Name: "a", Workload: "zipf"}); err == nil {
 		t.Fatal("unknown matrix protocol accepted")
 	}
 	if got := len(e.Sessions()); got != 0 {
@@ -68,12 +67,12 @@ func TestReplayMatrixValidation(t *testing.T) {
 func TestReplayMatrixMixedTenants(t *testing.T) {
 	for _, proto := range []string{"direct", "binary"} {
 		t.Run(proto, func(t *testing.T) {
-			testMatrixMixedTenants(t, MatrixOptions{Proto: proto, Batch: 32})
+			testMatrixMixedTenants(t, proto)
 		})
 	}
 }
 
-func testMatrixMixedTenants(t *testing.T, mopt MatrixOptions) {
+func testMatrixMixedTenants(t *testing.T, proto string) {
 	l := testDartLearner(t, t.TempDir())
 	l.Start()
 	defer l.Stop()
@@ -86,7 +85,7 @@ func testMatrixMixedTenants(t *testing.T, mopt MatrixOptions) {
 		{Name: "kv", Workload: "zipf", Class: "student", Sessions: 1, N: 600, SimCfg: &twoLevel},
 		{Name: "adv", Workload: "phase", Class: "dart", Sessions: 1, N: 600, SimCfg: &twoLevel, Seed: 5},
 	}
-	rep, err := ReplayMatrix(e, tenants, mopt)
+	rep, err := ReplayMatrix(ReplaySpec{Engine: e, Proto: proto, Batch: 32, Tenants: tenants})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,16 +168,19 @@ func TestReplayMatrixDeterministicTraces(t *testing.T) {
 		e := NewEngine(Config{SimCfg: smallSimCfg()})
 		defer e.Drain()
 		twoLevel := twoLevelTestCfg()
-		rep, err := ReplayMatrix(e, []TenantSpec{
+		rep, err := ReplayMatrix(ReplaySpec{Engine: e, Verify: true, Tenants: []TenantSpec{
 			{Name: "a", Workload: "chase", Class: "stride", Sessions: 2, N: 500},
 			{Name: "b", Workload: "graph", Class: "bo", N: 500},
 			{Name: "c", Workload: "zipf", Class: "isb", N: 500, SimCfg: &twoLevel},
-		}, MatrixOptions{})
+		}})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !rep.Complete {
 			t.Fatalf("incomplete: %+v", rep)
+		}
+		if !rep.Verified {
+			t.Fatalf("deterministic classes not bit-identical offline: %+v", rep.Tenants)
 		}
 		return rep.Tenants
 	}

@@ -1,0 +1,62 @@
+package serve
+
+import "testing"
+
+func TestParseMatrixSpec(t *testing.T) {
+	tenants, err := ParseMatrixSpec(
+		"hot:workload=zipf,sessions=4,n=2000,class=dart,qps=5000,weight=3,cache=twolevel,seed=9;" +
+			"cold:workload=chase,class=online,cache=default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 2 {
+		t.Fatalf("%d tenants, want 2", len(tenants))
+	}
+	hot := tenants[0]
+	if hot.Name != "hot" || hot.Workload != "zipf" || hot.Sessions != 4 || hot.N != 2000 ||
+		hot.Class != "dart" || hot.QPS != 5000 || hot.Weight != 3 || hot.Seed != 9 {
+		t.Fatalf("hot parsed wrong: %+v", hot)
+	}
+	if hot.SimCfg == nil || hot.SimCfg.L2Blocks == 0 {
+		t.Fatalf("cache=twolevel did not select an L2: %+v", hot.SimCfg)
+	}
+	cold := tenants[1]
+	if cold.SimCfg == nil || cold.SimCfg.L2Blocks != 0 {
+		t.Fatalf("cache=default is not single-level: %+v", cold.SimCfg)
+	}
+
+	// The built-in matrices must always parse.
+	def, err := ParseMatrixSpec(DefaultMatrixSpec)
+	if err != nil {
+		t.Fatalf("default matrix does not parse: %v", err)
+	}
+	if len(def) != 4 {
+		t.Fatalf("default matrix has %d tenants, want 4", len(def))
+	}
+	routed, err := ParseMatrixSpec(DefaultRouterMatrixSpec)
+	if err != nil {
+		t.Fatalf("default router matrix does not parse: %v", err)
+	}
+	for _, tn := range routed {
+		switch tn.Class {
+		case "online", "student", "dart":
+			t.Fatalf("router matrix tenant %q uses versioned class %q", tn.Name, tn.Class)
+		}
+	}
+
+	for _, bad := range []string{
+		"",
+		"justaname",
+		":workload=zipf",
+		"a:workload=nope",
+		"a:workload=zipf,sessions=x",
+		"a:workload=zipf,cache=l9",
+		"a:workload=zipf,color=red",
+		"a:class=stride", // workload missing
+		"a:workload",     // pair without =
+	} {
+		if _, err := ParseMatrixSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

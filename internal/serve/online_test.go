@@ -355,7 +355,7 @@ func TestOnlineDisabledBitIdentical(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		traces[fmt.Sprintf("c%d", i)] = sessionTrace(int64(40+i), 900)
 	}
-	rep, err := Replay(e, traces, ReplayOptions{Prefetcher: "stride", Degree: 4, Verify: true})
+	rep, err := Replay(ReplaySpec{Engine: e, Prefetcher: "stride", Degree: 4, Verify: true}, traces)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -145,7 +145,10 @@ func classesReply(cs []online.ClassInfo) []ClassReply {
 	return out
 }
 
-// StatsReply is the wire form of Stats.
+// StatsReply is the wire form of Stats. A dart-router answers the stats verb
+// with the counters summed across its healthy backends (MaxBatch is the max)
+// and one Backends row per configured backend; a single daemon leaves
+// Backends empty.
 type StatsReply struct {
 	Sessions int          `json:"sessions"`
 	Accepted uint64       `json:"accepted"`
@@ -154,6 +157,18 @@ type StatsReply struct {
 	MaxBatch int          `json:"max_batch"`
 	Online   *OnlineReply `json:"online,omitempty"`
 	AB       *ABReply     `json:"ab,omitempty"`
+
+	Backends []BackendStat `json:"backends,omitempty"`
+}
+
+// BackendStat is one backend's row in a router's merged stats reply.
+type BackendStat struct {
+	Name     string `json:"name"`
+	Addr     string `json:"addr"`
+	Healthy  bool   `json:"healthy"`
+	Sessions int    `json:"sessions"` // router sessions currently owned by this backend
+	Tenants  int    `json:"tenants"`  // tenants the ring currently assigns to it
+	Err      string `json:"error,omitempty"`
 }
 
 // ABReply is the wire form of the student tier's shadow-compare digest.

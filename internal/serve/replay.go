@@ -8,25 +8,111 @@ import (
 	"time"
 
 	"dart/internal/metrics"
+	"dart/internal/prefetch"
 	"dart/internal/sim"
 	"dart/internal/trace"
 )
 
-// ReplayOptions configures a replay run.
-type ReplayOptions struct {
-	Prefetcher string  // prefetcher every session opens with
-	Degree     int     // prefetch degree
+// ReplaySpec is the one replay surface: every evaluation mode — dart-serve's
+// replay and matrix flags, dart-router's routed runs, the in-package tests —
+// maps onto this struct and hands it to Replay or ReplayMatrix.
+//
+// The target is either an in-process Engine or a dialed address (a dart-serve
+// daemon or a dart-router front-end), never both. Direct (in-process) replay
+// requires an Engine; an Addr target requires a wire Proto, and engine-side
+// extras the wire cannot carry — batcher counters, A/B stats, fair-share
+// admission views — stay zero in the report.
+type ReplaySpec struct {
+	Engine *Engine // in-process target (Proto "direct" or loopback wire)
+	Addr   string  // remote target: host:port of a daemon or router
+
+	// Proto selects the transport. "" or "direct" calls the engine
+	// in-process; "json" and "binary" replay over that wire protocol —
+	// against Addr when set, else a loopback TCP server wrapping Engine —
+	// so the measured throughput includes the full
+	// read→decode→infer→encode→write path. With a wire transport the
+	// latency histogram observes per-frame round trips (Batch accesses
+	// each) rather than single accesses.
+	Proto   string
+	Batch   int           // accesses per wire frame / pipelined burst (default 64)
+	Timeout time.Duration // per-call client deadline on wire transports; 0 = none
+
+	Prefetcher string  // prefetcher every session opens with (Replay; default "stride")
+	Degree     int     // prefetch degree (default 4)
 	QPS        float64 // aggregate target accesses/sec across sessions; 0 = unthrottled
 	Verify     bool    // re-run each trace offline and require bit-identity
 
-	// Proto selects the transport. "" or "direct" calls the engine
-	// in-process; "json" and "binary" replay through a real loopback TCP
-	// server speaking that wire protocol, so the measured throughput
-	// includes the full read→decode→infer→encode→write path. With a wire
-	// transport the latency histogram observes per-frame round trips
-	// (Batch accesses each) rather than single accesses.
-	Proto string
-	Batch int // accesses per wire frame / pipelined burst (default 64)
+	// Tenants is the mixed-tenant scenario matrix consumed by ReplayMatrix
+	// (Replay ignores it); per-tenant class, degree, QPS, weight, and
+	// machine model live on each TenantSpec.
+	Tenants []TenantSpec
+
+	// VerifyRegistry and VerifySimCfg configure the offline rerun used by
+	// Verify when the target is an Addr (the remote engine's internals are
+	// unreachable): they must match the backend's configuration. Defaults:
+	// the built-in prefetcher registry and sim.DefaultConfig. Engine
+	// targets always verify with the engine's own registry and model.
+	VerifyRegistry *prefetch.Registry
+	VerifySimCfg   *sim.Config
+}
+
+// normalized applies defaults and validates the target/transport combination.
+func (s ReplaySpec) normalized() (ReplaySpec, error) {
+	if s.Prefetcher == "" {
+		s.Prefetcher = "stride"
+	}
+	if s.Degree <= 0 {
+		s.Degree = 4
+	}
+	if s.Batch <= 0 {
+		s.Batch = 64
+	}
+	switch s.Proto {
+	case "", "direct":
+		s.Proto = "direct"
+		if s.Addr != "" {
+			return s, fmt.Errorf("serve: replay target %q needs a wire protocol, not %q", s.Addr, s.Proto)
+		}
+	case "json", "binary":
+	default:
+		return s, fmt.Errorf("serve: unknown replay protocol %q (have direct, json, binary)", s.Proto)
+	}
+	if s.Engine == nil && s.Addr == "" {
+		return s, fmt.Errorf("serve: replay spec needs a target: an Engine or a dialed Addr")
+	}
+	if s.Engine != nil && s.Addr != "" {
+		return s, fmt.Errorf("serve: replay spec has two targets (Engine and Addr %q); pick one", s.Addr)
+	}
+	if s.VerifyRegistry == nil {
+		s.VerifyRegistry = prefetch.NewRegistry()
+	}
+	return s, nil
+}
+
+// offline reruns one trace through the offline simulator for the bit-identity
+// check, resolving the registry and machine model from the engine when the
+// target is in-process and from the spec's Verify fields otherwise.
+func (s ReplaySpec) offline(name string, degree int, simCfg *sim.Config, recs []trace.Record) (sim.Result, error) {
+	reg, cfg := s.VerifyRegistry, sim.DefaultConfig()
+	if s.VerifySimCfg != nil {
+		cfg = *s.VerifySimCfg
+	}
+	if s.Engine != nil {
+		reg, cfg = s.Engine.cfg.Registry, s.Engine.cfg.SimCfg
+	}
+	if simCfg != nil {
+		cfg = *simCfg
+	}
+	pf, err := reg.New(name, degree)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(recs, pf, cfg), nil
+}
+
+// dial opens one replay client against the spec's wire target.
+func (s ReplaySpec) dial(addr string) (*Client, error) {
+	return Connect(addr, WithProtocol(s.Proto), WithBatchSize(s.Batch), WithTimeout(s.Timeout))
 }
 
 // SessionReport is one session's replay outcome.
@@ -45,28 +131,27 @@ type Report struct {
 	WallSeconds float64
 	Throughput  float64 // accesses/sec actually sustained
 	Verified    bool    // every session bit-identical (false when Verify off)
-	Batches     uint64  // model batches dispatched during the run
+	Batches     uint64  // model batches dispatched during the run (engine targets)
 	Batched     uint64  // model queries served through them
 	MaxBatch    int
 	AB          *ABStats                   // student-vs-teacher agreement (shadow-compare runs only)
 	Tenants     map[string]TenantAdmission // fair-share admission view (model-class runs)
 }
 
-// Replay pumps one trace per session through the engine concurrently — the
-// continuous-request-load evaluation mode — and reports per-session results,
-// sustained throughput, and request-latency percentiles. Each session's
-// accesses are submitted in order and synchronously (access n+1 enters the
-// engine after n's reply; on wire transports, frame n+1 after frame n's
-// reply), so batching pressure comes from cross-session concurrency exactly
-// as in live serving. With Verify set, every trace is re-run through the
-// offline simulator and the served results must match bit-for-bit —
-// including results that travelled over a wire protocol.
-func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Report, error) {
-	if opt.Prefetcher == "" {
-		opt.Prefetcher = "stride"
-	}
-	if opt.Degree <= 0 {
-		opt.Degree = 4
+// Replay pumps one trace per session through the spec's target concurrently —
+// the continuous-request-load evaluation mode — and reports per-session
+// results, sustained throughput, and request-latency percentiles. Each
+// session's accesses are submitted in order and synchronously (access n+1
+// enters the engine after n's reply; on wire transports, frame n+1 after
+// frame n's reply), so batching pressure comes from cross-session concurrency
+// exactly as in live serving. With Verify set, every trace is re-run through
+// the offline simulator and the served results must match bit-for-bit —
+// including results that travelled over a wire protocol, through a loopback
+// server or a remote daemon or router at spec.Addr.
+func Replay(spec ReplaySpec, traces map[string][]trace.Record) (Report, error) {
+	spec, err := spec.normalized()
+	if err != nil {
+		return Report{}, err
 	}
 	ids := make([]string, 0, len(traces))
 	total := 0
@@ -75,14 +160,10 @@ func Replay(e *Engine, traces map[string][]trace.Record, opt ReplayOptions) (Rep
 		total += len(recs)
 	}
 	sort.Strings(ids)
-	switch opt.Proto {
-	case "", "direct":
-		return replayDirect(e, traces, opt, ids, total)
-	case "json", "binary":
-		return replayWire(e, traces, opt, ids, total)
-	default:
-		return Report{}, fmt.Errorf("serve: unknown replay protocol %q (have direct, json, binary)", opt.Proto)
+	if spec.Proto == "direct" {
+		return replayDirect(spec, traces, ids, total)
 	}
+	return replayWire(spec, traces, ids, total)
 }
 
 // pacing returns the per-access submit interval for the aggregate QPS target.
@@ -95,7 +176,8 @@ func pacing(qps float64, sessions int) time.Duration {
 }
 
 // replayDirect drives the engine with in-process calls.
-func replayDirect(e *Engine, traces map[string][]trace.Record, opt ReplayOptions, ids []string, total int) (Report, error) {
+func replayDirect(spec ReplaySpec, traces map[string][]trace.Record, ids []string, total int) (Report, error) {
+	e := spec.Engine
 	// Track which sessions this replay has opened and not yet closed, and
 	// close the leftovers on every exit path: any early error return (a
 	// mid-loop Open conflict, an Access failure, a Close failure) used to
@@ -108,13 +190,13 @@ func replayDirect(e *Engine, traces map[string][]trace.Record, opt ReplayOptions
 		}
 	}()
 	for _, id := range ids {
-		if err := e.Open(id, opt.Prefetcher, opt.Degree); err != nil {
+		if err := e.Open(id, spec.Prefetcher, spec.Degree); err != nil {
 			return Report{}, err
 		}
 		open[id] = true
 	}
 
-	interval := pacing(opt.QPS, len(ids))
+	interval := pacing(spec.QPS, len(ids))
 	hists := make([]*metrics.Histogram, len(ids))
 	errs := make([]error, len(ids))
 	var wg sync.WaitGroup
@@ -158,52 +240,61 @@ func replayDirect(e *Engine, traces map[string][]trace.Record, opt ReplayOptions
 		}
 		results[id] = res
 	}
-	return finishReport(e, traces, opt, ids, results, hists, wall, total)
+	return finishReport(spec, traces, ids, results, hists, wall, total)
 }
 
-// replayWire replays through a loopback TCP server speaking opt.Proto: one
-// connection per session, each pumping its trace in Batch-sized frames
-// (binary) or pipelined access bursts (json). Session results come back over
-// the wire via the close verb, so Verify proves bit-identity end to end
-// through the chosen protocol's codec.
-func replayWire(e *Engine, traces map[string][]trace.Record, opt ReplayOptions, ids []string, total int) (Report, error) {
-	batch := opt.Batch
-	if batch <= 0 {
-		batch = 64
+// replayWire replays over a wire protocol: one connection per session, each
+// pumping its trace in Batch-sized frames (binary) or pipelined access bursts
+// (json). With an Addr target the sessions dial the remote daemon or router;
+// with an Engine target they dial a loopback TCP server wrapping it. Session
+// results come back over the wire via the close verb, so Verify proves
+// bit-identity end to end through the chosen protocol's codec — and, when the
+// target is a router, through its sharding and migration machinery.
+func replayWire(spec ReplaySpec, traces map[string][]trace.Record, ids []string, total int) (Report, error) {
+	e := spec.Engine
+	addr := spec.Addr
+	if e != nil {
+		srv := NewServer(e)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return Report{}, err
+		}
+		go srv.Serve(ln)
+		defer srv.Stop()
+		addr = ln.Addr().String()
 	}
-	srv := NewServer(e)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return Report{}, err
-	}
-	go srv.Serve(ln)
-	defer srv.Stop()
 
 	open := make(map[string]bool, len(ids))
-	defer func() {
-		for id := range open {
-			e.Close(id) // reclaim on early error exits
-		}
-	}()
 	clients := make(map[string]*Client, len(ids))
 	defer func() {
+		// Reclaim sessions on early error exits: engine targets close
+		// in-process (robust even when the session's own conn died); remote
+		// targets get a best-effort close over the session's client.
+		for id := range open {
+			if e != nil {
+				e.Close(id)
+			} else if c := clients[id]; c != nil {
+				c.CloseSession(id)
+			}
+		}
 		for _, c := range clients {
 			c.Close()
 		}
 	}()
 	for _, id := range ids {
-		c, err := Dial(ln.Addr().String(), opt.Proto)
+		c, err := spec.dial(addr)
 		if err != nil {
 			return Report{}, err
 		}
 		clients[id] = c
-		if err := c.Open(id, opt.Prefetcher, opt.Degree); err != nil {
+		if err := c.Open(id, spec.Prefetcher, spec.Degree); err != nil {
 			return Report{}, err
 		}
 		open[id] = true
 	}
 
-	interval := pacing(opt.QPS, len(ids))
+	batch := spec.Batch
+	interval := pacing(spec.QPS, len(ids))
 	hists := make([]*metrics.Histogram, len(ids))
 	errs := make([]error, len(ids))
 	var wg sync.WaitGroup
@@ -252,12 +343,13 @@ func replayWire(e *Engine, traces map[string][]trace.Record, opt ReplayOptions, 
 		}
 		results[id] = res
 	}
-	return finishReport(e, traces, opt, ids, results, hists, wall, total)
+	return finishReport(spec, traces, ids, results, hists, wall, total)
 }
 
-// finishReport folds per-session results, the optional offline
-// verification, latency percentiles, and batcher counters into a Report.
-func finishReport(e *Engine, traces map[string][]trace.Record, opt ReplayOptions,
+// finishReport folds per-session results, the optional offline verification,
+// latency percentiles, and (for engine targets) batcher counters into a
+// Report.
+func finishReport(spec ReplaySpec, traces map[string][]trace.Record,
 	ids []string, results map[string]sim.Result, hists []*metrics.Histogram,
 	wall time.Duration, total int) (Report, error) {
 
@@ -275,19 +367,19 @@ func finishReport(e *Engine, traces map[string][]trace.Record, opt ReplayOptions
 	for _, id := range ids {
 		res := results[id]
 		sr := SessionReport{ID: id, Result: res}
-		if opt.Verify {
-			pf, err := e.cfg.Registry.New(opt.Prefetcher, opt.Degree)
+		if spec.Verify {
+			off, err := spec.offline(spec.Prefetcher, spec.Degree, nil, traces[id])
 			if err != nil {
 				return Report{}, err
 			}
-			sr.Offline = sim.Run(traces[id], pf, e.cfg.SimCfg)
+			sr.Offline = off
 			sr.Identical = sr.Offline == sr.Result
 		}
 		rep.Sessions = append(rep.Sessions, sr)
 		merged = append(merged, res)
 	}
 	rep.Merged = sim.Merge(merged)
-	if opt.Verify {
+	if spec.Verify {
 		rep.Verified = true
 		for _, sr := range rep.Sessions {
 			if !sr.Identical {
@@ -295,17 +387,19 @@ func finishReport(e *Engine, traces map[string][]trace.Record, opt ReplayOptions
 			}
 		}
 	}
-	for _, b := range e.allBatchers() {
-		batches, batched, biggest := b.stats()
-		rep.Batches += batches
-		rep.Batched += batched
-		if biggest > rep.MaxBatch {
-			rep.MaxBatch = biggest
+	if e := spec.Engine; e != nil {
+		for _, b := range e.allBatchers() {
+			batches, batched, biggest := b.stats()
+			rep.Batches += batches
+			rep.Batched += batched
+			if biggest > rep.MaxBatch {
+				rep.MaxBatch = biggest
+			}
 		}
-	}
-	rep.AB = e.abStats()
-	if t := e.TenantAdmissions(); len(t) > 0 {
-		rep.Tenants = t
+		rep.AB = e.abStats()
+		if t := e.TenantAdmissions(); len(t) > 0 {
+			rep.Tenants = t
+		}
 	}
 	return rep, nil
 }

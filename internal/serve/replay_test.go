@@ -25,7 +25,7 @@ func TestReplayClosesSessionsOnOpenError(t *testing.T) {
 	if err := e.Open("c2", "stride", 4); err != nil {
 		t.Fatal(err)
 	}
-	_, err := Replay(e, traces, ReplayOptions{Prefetcher: "stride", Degree: 4})
+	_, err := Replay(ReplaySpec{Engine: e, Prefetcher: "stride", Degree: 4}, traces)
 	if err == nil || !strings.Contains(err.Error(), "already open") {
 		t.Fatalf("replay error = %v, want id-conflict error", err)
 	}
@@ -53,7 +53,7 @@ func TestReplayClosesSessionsOnAccessError(t *testing.T) {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		_, err := Replay(e, traces, ReplayOptions{Prefetcher: "stride", Degree: 4})
+		_, err := Replay(ReplaySpec{Engine: e, Prefetcher: "stride", Degree: 4}, traces)
 		errc <- err
 	}()
 	// Wait until the replay has all four sessions streaming, then yank one.

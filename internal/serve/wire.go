@@ -200,32 +200,43 @@ func decodeJob(kind byte, p []byte, j *wireJob) ([]byte, error) {
 			return nil, fmt.Errorf("serve: wire batch count %d exceeds payload", count)
 		}
 	}
+	if j.recs, err = parseWireRecords(p, count, j.recs); err != nil {
+		return nil, err
+	}
+	return sid, nil
+}
+
+// parseWireRecords decodes count varint-packed access records off p into
+// recs, requiring the payload to end exactly at the last record. Instruction-
+// id deltas accumulate with uint64 wraparound (see decodeJob).
+func parseWireRecords(p []byte, count uint64, recs []trace.Record) ([]trace.Record, error) {
 	var prev uint64
+	var err error
 	for i := uint64(0); i < count; i++ {
 		var d, pc, addr uint64
 		if d, p, err = readUvarint(p); err != nil {
-			return nil, err
+			return recs, err
 		}
 		if pc, p, err = readUvarint(p); err != nil {
-			return nil, err
+			return recs, err
 		}
 		if addr, p, err = readUvarint(p); err != nil {
-			return nil, err
+			return recs, err
 		}
 		if len(p) == 0 {
-			return nil, fmt.Errorf("serve: wire record %d missing flags byte", i)
+			return recs, fmt.Errorf("serve: wire record %d missing flags byte", i)
 		}
 		fl := p[0]
 		p = p[1:]
 		prev += d
-		j.recs = append(j.recs, trace.Record{
+		recs = append(recs, trace.Record{
 			InstrID: prev, PC: pc, Addr: addr, IsLoad: fl&wireIsLoad != 0,
 		})
 	}
 	if len(p) != 0 {
-		return nil, fmt.Errorf("serve: %d trailing bytes in wire frame", len(p))
+		return recs, fmt.Errorf("serve: %d trailing bytes in wire frame", len(p))
 	}
-	return sid, nil
+	return recs, nil
 }
 
 // runJob steps every record of one binary frame on the actor goroutine and

@@ -141,9 +141,10 @@ func TestReplayWireBitIdentity(t *testing.T) {
 	merged := map[string]sim.Result{}
 	for _, proto := range []string{"direct", "json", "binary"} {
 		e := NewEngine(Config{SimCfg: smallSimCfg()})
-		rep, err := Replay(e, traces, ReplayOptions{
+		rep, err := Replay(ReplaySpec{
+			Engine:     e,
 			Prefetcher: "stride", Degree: 4, Verify: true, Proto: proto, Batch: 17,
-		})
+		}, traces)
 		if err != nil {
 			t.Fatalf("%s: %v", proto, err)
 		}
@@ -161,8 +162,9 @@ func TestReplayWireBitIdentity(t *testing.T) {
 			merged["direct"], merged["json"], merged["binary"])
 	}
 
-	if _, err := Replay(NewEngine(Config{SimCfg: smallSimCfg()}),
-		traces, ReplayOptions{Proto: "telepathy"}); err == nil {
+	if _, err := Replay(ReplaySpec{
+		Engine: NewEngine(Config{SimCfg: smallSimCfg()}), Proto: "telepathy",
+	}, traces); err == nil {
 		t.Fatal("unknown replay protocol accepted")
 	}
 }
@@ -269,8 +271,8 @@ func TestWireMalformedFrames(t *testing.T) {
 			if kind != frameError {
 				t.Fatalf("reply frame kind 0x%02x, want error frame", kind)
 			}
-			if msg := wireErr(p).Error(); !strings.Contains(msg, tc.want) {
-				t.Fatalf("error %q does not mention %q", msg, tc.want)
+			if _, werr := wireErr(p); !strings.Contains(werr.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", werr, tc.want)
 			}
 			// The connection must be closed after the error frame.
 			if _, _, err := rd.next(); err != io.EOF {

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"dart/internal/trace"
+)
+
+// TestWireAPIRequestRoundTrip pins the exported slice of the DARTWIRE1 codec
+// a protocol front-end builds on: AppendAccessRequest frames decode through
+// FrameReader + DecodeAccessRequest back into the same records, for both the
+// single-access and batch kinds.
+func TestWireAPIRequestRoundTrip(t *testing.T) {
+	recs := []trace.Record{
+		{InstrID: 1, PC: 0x400000, Addr: 0x10000040, IsLoad: true},
+		{InstrID: 2, PC: 0x400004, Addr: 0x10000080},
+		{InstrID: 3, PC: 0x400008, Addr: 0x100000c0, IsLoad: true},
+	}
+	for _, n := range []int{1, 3} {
+		var buf []byte
+		buf = AppendAccessRequest(buf, 7, "sess-1", recs[:n])
+		fr := NewFrameReader(bufio.NewReader(bytes.NewReader(buf)))
+		kind, payload, err := fr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantKind := FrameBatch
+		if n == 1 {
+			wantKind = FrameAccess
+		}
+		if kind != wantKind {
+			t.Fatalf("n=%d framed as kind 0x%02x, want 0x%02x", n, kind, wantKind)
+		}
+		tag, sid, got, err := DecodeAccessRequest(kind, payload, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tag != 7 || string(sid) != "sess-1" || len(got) != n {
+			t.Fatalf("decoded tag=%d sid=%q n=%d, want 7 sess-1 %d", tag, sid, len(got), n)
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				t.Fatalf("record %d round-tripped as %+v, want %+v", i, got[i], recs[i])
+			}
+		}
+	}
+	// Wrong kind is rejected, not misparsed.
+	if _, _, _, err := DecodeAccessRequest(FrameControl, nil, nil); err == nil {
+		t.Fatal("control frame accepted as access request")
+	}
+}
+
+// TestWireAPIReplyFrames: the reply-side encoders a front-end uses to answer
+// clients (results, control, error) all produce frames FrameReader accepts
+// with the kinds and tags intact.
+func TestWireAPIReplyFrames(t *testing.T) {
+	results := []AccessResult{
+		{Seq: 41, Hit: true, Version: 3, Prefetches: []uint64{0x400002, 0x400003}},
+		{Seq: 42, Late: true},
+	}
+	var buf []byte
+	buf = AppendResultsReply(buf, true, 9, results)
+	buf = AppendResultsReply(buf, false, 10, results[:1])
+	buf = AppendControlReply(buf, []byte(`{"ok":true}`))
+	cause := errors.New("route: no healthy backend")
+	buf = AppendErrorReply(buf, 11, cause)
+
+	fr := NewFrameReader(bufio.NewReader(bytes.NewReader(buf)))
+	for i, want := range []byte{FrameBatchReply, FrameAccessReply, FrameControlReply, FrameError} {
+		kind, payload, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if kind != want {
+			t.Fatalf("frame %d has kind 0x%02x, want 0x%02x", i, kind, want)
+		}
+		if kind == FrameControlReply && string(payload) != `{"ok":true}` {
+			t.Fatalf("control reply payload %q", payload)
+		}
+		if kind == FrameError && !strings.Contains(string(payload), cause.Error()) {
+			t.Fatalf("error payload %q lacks the cause", payload)
+		}
+	}
+}
