@@ -4,7 +4,7 @@ BENCH_MIN_SPEEDUP ?= 2.0
 BENCH_MIN_WIRE_SPEEDUP ?= 5.0
 BENCH_MAX_ROUTER_OVERHEAD ?= 3.0
 COVER_MAX_DROP ?= 1.0
-BENCH_ONLINE = 'BenchmarkFeedbackIngest|BenchmarkModelSwap|BenchmarkTeacherInfer|BenchmarkStudentInfer|BenchmarkDistillCycle|BenchmarkDartInfer|BenchmarkTabularSwap'
+BENCH_ONLINE = 'BenchmarkFeedbackIngest|BenchmarkModelSwap|BenchmarkTeacherInfer|BenchmarkStudentInfer|BenchmarkDistillCycle|BenchmarkDartInfer|BenchmarkTabularSwap|BenchmarkPolicyDecision'
 BENCH_WIRE = 'BenchmarkWireCodec|BenchmarkWireAccessBinary'
 BENCH_ROUTER = 'BenchmarkRouterAccess|BenchmarkDirectAccess'
 
@@ -52,13 +52,15 @@ bench:
 ## with -benchmem because the gate also checks allocs/op against the
 ## "binary" section — the recorded baseline is 0 allocs per steady-state
 ## access, so one new allocation on the binary hot path fails the gate.
+## The online benchmarks run with -benchmem for the same reason: the
+## promotion policy's ObserveLive hot path is gated at 0 allocs/op.
 ## -count 3 because the checker keeps the per-benchmark minimum: the
 ## µs-scale grid points are noisy at low iteration counts and min-of-3
 ## filters scheduler interference.
 bench-ci:
 	$(GO) test -run '^$$' -bench 'BenchmarkMatMul|BenchmarkHierarchyQueryBatch' -benchtime 5x -count 3 -benchmem \
 		./internal/mat ./internal/tabular > bench-ci.out || { cat bench-ci.out; exit 1; }
-	$(GO) test -run '^$$' -bench $(BENCH_ONLINE) -benchtime 50ms -count 3 \
+	$(GO) test -run '^$$' -bench $(BENCH_ONLINE) -benchtime 50ms -count 3 -benchmem \
 		./internal/online >> bench-ci.out || { cat bench-ci.out; exit 1; }
 	$(GO) test -run '^$$' -bench $(BENCH_WIRE) -benchtime 100ms -count 3 -benchmem \
 		./internal/serve >> bench-ci.out || { cat bench-ci.out; exit 1; }
@@ -87,7 +89,7 @@ bench-serve:
 bench-update: bench-serve
 	$(GO) run ./cmd/dart-serve -replay -sessions 8 -n 20000 -prefetcher stride -verify \
 		-proto binary -json BENCH_serve.json
-	$(GO) test -run '^$$' -bench $(BENCH_ONLINE) -benchtime 2s \
+	$(GO) test -run '^$$' -bench $(BENCH_ONLINE) -benchtime 2s -benchmem \
 		./internal/online > bench-online.out || { cat bench-online.out; exit 1; }
 	@cat bench-online.out
 	$(GO) run ./cmd/dart-benchcheck -write-online BENCH_serve.json bench-online.out

@@ -95,6 +95,14 @@ type onlineBaseline struct {
 	TeacherStorageBytes float64 `json:"teacher_storage_bytes"`
 	StudentStorageBytes float64 `json:"student_storage_bytes"`
 	DartStorageBytes    float64 `json:"dart_storage_bytes"`
+
+	// Promotion-policy live-observation hot path: gated on ns/op like the
+	// other online benchmarks, and on allocs/op with no tolerance — the
+	// batcher calls ObserveLive on every shadow-compared batch, so a single
+	// new steady-state allocation there fails CI (same contract as the
+	// binary wire hot path).
+	PolicyDecisionNs     float64 `json:"policy_decision_ns"`
+	PolicyDecisionAllocs float64 `json:"policy_decision_allocs"`
 }
 
 // onlineBenchNames maps the gated benchmarks to their baseline fields.
@@ -106,6 +114,7 @@ var onlineBenchNames = map[string]func(onlineBaseline) float64{
 	"BenchmarkDistillCycle":   func(b onlineBaseline) float64 { return b.DistillCycleNs },
 	"BenchmarkDartInfer":      func(b onlineBaseline) float64 { return b.DartInferNs },
 	"BenchmarkTabularSwap":    func(b onlineBaseline) float64 { return b.TabularSwapNs },
+	"BenchmarkPolicyDecision": func(b onlineBaseline) float64 { return b.PolicyDecisionNs },
 }
 
 // binaryBaseline is the "binary" section of BENCH_serve.json: the DARTWIRE1
@@ -277,6 +286,18 @@ func serveChecks(servePath string, got map[string]float64, tolerance float64, ou
 		}
 		limit := baseNs * tolerance
 		checks = append(checks, check{name: name, measured: ns, limit: limit, ok: ns <= limit})
+	}
+	// The policy decision allocs baseline is exact (no tolerance): 0 is the
+	// recorded value and the point of the check, like the wire hot path.
+	if allocs, measured := got["BenchmarkPolicyDecision@allocs"]; measured {
+		checks = append(checks, check{
+			name:     "BenchmarkPolicyDecision@allocs",
+			measured: allocs,
+			limit:    doc.Online.PolicyDecisionAllocs,
+			ok:       allocs <= doc.Online.PolicyDecisionAllocs,
+		})
+	} else {
+		missing = append(missing, "BenchmarkPolicyDecision@allocs")
 	}
 	sc, sMissing := studentChecks(got)
 	checks = append(checks, sc...)
@@ -561,7 +582,7 @@ func writeOnline(servePath string, got map[string]float64, out io.Writer) int {
 		need = append(need, name)
 	}
 	need = append(need, "BenchmarkTeacherInfer@storage_bytes", "BenchmarkStudentInfer@storage_bytes",
-		"BenchmarkDartInfer@storage_bytes")
+		"BenchmarkDartInfer@storage_bytes", "BenchmarkPolicyDecision@allocs")
 	for _, name := range need {
 		if _, ok := got[name]; !ok {
 			fmt.Fprintf(out, "benchcheck: input has no %s result; not updating %s\n", name, servePath)
@@ -589,6 +610,9 @@ func writeOnline(servePath string, got map[string]float64, out io.Writer) int {
 		TeacherStorageBytes: got["BenchmarkTeacherInfer@storage_bytes"],
 		StudentStorageBytes: got["BenchmarkStudentInfer@storage_bytes"],
 		DartStorageBytes:    got["BenchmarkDartInfer@storage_bytes"],
+
+		PolicyDecisionNs:     got["BenchmarkPolicyDecision"],
+		PolicyDecisionAllocs: got["BenchmarkPolicyDecision@allocs"],
 	})
 	if err != nil {
 		fmt.Fprintf(out, "benchcheck: %v\n", err)

@@ -189,7 +189,8 @@ const sampleServeBaseline = `{
     "teacher_infer_ns": 550000, "student_infer_ns": 320000, "distill_cycle_ns": 3000000,
     "dart_infer_ns": 250000, "tabular_swap_ns": 5000,
     "teacher_storage_bytes": 44032, "student_storage_bytes": 13952,
-    "dart_storage_bytes": 7982
+    "dart_storage_bytes": 7982,
+    "policy_decision_ns": 22, "policy_decision_allocs": 0
   },
   "binary": {
     "replay_throughput": 3900000, "replay_batch": 64,
@@ -210,6 +211,7 @@ BenchmarkStudentInfer-1  712  321442 ns/op  13952 storage_bytes
 BenchmarkDistillCycle-1  84  3096250 ns/op
 BenchmarkDartInfer-1  951  249812 ns/op  7982 storage_bytes
 BenchmarkTabularSwap-1  200000  5100 ns/op
+BenchmarkPolicyDecision-1  50000000  21.7 ns/op  0 B/op  0 allocs/op
 BenchmarkWireCodec-1  550000  2156 ns/op  0 B/op  0 allocs/op
 BenchmarkWireAccessBinary-1  2000000  529.2 ns/op  0 B/op  0 allocs/op
 BenchmarkWireAccessJSON-1  150000  8101 ns/op  1969 B/op  45 allocs/op
@@ -292,7 +294,10 @@ func TestWriteOnlinePreservesOtherKeys(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := string(updated)
-	for _, want := range []string{`"feedback_ingest_ns": 22.1`, `"swap_ns": 31000`, `"generated"`, `"Throughput": 640000`} {
+	for _, want := range []string{
+		`"feedback_ingest_ns": 22.1`, `"swap_ns": 31000`, `"generated"`, `"Throughput": 640000`,
+		`"policy_decision_ns": 21.7`, `"policy_decision_allocs": 0`,
+	} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("updated file missing %q:\n%s", want, s)
 		}
@@ -388,6 +393,40 @@ func TestWriteOnlineRefusesPartialInput(t *testing.T) {
 		strings.NewReader("BenchmarkFeedbackIngest-1 100 20 ns/op\n"), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+	}
+}
+
+func TestPolicyGateFailsOnSingleAlloc(t *testing.T) {
+	// ObserveLive runs on every shadow-compared batch: like the binary wire
+	// hot path, one allocation against the zero baseline fails with no
+	// tolerance, even with ns/op unchanged.
+	leaky := strings.Replace(sampleOnlineBench,
+		"BenchmarkPolicyDecision-1  50000000  21.7 ns/op  0 B/op  0 allocs/op",
+		"BenchmarkPolicyDecision-1  50000000  21.7 ns/op  48 B/op  1 allocs/op", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(leaky), &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkPolicyDecision@allocs") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestPolicyGateFailsClosedOnMissingBench(t *testing.T) {
+	// BenchmarkPolicyDecision vanishing from bench-ci's input (or its
+	// -benchmem column) must error, not silently stop gating the hot path.
+	noPolicy := strings.Replace(sampleOnlineBench,
+		"BenchmarkPolicyDecision-1  50000000  21.7 ns/op  0 B/op  0 allocs/op\n", "", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		1.5, 2.0, 5, 3, strings.NewReader(noPolicy), &out)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "missing") {
+		t.Fatalf("output:\n%s", out.String())
 	}
 }
 

@@ -43,6 +43,18 @@
 // the model classes'. Per-session class selection is just the prefetcher
 // name at open: teacher ("online"), "student", or "dart" per tenant.
 //
+// With -policy (or any -policy-spec) every student/dart publish is gated by
+// the promotion policy engine: a candidate must sustain the configured
+// agreement with its source class over a window of shadow batches before it
+// is admitted, a published version whose live agreement degrades past the
+// divergence threshold is auto-rolled-back, and every decision — admit,
+// hold, rollback, skip, with its evidence — is kept in a bounded log served
+// by the `policy` wire verb. A budgeted -policy-spec additionally drives the
+// student architecture and the tabularization kernel through the
+// config.Configure latency-major search instead of the fixed defaults, e.g.:
+//
+//	dart-serve -dart -policy-spec 'admit=0.7,window=4,diverge=0.5,windows=3,kernel=lsh,k=8,c=1'
+//
 // Replay mode pumps synthetic workloads through the engine at a target rate
 // and reports accuracy, coverage, throughput, and request-latency
 // percentiles — the continuous-load evaluation the offline cmd/dart-sim
@@ -94,6 +106,7 @@ import (
 	"dart/internal/nn"
 	"dart/internal/online"
 	"dart/internal/serve"
+	"dart/internal/tabular"
 	"dart/internal/trace"
 )
 
@@ -116,6 +129,9 @@ func main() {
 
 	useDart := flag.Bool("dart", false, "run the versioned tabular serving class (implies -student): re-tabularize the published student on a duty cycle and hot-swap table hierarchies; sessions can open prefetcher \"dart\"")
 	tabularizeInterval := flag.Duration("tabularize-interval", 30*time.Second, "dart: auto re-tabularize cadence (<0 disables; \"swap\" with class \"dart\" always works)")
+
+	usePolicy := flag.Bool("policy", false, "gate student/dart publishes through the promotion policy engine: candidates must sustain agreement with their source class, live divergence auto-rolls-back, every decision lands in the `policy` verb log")
+	policySpec := flag.String("policy-spec", "", "promotion policy spec, key=value comma-separated (implies -policy): admit= window= diverge= windows= live= delta= log= student-latency= student-storage= dart-latency= dart-storage= kernel= k= c=")
 
 	matrix := flag.Bool("matrix", false, "replay a mixed-tenant scenario matrix through the engine and exit")
 	matrixSpec := flag.String("matrix-spec", "", "matrix: tenant spec — name:key=value,...;name:... (default: built-in 4-tenant workload-zoo matrix)")
@@ -171,11 +187,14 @@ func main() {
 	if *useStudent || *prefetcher == "student" {
 		*useOnline = true // the distiller needs the teacher loop
 	}
+	if *policySpec != "" {
+		*usePolicy = true
+	}
 	if *useOnline || *prefetcher == "online" {
 		var err error
 		learner, err = buildLearner(art, *ckptDir, *swapInterval,
 			*useStudent || *prefetcher == "student", *distillInterval,
-			*useDart, *tabularizeInterval)
+			*useDart, *tabularizeInterval, *usePolicy, *policySpec)
 		if err != nil {
 			fatalf("online learner: %v", err)
 		}
@@ -202,6 +221,11 @@ func main() {
 				fmt.Printf("dart tier ready: student fallback until the first tabularization (interval %v)\n",
 					*tabularizeInterval)
 			}
+		}
+		if pol := learner.Policy(); pol != nil {
+			pc := pol.Config()
+			fmt.Printf("promotion policy on: admit >= %.2f over %d shadow batches, rollback < %.2f for %d windows of %d labels\n",
+				pc.AdmitThreshold, pc.AdmitWindow, pc.DivergeThreshold, pc.DivergeWindows, pc.LiveWindow)
 		}
 		learner.Start()
 		defer learner.Stop()
@@ -292,11 +316,19 @@ func main() {
 // the DART student shape, warm-started from the trained student when the
 // static model was pretrained, random otherwise; a checkpoint in dir always
 // wins (recovery). With student set, the distilled-student tier is enabled
-// on a compact architecture derived from the teacher's (nn.StudentConfig),
-// its latency and storage modelled with the same systolic-array complexity
-// model; with dart set, the duty-cycled tabularizer additionally publishes
-// the student's table hierarchy as the versioned "dart" class.
-func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration, student bool, distillInterval time.Duration, dart bool, tabularizeInterval time.Duration) (*online.Learner, error) {
+// on a compact architecture — by default nn.StudentConfig's halving of the
+// teacher's, but a budgeted policy spec replaces that with a config.Configure
+// latency-major search under the spec's constraints — its latency and
+// storage modelled with the same systolic-array complexity model; with dart
+// set, the duty-cycled tabularizer additionally publishes the student's
+// table hierarchy as the versioned "dart" class, on the kernel the spec (or
+// the configurator's chosen candidate) selects. With gate set, the
+// promotion policy engine gates every student/dart publish.
+func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration, student bool, distillInterval time.Duration, dart bool, tabularizeInterval time.Duration, gate bool, specStr string) (*online.Learner, error) {
+	spec, err := config.ParsePolicySpec(specStr)
+	if err != nil {
+		return nil, err
+	}
 	data := dataprep.Default()
 	tcfg := nn.TransformerConfig{
 		T: data.History, DIn: data.InputDim(),
@@ -327,11 +359,30 @@ func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration, s
 		StorageBytes: storage,
 		Seed:         7,
 	}
+	// A budgeted spec replaces the fixed nn.StudentConfig halving: the
+	// configurator searches the default design space under the budget and
+	// its chosen candidate pins both the student architecture and (unless
+	// the spec overrides it) the tabularization table shape.
+	var chosen *config.Candidate
+	if spec.HasStudentBudget() || spec.HasDartBudget() {
+		cand, err := spec.ConfigureStudent(data.History, data.InputDim(), data.OutputDim())
+		if err != nil {
+			return nil, err
+		}
+		chosen = &cand
+	}
 	if student {
 		scfg := nn.StudentConfig(tcfg)
 		smodel := config.ModelConfig{
 			T: scfg.T, DI: scfg.DIn, DA: scfg.DModel, DF: scfg.DFF,
 			DO: scfg.DOut, H: scfg.Heads, L: scfg.Layers,
+		}
+		if chosen != nil {
+			smodel = chosen.Model
+			scfg = nn.TransformerConfig{
+				T: smodel.T, DIn: smodel.DI, DModel: smodel.DA, DFF: smodel.DF,
+				DOut: smodel.DO, Heads: smodel.H, Layers: smodel.L,
+			}
 		}
 		cfg.Student = func() nn.Layer {
 			return nn.NewTransformerPredictor(scfg, rand.New(rand.NewSource(13)))
@@ -341,11 +392,57 @@ func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration, s
 		cfg.StudentStorageBytes = config.NNStorageBits(smodel, 32) / 8
 	}
 	if dart {
-		// Config.Tabular is left zero: the learner fills in the shared
-		// serving default (online.DefaultTabularConfig — LSH, small tables,
-		// the configuration the CI bench gate measures).
+		// Config.Tabular stays zero on the default path: the learner fills
+		// in the shared serving default (online.DefaultTabularConfig — LSH,
+		// small tables, the configuration the CI bench gate measures). A
+		// spec-driven kernel (or a configured candidate) overrides it.
 		cfg.Dart = true
 		cfg.TabularizeInterval = tabularizeInterval
+		if chosen != nil || spec.Kernel != "" || spec.K > 0 || spec.C > 0 {
+			tab := online.DefaultTabularConfig()
+			if chosen != nil {
+				tab.Kernel.K, tab.Kernel.C = chosen.Table.K, chosen.Table.C
+			}
+			if spec.Kernel != "" {
+				kind, err := tabular.ParseEncoderKind(spec.Kernel)
+				if err != nil {
+					return nil, err
+				}
+				tab.Kernel.Kind = kind
+			}
+			if spec.K > 0 {
+				tab.Kernel.K = spec.K
+			}
+			if spec.C > 0 {
+				tab.Kernel.C = spec.C
+			}
+			cfg.Tabular = tab
+		}
+	}
+	if gate {
+		pc := online.PolicyConfig{
+			AdmitThreshold:   spec.AdmitThreshold,
+			AdmitWindow:      spec.AdmitWindow,
+			DivergeThreshold: spec.DivergeThreshold,
+			DivergeWindows:   spec.DivergeWindows,
+			LiveWindow:       spec.LiveWindow,
+			MinSourceDelta:   spec.MinSourceDelta,
+			LogCap:           spec.LogCap,
+		}
+		if spec.HasStudentBudget() || spec.HasDartBudget() {
+			pc.Budgets = map[string]online.Budget{}
+			if spec.HasStudentBudget() {
+				pc.Budgets[online.StudentClass] = online.Budget{
+					LatencyCycles: spec.StudentLatency, StorageBytes: spec.StudentStorage,
+				}
+			}
+			if spec.HasDartBudget() {
+				pc.Budgets[online.DartClass] = online.Budget{
+					LatencyCycles: spec.DartLatency, StorageBytes: spec.DartStorage,
+				}
+			}
+		}
+		cfg.Policy = &pc
 	}
 	return online.NewLearner(cfg)
 }
@@ -422,9 +519,21 @@ func printLearner(l *online.Learner) {
 			st.DistillLoss, st.DistillTrend)
 	}
 	if l.HasDart() {
-		fmt.Printf("dart: v%d (%d published)  tabularized %d (%.0f ms total)  latency %d cycles  storage %d B\n",
+		fmt.Printf("dart: v%d (%d published)  tabularized %d (%.0f ms total)  attempts %d skips %d  latency %d cycles  storage %d B\n",
 			st.DartVersion, st.DartPublished, st.Tabularized, st.TabularizeMs,
-			l.DartLatency(), l.DartStorageBytes())
+			st.DartAttempts, st.DartSkips, l.DartLatency(), l.DartStorageBytes())
+	}
+	if pol := l.Policy(); pol != nil {
+		ps := pol.Stats()
+		fmt.Printf("policy: admitted %d  held %d  rolled-back %d  skipped %d  (%d decisions)\n",
+			ps.Admitted, ps.Held, ps.RolledBack, ps.Skipped, ps.Decisions)
+		ds := pol.Decisions()
+		if len(ds) > 5 {
+			ds = ds[len(ds)-5:]
+		}
+		for _, d := range ds {
+			fmt.Printf("policy: #%d %s %s v%d: %s\n", d.Seq, d.Class, d.Action, d.Version, d.Reason)
+		}
 	}
 }
 

@@ -2,11 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
+	"dart/internal/config"
+	"dart/internal/dataprep"
 	"dart/internal/online"
 	"dart/internal/serve"
 )
@@ -15,7 +19,7 @@ import (
 // combinations map onto the expected serving classes, and the dart tier
 // rides on the student tier.
 func TestBuildLearnerTiers(t *testing.T) {
-	teacherOnly, err := buildLearner(nil, "", -1, false, -1, false, -1)
+	teacherOnly, err := buildLearner(nil, "", -1, false, -1, false, -1, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +28,7 @@ func TestBuildLearnerTiers(t *testing.T) {
 	}
 
 	dir := t.TempDir()
-	full, err := buildLearner(nil, dir, -1, true, -1, true, -1)
+	full, err := buildLearner(nil, dir, -1, true, -1, true, -1, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +49,7 @@ func TestBuildLearnerTiers(t *testing.T) {
 	}
 
 	// A second learner over the same directory recovers both model classes.
-	again, err := buildLearner(nil, dir, -1, true, -1, true, -1)
+	again, err := buildLearner(nil, dir, -1, true, -1, true, -1, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,12 +59,113 @@ func TestBuildLearnerTiers(t *testing.T) {
 	}
 }
 
+// TestBuildLearnerPolicySpec pins the -policy-spec wiring: malformed specs
+// fail before a learner exists, the gate flag hangs the policy engine off
+// the learner (and only then), and a budgeted spec replaces the fixed
+// halved-teacher student with the configurator's candidate under exactly
+// those constraints.
+func TestBuildLearnerPolicySpec(t *testing.T) {
+	for _, spec := range []string{
+		"admit=high",                    // unparsable value
+		"kernel=quantum",                // unknown tabularization kernel
+		"dart-latency=1,dart-storage=1", // infeasible budget: empty design space
+	} {
+		if _, err := buildLearner(nil, "", -1, true, -1, true, -1, true, spec); err == nil {
+			t.Fatalf("spec %q did not error", spec)
+		}
+	}
+
+	ungated, err := buildLearner(nil, "", -1, true, -1, true, -1, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ungated.Policy() != nil {
+		t.Fatal("policy engine present without -policy")
+	}
+
+	// Thresholds plus a kernel override: the learner builds with the gate
+	// attached and the spec-driven table shape (exact linear encoder, K=8,
+	// C=2) in place of the serving default.
+	gated, err := buildLearner(nil, "", -1, true, -1, true, -1, true,
+		"admit=0.7,window=3,kernel=linear,k=8,c=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated.Policy() == nil {
+		t.Fatal("-policy did not attach the policy engine")
+	}
+	if !gated.HasStudent() || !gated.HasDart() {
+		t.Fatal("gated learner is missing a tier")
+	}
+
+	// A budgeted spec routes the student architecture through the
+	// configurator; the learner's modelled costs must match the candidate
+	// the same spec derives directly.
+	const budget = "dart-latency=100000,dart-storage=1073741824"
+	spec, err := config.ParsePolicySpec(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := dataprep.Default()
+	cand, err := spec.ConfigureStudent(data.History, data.InputDim(), data.OutputDim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := buildLearner(nil, "", -1, true, -1, true, -1, true, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := budgeted.StudentLatency(), config.NNLatency(cand.Model); got != want {
+		t.Fatalf("budgeted student latency %d, want configurator candidate %d", got, want)
+	}
+	if got, want := budgeted.StudentStorageBytes(), config.NNStorageBits(cand.Model, 32)/8; got != want {
+		t.Fatalf("budgeted student storage %d, want configurator candidate %d", got, want)
+	}
+}
+
+// TestPrintLearnerPolicyReport pins the log-scraping summary for a gated
+// learner: the policy counter line and the trailing decision lines print
+// from the real decision log.
+func TestPrintLearnerPolicyReport(t *testing.T) {
+	l, err := buildLearner(nil, "", -1, true, -1, true, -1, true, "admit=0.9,window=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	defer l.Stop()
+	// A forced teacher publish is the cheapest decision: no source class to
+	// compare against, logged as an ungated admit.
+	if _, err := l.Swap(); err != nil {
+		t.Fatal(err)
+	}
+
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	printLearner(l)
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "policy: admitted 1") {
+		t.Fatalf("policy counters missing from learner summary:\n%s", out)
+	}
+	if !strings.Contains(string(out), "policy: #1 teacher admit v") {
+		t.Fatalf("decision line missing from learner summary:\n%s", out)
+	}
+}
+
 // TestRunReplayDartCompleteness drives the daemon's replay path end to end
 // on the dart class: verify flips to the completeness check (the versioned
 // table hot-swaps under training by design), the report is written as JSON,
 // and the learner summary prints without panicking.
 func TestRunReplayDartCompleteness(t *testing.T) {
-	learner, err := buildLearner(nil, "", -1, true, -1, true, -1)
+	learner, err := buildLearner(nil, "", -1, true, -1, true, -1, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +203,7 @@ func TestOrNone(t *testing.T) {
 // TestRunReplaySoakRound: a short soak repeats rounds until the deadline and
 // still accounts every access (fresh session ids per round).
 func TestRunReplaySoakRound(t *testing.T) {
-	learner, err := buildLearner(nil, t.TempDir(), -1, true, -1, true, 50*time.Millisecond)
+	learner, err := buildLearner(nil, t.TempDir(), -1, true, -1, true, 50*time.Millisecond, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,6 +50,7 @@ func main() {
 	traceFile := flag.String("trace", "", "load a CSV LLC trace instead of generating one")
 	distill := flag.Bool("distill", false, "also distill the serving tier's compact student from the teacher")
 	out := flag.String("out", "", "distill: publish teacher+student model classes as versioned checkpoints into this directory")
+	policySpec := flag.String("policy-spec", "", "distill: policy spec driving the serve student architecture and tabularization kernel (same syntax as dart-serve); must match the daemon's so checkpoints restore")
 	flag.Parse()
 
 	var recs []trace.Record
@@ -101,7 +102,12 @@ func main() {
 	fmt.Printf("%-22s %8.3f\n", "DART (tables)", art.F1DART)
 
 	if *distill {
-		if err := distillServeStudent(art, *epochs, *out); err != nil {
+		spec, err := config.ParsePolicySpec(*policySpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := distillServeStudent(art, *epochs, *out, spec); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -110,8 +116,11 @@ func main() {
 
 // distillServeStudent reuses the pipeline's teacher and data split to distill
 // the serving tier's compact student, and optionally publishes both model
-// classes into a dart-serve checkpoint directory.
-func distillServeStudent(art *core.Artifacts, epochs int, out string) error {
+// classes into a dart-serve checkpoint directory. A budgeted policy spec
+// replaces the fixed nn.StudentConfig halving with the configurator's chosen
+// architecture — the same derivation dart-serve applies, so published
+// checkpoints restore into the daemon's identically-shaped network.
+func distillServeStudent(art *core.Artifacts, epochs int, out string, spec config.PolicySpec) error {
 	data := art.Opt.Data
 	tcfg := nn.TransformerConfig{
 		T: data.History, DIn: data.InputDim(),
@@ -122,6 +131,32 @@ func distillServeStudent(art *core.Artifacts, epochs int, out string) error {
 	smodel := config.ModelConfig{
 		T: scfg.T, DI: scfg.DIn, DA: scfg.DModel, DF: scfg.DFF,
 		DO: scfg.DOut, H: scfg.Heads, L: scfg.Layers,
+	}
+	tabCfg := online.DefaultTabularConfig()
+	if spec.HasStudentBudget() || spec.HasDartBudget() {
+		cand, err := spec.ConfigureStudent(data.History, data.InputDim(), data.OutputDim())
+		if err != nil {
+			return err
+		}
+		smodel = cand.Model
+		scfg = nn.TransformerConfig{
+			T: smodel.T, DIn: smodel.DI, DModel: smodel.DA, DFF: smodel.DF,
+			DOut: smodel.DO, Heads: smodel.H, Layers: smodel.L,
+		}
+		tabCfg.Kernel.K, tabCfg.Kernel.C = cand.Table.K, cand.Table.C
+	}
+	if spec.Kernel != "" {
+		kind, err := tabular.ParseEncoderKind(spec.Kernel)
+		if err != nil {
+			return err
+		}
+		tabCfg.Kernel.Kind = kind
+	}
+	if spec.K > 0 {
+		tabCfg.Kernel.K = spec.K
+	}
+	if spec.C > 0 {
+		tabCfg.Kernel.C = spec.C
 	}
 	// Seed 13 matches dart-serve's student factory so recovered checkpoints
 	// restore into an identically-shaped network.
@@ -167,7 +202,7 @@ func distillServeStudent(art *core.Artifacts, epochs int, out string) error {
 	if fit.N > 512 {
 		fit = fit.Gather(rand.New(rand.NewSource(5)).Perm(fit.N)[:512])
 	}
-	tables := tabular.Tabularize(student, fit, online.DefaultTabularConfig())
+	tables := tabular.Tabularize(student, fit, tabCfg)
 	f1Tables := core.EvaluateTableF1(tables.Hierarchy, art.Test)
 	cost := tables.Hierarchy.Cost()
 	fmt.Printf("%-22s %8.3f   (latency %d cycles, %.1f KB)\n",

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"testing"
+
+	"dart/internal/config"
+	"dart/internal/core"
+	"dart/internal/dataprep"
+	"dart/internal/kd"
+	"dart/internal/online"
+	"dart/internal/trace"
+)
+
+// TestKDEpochs covers the tiny config override.
+func TestKDEpochs(t *testing.T) {
+	c := kdEpochs(3)
+	if c.Epochs != 3 {
+		t.Fatalf("kdEpochs(3).Epochs = %d", c.Epochs)
+	}
+	want := kd.DefaultConfig()
+	want.Epochs = 3
+	if c != want {
+		t.Fatalf("kdEpochs changed more than the epoch count: %+v", c)
+	}
+}
+
+// testArtifacts builds one miniature pipeline (tiny teacher, one epoch) shared
+// across the distillServeStudent tests; building DART is the expensive part.
+var sharedArt *core.Artifacts
+
+func testArtifacts(t *testing.T) *core.Artifacts {
+	t.Helper()
+	if sharedArt != nil {
+		return sharedArt
+	}
+	recs := trace.Generate(trace.AppSpec{
+		Name: "unit", Pages: 300, Streams: 4,
+		Strides: []int64{1, 2}, Seed: 9,
+	}, 2200)
+	art, err := core.BuildDART(recs, core.Options{
+		Data:          dataprep.Config{History: 6, SegmentBits: 6, Segments: 6, LookForward: 8, DeltaRange: 16},
+		Constraints:   config.Constraints{LatencyCycles: 80, StorageBytes: 512 << 10},
+		TeacherDModel: 16, TeacherDFF: 32, TeacherHeads: 2, TeacherLayers: 1,
+		TeacherEpochs: 1,
+		FitSamples:    64,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedArt = art
+	return art
+}
+
+// TestDistillServeStudentPublishes runs the offline distill→publish bridge
+// with a spec-driven kernel and proves the checkpoint directory restores: the
+// dart table recovers at v1 with Source pinned to the student version it was
+// tabularized from — the invariant dart-serve's startup skip-rebuild relies
+// on.
+func TestDistillServeStudentPublishes(t *testing.T) {
+	art := testArtifacts(t)
+	out := t.TempDir()
+	spec, err := config.ParsePolicySpec("kernel=linear,k=8,c=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := distillServeStudent(art, 1, out, spec); err != nil {
+		t.Fatal(err)
+	}
+	dStore, err := online.NewTableStore(out, online.DartClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := dStore.Load()
+	if tab == nil {
+		t.Fatal("published dart table did not recover")
+	}
+	if tab.Version != 1 || tab.Meta.Source != 1 {
+		t.Fatalf("recovered table v%d source v%d, want v1 from student v1",
+			tab.Version, tab.Meta.Source)
+	}
+}
+
+// TestDistillServeStudentSpecErrors: a bad spec fails before any distillation
+// work starts.
+func TestDistillServeStudentSpecErrors(t *testing.T) {
+	art := testArtifacts(t)
+	infeasible, err := config.ParsePolicySpec("dart-latency=1,dart-storage=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := distillServeStudent(art, 1, "", infeasible); err == nil {
+		t.Fatal("infeasible budget did not error")
+	}
+	// ParsePolicySpec rejects unknown kernels up front; the in-function check
+	// guards programmatic callers building a PolicySpec directly.
+	if err := distillServeStudent(art, 1, "", config.PolicySpec{Kernel: "quantum"}); err == nil {
+		t.Fatal("unknown kernel did not error")
+	}
+}

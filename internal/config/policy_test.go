@@ -1,0 +1,122 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParsePolicySpecRoundTrip: every key of the -policy-spec syntax lands in
+// its field, with whitespace and empty fields tolerated.
+func TestParsePolicySpecRoundTrip(t *testing.T) {
+	spec, err := ParsePolicySpec(
+		"admit=0.8, window=4 ,diverge=0.6,windows=2,live=128,delta=0.05,log=64," +
+			"student-latency=40,student-storage=16384,dart-latency=100,dart-storage=65536," +
+			"kernel=lsh,k=8,c=1,,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PolicySpec{
+		AdmitThreshold: 0.8, AdmitWindow: 4,
+		DivergeThreshold: 0.6, DivergeWindows: 2,
+		LiveWindow: 128, MinSourceDelta: 0.05, LogCap: 64,
+		StudentLatency: 40, StudentStorage: 16384,
+		DartLatency: 100, DartStorage: 65536,
+		Kernel: "lsh", K: 8, C: 1,
+	}
+	if spec != want {
+		t.Fatalf("parsed %+v, want %+v", spec, want)
+	}
+	if !spec.HasStudentBudget() || !spec.HasDartBudget() {
+		t.Fatal("budget predicates miss a fully budgeted spec")
+	}
+}
+
+// TestParsePolicySpecEmpty: the empty spec is valid and all-defaults.
+func TestParsePolicySpecEmpty(t *testing.T) {
+	for _, s := range []string{"", "   "} {
+		spec, err := ParsePolicySpec(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if spec != (PolicySpec{}) {
+			t.Fatalf("%q parsed to %+v", s, spec)
+		}
+		if spec.HasStudentBudget() || spec.HasDartBudget() {
+			t.Fatal("empty spec claims a budget")
+		}
+	}
+}
+
+// TestParsePolicySpecErrors pins the rejection surface: unknown keys, bad
+// values, fields without '=', out-of-domain thresholds, half-given budget
+// pairs, and unknown kernels.
+func TestParsePolicySpecErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // substring of the error
+	}{
+		{"bogus=1", "unknown policy spec key"},
+		{"admit", "not key=value"},
+		{"admit=high", "policy spec admit="},
+		{"window=2.5", "policy spec window="},
+		{"admit=1.5", "outside [0, 1]"},
+		{"diverge=-0.1", "outside [0, 1]"},
+		{"delta=-1", "must be >= 0"},
+		{"window=-1", "must be >= 0"},
+		{"kernel=quantum", "kernel="},
+		{"student-latency=40", "both student-latency and student-storage"},
+		{"dart-storage=1024", "both dart-latency and dart-storage"},
+	}
+	for _, c := range cases {
+		_, err := ParsePolicySpec(c.in)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParsePolicySpec(%q) = %v, want error containing %q", c.in, err, c.want)
+		}
+	}
+}
+
+// TestConfigureStudentBudgeted: a dart budget drives the configurator to a
+// candidate within the constraints, and pinned K/C filter the space.
+func TestConfigureStudentBudgeted(t *testing.T) {
+	spec := PolicySpec{DartLatency: 200, DartStorage: 1 << 20, K: 16, C: 1}
+	cand, err := spec.ConfigureStudent(8, 12, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.Latency > spec.DartLatency || cand.StorageBytes > spec.DartStorage {
+		t.Fatalf("candidate (%d cycles, %d bytes) violates the budget (%d, %d)",
+			cand.Latency, cand.StorageBytes, spec.DartLatency, spec.DartStorage)
+	}
+	if cand.Table.K != 16 || cand.Table.C != 1 {
+		t.Fatalf("pinned kernel ignored: got K=%d C=%d", cand.Table.K, cand.Table.C)
+	}
+	if cand.Model.T != 8 || cand.Model.DI != 12 || cand.Model.DO != 10 {
+		t.Fatalf("candidate model has the wrong shape: %+v", cand.Model)
+	}
+}
+
+// TestConfigureStudentFallsBackToStudentBudget: with no dart budget the
+// student budget constrains the search instead.
+func TestConfigureStudentFallsBackToStudentBudget(t *testing.T) {
+	spec := PolicySpec{StudentLatency: 500, StudentStorage: 1 << 22}
+	cand, err := spec.ConfigureStudent(8, 12, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.Latency > spec.StudentLatency || cand.StorageBytes > spec.StudentStorage {
+		t.Fatalf("candidate (%d cycles, %d bytes) violates the student budget",
+			cand.Latency, cand.StorageBytes)
+	}
+}
+
+// TestConfigureStudentInfeasible: an unsatisfiable budget (or a pinned
+// kernel that empties the space) is a clean error, not a zero candidate.
+func TestConfigureStudentInfeasible(t *testing.T) {
+	if _, err := (PolicySpec{DartLatency: 1, DartStorage: 1}).ConfigureStudent(8, 12, 10); err == nil {
+		t.Fatal("1-cycle 1-byte budget produced a candidate")
+	}
+	spec := PolicySpec{DartLatency: 200, DartStorage: 1 << 20, K: 7} // K=7 is not in the space
+	if _, err := spec.ConfigureStudent(8, 12, 10); err == nil {
+		t.Fatal("pinning K to a value outside the design space produced a candidate")
+	}
+}

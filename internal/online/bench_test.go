@@ -201,3 +201,21 @@ func BenchmarkModelSwap(b *testing.B) {
 		b.Fatal("no model published")
 	}
 }
+
+// BenchmarkPolicyDecision measures the promotion policy's live-observation
+// hot path: the batcher calls ObserveLive on every shadow-compared inference
+// batch, so it must stay mutex+counter-math with zero allocations. The
+// match/total pattern alternates to exercise window completion and the
+// divergence hysteresis without ever firing a rollback.
+func BenchmarkPolicyDecision(b *testing.B) {
+	p := NewPolicy(PolicyConfig{LiveWindow: 64, DivergeThreshold: 0.1, DivergeWindows: 1 << 30},
+		DartClass)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ObserveLive(DartClass, 1, 8, 16)
+	}
+	if st := p.Stats(); st.RolledBack != 0 {
+		b.Fatalf("benchmark tripped a rollback: %+v", st)
+	}
+}

@@ -102,6 +102,15 @@ type Config struct {
 	DartLatency      int
 	DartStorageBytes int
 
+	// Policy, when non-nil, enables the promotion policy engine: student and
+	// dart publishes are gated on candidate-vs-source agreement and budget,
+	// live divergence auto-rolls-back, and every decision lands in the
+	// bounded decision log (see policy.go). Nil keeps the legacy
+	// unconditional duty-cycle publish path bit-identical to previous
+	// releases — the gate's evaluation batches draw from a dedicated RNG so
+	// enabling it never perturbs the training stream either.
+	Policy *PolicyConfig
+
 	Seed int64
 }
 
@@ -212,11 +221,21 @@ type Learner struct {
 	dartStudent   nn.Layer // private parameter mirror of the published student
 	dartMirrorVer uint64   // student version currently in the mirror
 	dartSrcVer    uint64   // student version the published table derives from
+	lastSkipVer   uint64   // student version whose skip was already counted
 	lastTab       time.Time
 	dartCost      atomic.Pointer[tabular.Cost] // analytic cost of the published hierarchy
 	tabularized   atomic.Uint64
 	dartPublished atomic.Uint64
+	tabAttempts   atomic.Uint64 // duty cycles that found work to consider
+	tabSkips      atomic.Uint64 // cycles skipped (unchanged or below-delta student)
 	tabNs         atomic.Int64
+
+	// Promotion policy engine; nil when Config.Policy is nil (the legacy
+	// unconditional publish path). evalRng feeds the gate's shadow-batch
+	// sampling and is deliberately separate from rng so admission evaluation
+	// never perturbs the training stream (pinned by regression test).
+	pol     *Policy
+	evalRng *rand.Rand
 
 	// buf is the example reservoir. Guarded by trainMu: the loop goroutine
 	// writes it (drainAll) and samples it (optimizer steps), but forced
@@ -309,6 +328,38 @@ func NewLearner(cfg Config) (*Learner, error) {
 		if err := l.initDart(); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.Policy != nil {
+		if err := cfg.Policy.Validate(); err != nil {
+			return nil, err
+		}
+		var classes []string
+		if l.studentStore != nil {
+			classes = append(classes, StudentClass)
+		}
+		if l.dartStore != nil {
+			classes = append(classes, DartClass)
+		}
+		l.pol = NewPolicy(*cfg.Policy, classes...)
+		if l.studentStore != nil {
+			l.pol.RegisterRollback(StudentClass, func() (uint64, error) {
+				m, err := l.rollbackStudent()
+				if err != nil {
+					return 0, err
+				}
+				return m.Version, nil
+			})
+		}
+		if l.dartStore != nil {
+			l.pol.RegisterRollback(DartClass, func() (uint64, error) {
+				t, err := l.rollbackDart()
+				if err != nil {
+					return 0, err
+				}
+				return t.Version, nil
+			})
+		}
+		l.evalRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5eed9e3779b97f4a))
 	}
 	l.lastPub = time.Now()
 	l.lastStuPub = time.Now()
@@ -422,6 +473,11 @@ func (l *Learner) StudentStorageBytes() int { return l.cfg.StudentStorageBytes }
 
 // HasDart reports whether the tabularized (dart) serving class is enabled.
 func (l *Learner) HasDart() bool { return l.dartStore != nil }
+
+// Policy returns the promotion policy engine, or nil when disabled. The
+// serving engine feeds its shadow-compared batches into it (ObserveLive) and
+// the `policy` wire verb reads its decision log.
+func (l *Learner) Policy() *Policy { return l.pol }
 
 // DartStore exposes the dart class of the versioned store; nil when the
 // tier is disabled.
@@ -585,13 +641,26 @@ func (l *Learner) maybeTrain() {
 		time.Since(l.lastPub) >= l.cfg.SwapInterval &&
 		l.steps.Load() > l.stepsAtPub
 	if auto {
-		_, _ = l.publishLocked() // on failure serving keeps the previous version
+		m, err := l.publishLocked() // on failure serving keeps the previous version
+		if err == nil && l.pol != nil {
+			// The teacher has no source class to shadow-compare against, so
+			// its publishes are ungated — but they still land in the decision
+			// log so the `policy` verb covers every class publish.
+			l.pol.record(Decision{
+				Class: "teacher", Action: ActionAdmit, Version: m.Version,
+				Reason: "teacher: ungated (no source class)",
+			})
+		}
 	}
 	if l.student != nil &&
 		l.cfg.DistillInterval > 0 &&
 		time.Since(l.lastStuPub) >= l.cfg.DistillInterval &&
 		l.distSteps.Load() > l.distAtPub {
-		_, _ = l.publishStudentLocked()
+		if l.pol == nil {
+			_, _ = l.publishStudentLocked()
+		} else {
+			l.gateStudentLocked()
+		}
 	}
 	l.trainMu.Unlock()
 }
@@ -691,6 +760,72 @@ func (l *Learner) publishStudentLocked() (*Model, error) {
 	return m, nil
 }
 
+// evalBatchLocked samples one shadow-evaluation minibatch of inputs from the
+// reservoir using the gate's dedicated RNG — never the training RNG, so
+// admission evaluation cannot perturb the training stream. Caller holds
+// trainMu.
+func (l *Learner) evalBatchLocked() *mat.Tensor {
+	b := l.cfg.BatchSize
+	bx := mat.NewTensor(b, l.cfg.Data.History, l.cfg.Data.InputDim())
+	for i := 0; i < b; i++ {
+		ex := l.buf[l.evalRng.Intn(l.bufN)]
+		copy(bx.Sample(i).Data, ex.x)
+	}
+	return bx
+}
+
+// gateStudentLocked advances the student candidate's admission window by one
+// shadow batch — candidate = the current student shadow, source = the
+// distillation teacher mirror — and decides admit/hold when the window
+// fills. A hold re-stamps the duty-cycle cadence, so the held candidate
+// keeps distilling for a full DistillInterval before the next attempt.
+// Caller holds trainMu.
+func (l *Learner) gateStudentLocked() {
+	if l.bufN < l.cfg.BatchSize {
+		return
+	}
+	// Keep the KD source mirror on the latest teacher version (it normally
+	// refreshes in distillStepLocked, but the gate can also tick while the
+	// trainer is over its duty budget).
+	if m := l.store.Load(); m != nil && m.Version != l.distTeacherVer {
+		if err := nn.CopyParams(l.distTeacher, m.Net); err == nil {
+			l.distTeacherVer = m.Version
+		}
+	}
+	bx := l.evalBatchLocked()
+	match, total := agreementCount(l.student.Forward(bx), l.distTeacher.Forward(bx))
+	if !l.pol.observeCandidate(StudentClass, match, total) {
+		return // window not full: more shadow batches on later ticks
+	}
+	agree, batches, labels, ok := l.pol.admitVerdict(StudentClass)
+	d := Decision{
+		Class: StudentClass, Agreement: agree, Batches: batches, Labels: labels,
+		LatencyCycles: l.cfg.StudentLatency, StorageBytes: l.cfg.StudentStorageBytes,
+	}
+	if bok, reason := l.pol.budgetCheck(StudentClass, l.cfg.StudentLatency, l.cfg.StudentStorageBytes); !bok {
+		d.Action, d.Reason = ActionHold, "budget: "+reason
+		l.pol.record(d)
+		l.lastStuPub = time.Now()
+		return
+	}
+	if !ok {
+		d.Action = ActionHold
+		d.Reason = fmt.Sprintf("agreement %.3f < %.2f over %d shadow batches",
+			agree, l.pol.cfg.AdmitThreshold, batches)
+		l.pol.record(d)
+		l.lastStuPub = time.Now()
+		return
+	}
+	m, err := l.publishStudentLocked()
+	if err != nil {
+		return // serving keeps the previous version; evidence already reset
+	}
+	d.Action, d.Version = ActionAdmit, m.Version
+	d.Reason = fmt.Sprintf("agreement %.3f >= %.2f over %d shadow batches",
+		agree, l.pol.cfg.AdmitThreshold, batches)
+	l.pol.record(d)
+}
+
 // maybeTabularize is the dart tier's duty cycle, run on the loop goroutine
 // after training: when the tabularize interval has elapsed and the published
 // student has changed since the serving table was built, re-tabularize and
@@ -707,10 +842,45 @@ func (l *Learner) maybeTabularize() {
 	if time.Since(l.lastTab) < l.cfg.TabularizeInterval {
 		return
 	}
-	if sm := l.studentStore.Load(); sm.Version == l.dartSrcVer {
-		return // student unchanged: the table would come out identical-ish
+	sm := l.studentStore.Load()
+	if sm.Version == l.dartSrcVer {
+		// Student unchanged: the table would come out identical-ish. Count
+		// the skipped attempt once per idle period (the cadence stamp stays
+		// put so a fresh student publish fires on the next tick) so
+		// operators can tell an idle tabularizer from a stuck one.
+		if sm.Version != l.lastSkipVer {
+			l.tabAttempts.Add(1)
+			l.tabSkips.Add(1)
+			l.lastSkipVer = sm.Version
+			if l.pol != nil {
+				l.pol.record(Decision{
+					Class: DartClass, Action: ActionSkip,
+					Reason: fmt.Sprintf("student v%d unchanged since last build", sm.Version),
+				})
+			}
+		}
+		return
 	}
-	_, _ = l.tabularizeLocked() // on failure serving keeps the previous table
+	// Incremental re-tabularization: when the policy engine is configured
+	// with a minimum source delta, a student version whose parameters moved
+	// less than that (relative L2, cumulative since the mirrored build) is
+	// not worth the most expensive background step in the system.
+	if l.pol != nil && l.pol.cfg.MinSourceDelta > 0 && l.dartMirrorVer != 0 {
+		if delta := paramDelta(sm.Net, l.dartStudent); delta < l.pol.cfg.MinSourceDelta {
+			if sm.Version != l.lastSkipVer {
+				l.tabAttempts.Add(1)
+				l.tabSkips.Add(1)
+				l.lastSkipVer = sm.Version
+				l.pol.record(Decision{
+					Class: DartClass, Action: ActionSkip,
+					Reason: fmt.Sprintf("student v%d param delta %.4f < %.4f: rebuild not worth it",
+						sm.Version, delta, l.pol.cfg.MinSourceDelta),
+				})
+			}
+			return
+		}
+	}
+	_, _ = l.tabularizeLocked(l.pol != nil) // on failure serving keeps the previous table
 }
 
 // fitSnapshot copies the newest DartSamples reservoir examples into a
@@ -735,17 +905,44 @@ func (l *Learner) fitSnapshot() (*mat.Tensor, float64, error) {
 	return fit, l.distLossFast, nil
 }
 
+// gateDartEvidence evaluates a candidate hierarchy against its source — the
+// private student mirror it was tabularized from — over AdmitWindow shadow
+// batches drawn from the reservoir, and returns the closed window's verdict.
+// Caller holds tabMu (which guards the mirror); trainMu is taken briefly per
+// batch to sample inputs.
+func (l *Learner) gateDartEvidence(h *tabular.Hierarchy) (agree float64, batches int, labels uint64, ok bool) {
+	for {
+		l.trainMu.Lock()
+		if l.bufN < l.cfg.BatchSize {
+			l.trainMu.Unlock()
+			break
+		}
+		bx := l.evalBatchLocked()
+		l.trainMu.Unlock()
+		match, total := agreementCount(h.QueryBatch(bx), l.dartStudent.Forward(bx))
+		if l.pol.observeCandidate(DartClass, match, total) {
+			break
+		}
+	}
+	return l.pol.admitVerdict(DartClass)
+}
+
 // tabularizeLocked runs one tabularization cycle: refresh the private
 // student mirror to the published student version (the published instance's
 // Forward belongs to the serving batcher, exactly like the distiller's
 // teacher mirror), run tabular.Tabularize over the freshest reservoir
 // examples, and publish the resulting hierarchy as the next dart version.
-// Caller holds tabMu.
-func (l *Learner) tabularizeLocked() (*Table, error) {
+// With gated set (the policy engine owns this duty cycle), the candidate
+// must clear the admission gate — agreement with the source student over the
+// shadow-batch window, and the class budget against its analytic cost —
+// before it publishes; a held candidate is dropped and the next interval
+// builds a fresh one. Caller holds tabMu.
+func (l *Learner) tabularizeLocked(gated bool) (*Table, error) {
 	fit, loss, err := l.fitSnapshot()
 	if err != nil {
 		return nil, err
 	}
+	l.tabAttempts.Add(1)
 	// Stamp the cadence before the expensive work, not after a successful
 	// publish: if tabularization or the checkpoint write fails (disk full,
 	// permissions), the duty cycle must wait out a full interval before
@@ -764,6 +961,31 @@ func (l *Learner) tabularizeLocked() (*Table, error) {
 	res := tabular.Tabularize(l.dartStudent.(*nn.Sequential), fit, l.cfg.Tabular)
 	l.tabNs.Add(time.Since(t0).Nanoseconds())
 	l.tabularized.Add(1)
+	cost := res.Hierarchy.Cost()
+	var admit Decision
+	if gated {
+		agree, batches, labels, ok := l.gateDartEvidence(res.Hierarchy)
+		admit = Decision{
+			Class: DartClass, Agreement: agree, Batches: batches, Labels: labels,
+			Cosine: meanCosine(res.Cosine), LatencyCycles: cost.LatencyCycles,
+			StorageBytes: cost.StorageBytes(),
+		}
+		if bok, reason := l.pol.budgetCheck(DartClass, cost.LatencyCycles, cost.StorageBytes()); !bok {
+			admit.Action, admit.Reason = ActionHold, "budget: "+reason
+			l.pol.record(admit)
+			return nil, fmt.Errorf("online: dart candidate held: %s", admit.Reason)
+		}
+		if !ok {
+			admit.Action = ActionHold
+			admit.Reason = fmt.Sprintf("agreement %.3f < %.2f over %d shadow batches",
+				agree, l.pol.cfg.AdmitThreshold, batches)
+			l.pol.record(admit)
+			return nil, fmt.Errorf("online: dart candidate held: %s", admit.Reason)
+		}
+		admit.Action = ActionAdmit
+		admit.Reason = fmt.Sprintf("agreement %.3f >= %.2f over %d shadow batches",
+			agree, l.pol.cfg.AdmitThreshold, batches)
+	}
 	tab, err := l.dartStore.Publish(res.Hierarchy, nn.CheckpointMeta{
 		Source:   sm.Version, // the student version the table derives from
 		Examples: uint64(fit.N),
@@ -773,32 +995,55 @@ func (l *Learner) tabularizeLocked() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	cost := tab.H.Cost()
 	l.dartCost.Store(&cost)
 	l.dartPublished.Add(1)
 	l.dartSrcVer = sm.Version
+	if gated {
+		admit.Version = tab.Version
+		l.pol.record(admit)
+	}
 	return tab, nil
+}
+
+// logForced records a wire-forced swap/rollback in the decision log: forced
+// verbs bypass the admission gate by design (an operator outranks the
+// policy), but the log still covers every publish so the `policy` verb shows
+// the full promotion history.
+func (l *Learner) logForced(class, action string, ver uint64) {
+	if l.pol == nil {
+		return
+	}
+	l.pol.record(Decision{Class: class, Action: action, Version: ver,
+		Reason: "forced via wire verb (gate bypassed)"})
 }
 
 // SwapDart force-runs one tabularization cycle immediately (the serve
 // protocol's "swap" verb with the dart class selector), publishing a fresh
 // table from the currently published student — even an unchanged one, since
-// the reservoir the kernels fit on keeps moving. Serving picks the table up
-// at the next inference batch.
+// the reservoir the kernels fit on keeps moving. The admission gate is
+// bypassed; with the policy engine enabled the forced publish is still
+// logged. Serving picks the table up at the next inference batch.
 func (l *Learner) SwapDart() (*Table, error) {
 	if l.dartStore == nil {
 		return nil, fmt.Errorf("online: no dart tier configured")
 	}
 	l.tabMu.Lock()
 	defer l.tabMu.Unlock()
-	return l.tabularizeLocked()
+	t, err := l.tabularizeLocked(false)
+	if err != nil {
+		return nil, err
+	}
+	l.logForced(DartClass, ActionAdmit, t.Version)
+	return t, nil
 }
 
-// RollbackDart reverts the served table to the previously published version.
-// There is no shadow to reset — tables are derived artifacts — but the
-// rolled-back source version is forgotten so the next duty cycle rebuilds
-// from the current student instead of skipping as "unchanged".
-func (l *Learner) RollbackDart() (*Table, error) {
+// rollbackDart reverts the served table to the previously published version
+// without logging a decision — the policy engine's divergence rollback logs
+// its own decision with the agreement evidence. There is no shadow to reset
+// — tables are derived artifacts — but the rolled-back source version is
+// forgotten so the next duty cycle rebuilds from the current student instead
+// of skipping as "unchanged".
+func (l *Learner) rollbackDart() (*Table, error) {
 	if l.dartStore == nil {
 		return nil, fmt.Errorf("online: no dart tier configured")
 	}
@@ -814,13 +1059,29 @@ func (l *Learner) RollbackDart() (*Table, error) {
 	return t, nil
 }
 
+// RollbackDart reverts the served table to the previously published version
+// (the serve protocol's "rollback" verb with the dart class selector).
+func (l *Learner) RollbackDart() (*Table, error) {
+	t, err := l.rollbackDart()
+	if err != nil {
+		return nil, err
+	}
+	l.logForced(DartClass, ActionRollback, t.Version)
+	return t, nil
+}
+
 // Swap force-publishes the current shadow as a new version immediately (the
 // serve protocol's "swap" verb). Serving picks it up at the next inference
 // batch.
 func (l *Learner) Swap() (*Model, error) {
 	l.trainMu.Lock()
-	defer l.trainMu.Unlock()
-	return l.publishLocked()
+	m, err := l.publishLocked()
+	l.trainMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	l.logForced("teacher", ActionAdmit, m.Version)
+	return m, nil
 }
 
 // Rollback reverts serving to the previously published version and resets
@@ -829,34 +1090,43 @@ func (l *Learner) Swap() (*Model, error) {
 // ones.
 func (l *Learner) Rollback() (*Model, error) {
 	l.trainMu.Lock()
-	defer l.trainMu.Unlock()
 	m, err := l.store.Rollback()
 	if err != nil {
+		l.trainMu.Unlock()
 		return nil, err
 	}
 	if err := nn.CopyParams(l.shadow, m.Net); err != nil {
+		l.trainMu.Unlock()
 		return nil, fmt.Errorf("online: rollback: %w", err)
 	}
 	l.tr = nn.NewTrainer(l.shadow, nn.NewAdam(l.cfg.LR), l.cfg.BatchSize, l.rng)
+	l.trainMu.Unlock()
+	l.logForced("teacher", ActionRollback, m.Version)
 	return m, nil
 }
 
 // SwapStudent force-publishes the current student shadow as a new student
 // version immediately (the serve protocol's "swap" verb with the student
-// class selector).
+// class selector), bypassing the admission gate.
 func (l *Learner) SwapStudent() (*Model, error) {
 	if l.studentStore == nil {
 		return nil, fmt.Errorf("online: no distilled-student tier configured")
 	}
 	l.trainMu.Lock()
-	defer l.trainMu.Unlock()
-	return l.publishStudentLocked()
+	m, err := l.publishStudentLocked()
+	l.trainMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	l.logForced(StudentClass, ActionAdmit, m.Version)
+	return m, nil
 }
 
-// RollbackStudent reverts the served student to the previously published
+// rollbackStudent reverts the served student to the previously published
 // version and resets the student shadow (and its optimizer state) to those
-// weights, mirroring Rollback for the teacher class.
-func (l *Learner) RollbackStudent() (*Model, error) {
+// weights, mirroring Rollback for the teacher class. No decision is logged —
+// the policy engine's divergence rollback logs its own.
+func (l *Learner) rollbackStudent() (*Model, error) {
 	if l.studentStore == nil {
 		return nil, fmt.Errorf("online: no distilled-student tier configured")
 	}
@@ -874,6 +1144,18 @@ func (l *Learner) RollbackStudent() (*Model, error) {
 		lr = l.cfg.LR
 	}
 	l.sopt = nn.NewAdam(lr)
+	return m, nil
+}
+
+// RollbackStudent reverts the served student to the previously published
+// version (the serve protocol's "rollback" verb with the student class
+// selector).
+func (l *Learner) RollbackStudent() (*Model, error) {
+	m, err := l.rollbackStudent()
+	if err != nil {
+		return nil, err
+	}
+	l.logForced(StudentClass, ActionRollback, m.Version)
 	return m, nil
 }
 
@@ -904,7 +1186,9 @@ type Stats struct {
 	// Dart (tabularized) tier; all zero when the tier is disabled.
 	DartVersion   uint64  // currently served table version (0 until the first publish)
 	DartPublished uint64  // table versions published since start
-	Tabularized   uint64  // tabularization cycles run
+	Tabularized   uint64  // tabularization cycles run (candidates actually built)
+	DartAttempts  uint64  // duty cycles that considered work: builds + counted skips
+	DartSkips     uint64  // cycles skipped for an unchanged or below-delta student
 	TabularizeMs  float64 // cumulative wall time spent tabularizing, milliseconds
 }
 
@@ -940,6 +1224,8 @@ func (l *Learner) Stats() Stats {
 	if l.dartStore != nil {
 		st.DartPublished = l.dartPublished.Load()
 		st.Tabularized = l.tabularized.Load()
+		st.DartAttempts = l.tabAttempts.Load()
+		st.DartSkips = l.tabSkips.Load()
 		st.TabularizeMs = float64(l.tabNs.Load()) / 1e6
 		if t := l.dartStore.Load(); t != nil {
 			st.DartVersion = t.Version

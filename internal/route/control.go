@@ -203,7 +203,7 @@ func (r *Router) Control(req serve.Request, opened map[string]struct{}) serve.Re
 			return fail(err)
 		}
 		return rep
-	case "model", "classes":
+	case "model", "classes", "policy":
 		rep, err := r.firstHealthy(serve.Request{Op: req.Op, Class: req.Class})
 		if err != nil {
 			return fail(err)

@@ -284,6 +284,10 @@ func NewEngine(cfg Config) *Engine {
 	}
 	if cfg.Online != nil {
 		e.learner = cfg.Online
+		// Promotion policy engine (nil when the learner runs ungated). The
+		// serving batchers feed it live candidate-vs-source agreement so it
+		// can roll back a published version that diverges in production.
+		pol := e.learner.Policy()
 		// One inferFn call resolves the store's current version exactly
 		// once and runs the whole batch through it: a hot swap lands
 		// between batches, never inside one. The published Model is
@@ -303,17 +307,24 @@ func NewEngine(cfg Config) *Engine {
 			// student exactly once (teacher fallback through a private
 			// mirror — never the published teacher instance, which belongs
 			// to the online batcher goroutine), optionally shadow-comparing
-			// the batch against the teacher for the A/B agreement stats.
+			// the batch against the teacher for the A/B agreement stats and
+			// the policy engine's live divergence tracking. One teacher
+			// forward feeds both consumers when both are on.
 			mirror := newMirror(e.learner.Store())
 			e.studentB = newBatcher(func(in *mat.Tensor) (*mat.Tensor, uint64) {
 				stu := e.learner.StudentServing()
 				out, ver := studentInfer(stu, mirror, in)
-				if cfg.ShadowCompare && stu != nil {
+				if (cfg.ShadowCompare || pol != nil) && stu != nil {
 					tnet, _ := mirror.resolve()
 					match, total := agreement(out, tnet.Forward(in))
-					e.abAgree.Add(match)
-					e.abLabels.Add(total)
-					e.abBatches.Add(1)
+					if cfg.ShadowCompare {
+						e.abAgree.Add(match)
+						e.abLabels.Add(total)
+						e.abBatches.Add(1)
+					}
+					if pol != nil {
+						pol.ObserveLive(online.StudentClass, ver, match, total)
+					}
 				}
 				return out, ver
 			}, cfg.MaxBatch)
@@ -332,7 +343,17 @@ func NewEngine(cfg Config) *Engine {
 			// learner, "dart" means the hot-swappable table class.
 			mirror := newMirror(e.learner.StudentStore())
 			e.dartB = newBatcher(func(in *mat.Tensor) (*mat.Tensor, uint64) {
-				return dartInfer(e.learner.DartServing(), mirror, in)
+				tab := e.learner.DartServing()
+				out, ver := dartInfer(tab, mirror, in)
+				// Live shadow-compare against the source (student) class,
+				// only when a table actually served: the fallback path IS
+				// the student mirror, so comparing it would always agree.
+				if pol != nil && tab != nil {
+					snet, _ := mirror.resolve()
+					match, total := agreement(out, snet.Forward(in))
+					pol.ObserveLive(online.DartClass, ver, match, total)
+				}
+				return out, ver
 			}, cfg.MaxBatch)
 			e.cfg.Registry.MakeDart("dart", batchedModel{b: e.dartB},
 				e.learner.Data(), e.learner.DartLatency(), e.learner.DartStorageBytes())
@@ -608,6 +629,7 @@ type Stats struct {
 	Tenants    map[string]TenantAdmission // fair-share admission view, all batchers
 	Online     *online.Stats              // nil unless the engine has a learner
 	AB         *ABStats                   // nil unless shadow-compare is enabled
+	Policy     *online.PolicyStats        // nil unless the promotion policy engine is on
 }
 
 // ABStats is the student tier's A/B shadow-compare digest: how often the
@@ -652,6 +674,10 @@ func (e *Engine) StatsSnapshot() Stats {
 	if e.learner != nil {
 		ls := e.learner.Stats()
 		st.Online = &ls
+		if pol := e.learner.Policy(); pol != nil {
+			ps := pol.Stats()
+			st.Policy = &ps
+		}
 	}
 	if ab := e.abStats(); ab != nil {
 		st.AB = ab

@@ -54,7 +54,7 @@ func (h *Hex64) UnmarshalJSON(b []byte) error {
 // one — cmd/dart-doccheck enforces that in CI.
 var Verbs = []string{
 	"open", "access", "batch", "close",
-	"stats", "model", "swap", "rollback", "classes",
+	"stats", "model", "swap", "rollback", "classes", "policy",
 }
 
 // Request is one line of the client→server protocol. Op selects the action:
@@ -67,6 +67,7 @@ var Verbs = []string{
 //	swap     {"op":"swap"}      force-publish the training shadow as a new version
 //	rollback {"op":"rollback"}  revert serving to the previous version
 //	classes  {"op":"classes"}   list every serving class with its versions and modelled cost
+//	policy   {"op":"policy"}    promotion-policy decision log and per-class gate state
 //
 // The model/swap/rollback verbs accept a model-class selector: "class":""
 // (or omitted) addresses the online teacher, "class":"student" the distilled
@@ -115,6 +116,7 @@ type Reply struct {
 	Stats    *StatsReply  `json:"stats,omitempty"`
 	Online   *OnlineReply `json:"online,omitempty"`
 	Classes  []ClassReply `json:"classes,omitempty"`
+	Policy   *PolicyReply `json:"policy,omitempty"`
 }
 
 // ClassReply is one row of the classes verb: a serving class of the
@@ -157,6 +159,7 @@ type StatsReply struct {
 	MaxBatch int          `json:"max_batch"`
 	Online   *OnlineReply `json:"online,omitempty"`
 	AB       *ABReply     `json:"ab,omitempty"`
+	Policy   *PolicyReply `json:"policy,omitempty"`
 
 	Backends []BackendStat `json:"backends,omitempty"`
 }
@@ -216,6 +219,8 @@ type OnlineReply struct {
 	DartVersion   uint64  `json:"dart_version,omitempty"`
 	DartPublished uint64  `json:"dart_published,omitempty"`
 	Tabularized   uint64  `json:"tabularized,omitempty"`
+	DartAttempts  uint64  `json:"dart_attempts,omitempty"`
+	DartSkips     uint64  `json:"dart_skips,omitempty"`
 	TabularizeMs  float64 `json:"tabularize_ms,omitempty"`
 }
 
@@ -246,8 +251,96 @@ func onlineReply(st online.Stats) *OnlineReply {
 		DartVersion:   st.DartVersion,
 		DartPublished: st.DartPublished,
 		Tabularized:   st.Tabularized,
+		DartAttempts:  st.DartAttempts,
+		DartSkips:     st.DartSkips,
 		TabularizeMs:  st.TabularizeMs,
 	}
+}
+
+// PolicyReply is the wire form of the promotion policy engine: lifetime
+// action counters, the per-class gate states, and — on the policy verb —
+// the retained decision log, oldest first. The stats verb carries the
+// counters and gates only.
+type PolicyReply struct {
+	Enabled    bool           `json:"enabled"`
+	Admitted   uint64         `json:"admitted"`
+	Held       uint64         `json:"held"`
+	RolledBack uint64         `json:"rolled_back"`
+	Skipped    uint64         `json:"skipped"`
+	Decisions  uint64         `json:"decisions"`
+	Gates      []GateReply    `json:"gates,omitempty"`
+	Log        []DecisionLine `json:"log,omitempty"`
+}
+
+// GateReply is one class's gate state in a policy reply.
+type GateReply struct {
+	Class            string  `json:"class"`
+	PendingBatches   int     `json:"pending_batches"`
+	PendingAgreement float64 `json:"pending_agreement"`
+	LiveVersion      uint64  `json:"live_version,omitempty"`
+	LiveAgreement    float64 `json:"live_agreement"`
+	LiveWindows      uint64  `json:"live_windows"`
+	Divergent        int     `json:"divergent"`
+}
+
+// DecisionLine is one decision-log entry on the wire, evidence included.
+type DecisionLine struct {
+	Seq       uint64  `json:"seq"`
+	Time      string  `json:"time"` // RFC 3339, millisecond precision
+	Class     string  `json:"class"`
+	Action    string  `json:"action"`
+	Version   uint64  `json:"version,omitempty"`
+	Reason    string  `json:"reason"`
+	Agreement float64 `json:"agreement,omitempty"`
+	Batches   int     `json:"batches,omitempty"`
+	Labels    uint64  `json:"labels,omitempty"`
+	Cosine    float64 `json:"cosine,omitempty"`
+	Latency   int     `json:"latency_cycles,omitempty"`
+	Storage   int     `json:"storage_bytes,omitempty"`
+}
+
+// policyReply converts engine policy stats (and, when non-nil, the decision
+// log) to the wire form.
+func policyReply(st *online.PolicyStats, log []online.Decision) *PolicyReply {
+	if st == nil {
+		return nil
+	}
+	pr := &PolicyReply{
+		Enabled:    true,
+		Admitted:   st.Admitted,
+		Held:       st.Held,
+		RolledBack: st.RolledBack,
+		Skipped:    st.Skipped,
+		Decisions:  st.Decisions,
+	}
+	for _, g := range st.Gates {
+		pr.Gates = append(pr.Gates, GateReply{
+			Class:            g.Class,
+			PendingBatches:   g.PendingBatches,
+			PendingAgreement: g.PendingAgreement,
+			LiveVersion:      g.LiveVersion,
+			LiveAgreement:    g.LiveAgreement,
+			LiveWindows:      g.LiveWindows,
+			Divergent:        g.Divergent,
+		})
+	}
+	for _, d := range log {
+		pr.Log = append(pr.Log, DecisionLine{
+			Seq:       d.Seq,
+			Time:      d.Time.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+			Class:     d.Class,
+			Action:    d.Action,
+			Version:   d.Version,
+			Reason:    d.Reason,
+			Agreement: d.Agreement,
+			Batches:   d.Batches,
+			Labels:    d.Labels,
+			Cosine:    d.Cosine,
+			Latency:   d.LatencyCycles,
+			Storage:   d.StorageBytes,
+		})
+	}
+	return pr
 }
 
 // errReply builds a failure line.

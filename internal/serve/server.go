@@ -239,6 +239,7 @@ func (s *Server) control(req Request, opened map[string]struct{}) Reply {
 			sr.Online = onlineReply(*st.Online)
 		}
 		sr.AB = abReply(st.AB)
+		sr.Policy = policyReply(st.Policy, nil)
 		return Reply{OK: true, Stats: sr}
 	case "model":
 		if l := s.engine.Learner(); l == nil {
@@ -270,6 +271,20 @@ func (s *Server) control(req Request, opened map[string]struct{}) Reply {
 		} else {
 			return Reply{OK: true, Classes: classesReply(l.Classes())}
 		}
+	case "policy":
+		l := s.engine.Learner()
+		if l == nil {
+			return Reply{OK: false, Err: "serve: no online learner configured"}
+		}
+		pol := l.Policy()
+		if pol == nil {
+			// Policy disabled is a valid state, not an error: the reply says
+			// so explicitly, so operators can distinguish "ungated" from
+			// "gated but quiet".
+			return Reply{OK: true, Policy: &PolicyReply{Enabled: false}}
+		}
+		st := pol.Stats()
+		return Reply{OK: true, Policy: policyReply(&st, pol.Decisions())}
 	case "access", "batch":
 		// Only reachable through a binary control frame: the JSON loop
 		// intercepts access first, and binary clients must use the framed

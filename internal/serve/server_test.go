@@ -23,6 +23,9 @@ func startServer(t *testing.T, cfg Config) (net.Conn, *Server, func()) {
 		t.Fatal(err)
 	}
 	srv := NewServer(NewEngine(cfg))
+	if srv.Engine() == nil {
+		t.Fatal("server lost its engine")
+	}
 	serveDone := make(chan struct{})
 	go func() {
 		defer close(serveDone)

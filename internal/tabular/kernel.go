@@ -6,6 +6,7 @@
 package tabular
 
 import (
+	"fmt"
 	"math/rand"
 
 	"dart/internal/mat"
@@ -34,6 +35,28 @@ const (
 	// encoder assumed by the paper's latency model.
 	EncoderLSH
 )
+
+// String names the encoder kind for configs, stats, and logs.
+func (k EncoderKind) String() string {
+	if k == EncoderLSH {
+		return "lsh"
+	}
+	return "linear"
+}
+
+// ParseEncoderKind maps operator-facing kernel names onto encoder kinds:
+// "lsh" is the hashing encoder, "linear" (alias "kmeans") the exact
+// nearest-prototype search. It makes the serving kernel selection
+// config-driven — callers feed it straight into KernelConfig.Kind.
+func ParseEncoderKind(s string) (EncoderKind, error) {
+	switch s {
+	case "lsh":
+		return EncoderLSH, nil
+	case "linear", "kmeans":
+		return EncoderKMeans, nil
+	}
+	return EncoderKMeans, fmt.Errorf("tabular: unknown encoder kind %q (want lsh or linear)", s)
+}
 
 // KernelConfig carries the per-layer table configuration ⟨K, C⟩ of Table II
 // plus the encoder choice and fitting parameters.

@@ -3,6 +3,7 @@ package tabular
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"dart/internal/mat"
@@ -244,5 +245,36 @@ func TestHierarchyCostAggregates(t *testing.T) {
 	c := h.Cost()
 	if c.LatencyCycles != 3 {
 		t.Fatalf("hierarchy latency = %d", c.LatencyCycles)
+	}
+}
+
+// TestParseEncoderKindRoundTrip pins the operator-facing kernel names: every
+// parseable name round-trips through String, and unknown names are a clean
+// error naming the valid choices.
+func TestParseEncoderKindRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want EncoderKind
+	}{
+		{"lsh", EncoderLSH},
+		{"linear", EncoderKMeans},
+		{"kmeans", EncoderKMeans}, // historical alias for the linear encoder
+	}
+	for _, c := range cases {
+		got, err := ParseEncoderKind(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseEncoderKind(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	// String is the canonical spelling and must itself parse.
+	for _, k := range []EncoderKind{EncoderLSH, EncoderKMeans} {
+		back, err := ParseEncoderKind(k.String())
+		if err != nil || back != k {
+			t.Fatalf("%v.String() = %q does not round-trip: %v, %v", k, k.String(), back, err)
+		}
+	}
+	if _, err := ParseEncoderKind("quantum"); err == nil ||
+		!strings.Contains(err.Error(), "unknown encoder kind") {
+		t.Fatalf("unknown kind error: %v", err)
 	}
 }
