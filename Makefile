@@ -3,8 +3,9 @@ BENCH_TOLERANCE ?= 1.5
 BENCH_MIN_SPEEDUP ?= 2.0
 BENCH_MIN_WIRE_SPEEDUP ?= 5.0
 BENCH_MAX_ROUTER_OVERHEAD ?= 3.0
+BENCH_MIN_QUANT_SHRINK ?= 4.0
 COVER_MAX_DROP ?= 1.0
-BENCH_ONLINE = 'BenchmarkFeedbackIngest|BenchmarkModelSwap|BenchmarkTeacherInfer|BenchmarkStudentInfer|BenchmarkDistillCycle|BenchmarkDartInfer|BenchmarkTabularSwap|BenchmarkPolicyDecision'
+BENCH_ONLINE = 'BenchmarkFeedbackIngest|BenchmarkModelSwap|BenchmarkTeacherInfer|BenchmarkStudentInfer|BenchmarkDistillCycle|BenchmarkDartInfer|BenchmarkTabularSwap|BenchmarkPolicyDecision|BenchmarkQuantRowAccum'
 BENCH_WIRE = 'BenchmarkWireCodec|BenchmarkWireAccessBinary'
 BENCH_ROUTER = 'BenchmarkRouterAccess|BenchmarkDirectAccess'
 
@@ -53,7 +54,12 @@ bench:
 ## "binary" section — the recorded baseline is 0 allocs per steady-state
 ## access, so one new allocation on the binary hot path fails the gate.
 ## The online benchmarks run with -benchmem for the same reason: the
-## promotion policy's ObserveLive hot path is gated at 0 allocs/op.
+## promotion policy's ObserveLive hot path is gated at 0 allocs/op, and the
+## quantized row kernel (BenchmarkQuantRowAccum) likewise — plus the two
+## same-run quantization bars against the "quant" section: int8 dart
+## inference strictly faster than float, and its storage_bytes metric at
+## least 4x smaller (BenchmarkDartInferQuant rides on the BenchmarkDartInfer
+## substring match).
 ## -count 3 because the checker keeps the per-benchmark minimum: the
 ## µs-scale grid points are noisy at low iteration counts and min-of-3
 ## filters scheduler interference.
@@ -69,7 +75,8 @@ bench-ci:
 	@cat bench-ci.out
 	$(GO) run ./cmd/dart-benchcheck -baseline BENCH_par.json -serve-baseline BENCH_serve.json \
 		-tolerance $(BENCH_TOLERANCE) -min-speedup $(BENCH_MIN_SPEEDUP) \
-		-min-wire-speedup $(BENCH_MIN_WIRE_SPEEDUP) -max-router-overhead $(BENCH_MAX_ROUTER_OVERHEAD) bench-ci.out
+		-min-wire-speedup $(BENCH_MIN_WIRE_SPEEDUP) -max-router-overhead $(BENCH_MAX_ROUTER_OVERHEAD) \
+		-min-quant-shrink $(BENCH_MIN_QUANT_SHRINK) bench-ci.out
 
 ## bench-serve: regenerate the serving-throughput report in BENCH_serve.json.
 ## The "report" section is the JSON-wire replay baseline the binary protocol's
@@ -93,6 +100,7 @@ bench-update: bench-serve
 		./internal/online > bench-online.out || { cat bench-online.out; exit 1; }
 	@cat bench-online.out
 	$(GO) run ./cmd/dart-benchcheck -write-online BENCH_serve.json bench-online.out
+	$(GO) run ./cmd/dart-benchcheck -write-quant BENCH_serve.json bench-online.out
 	$(GO) test -run '^$$' -bench $(BENCH_WIRE) -benchtime 2s -benchmem \
 		./internal/serve > bench-wire.out || { cat bench-wire.out; exit 1; }
 	@cat bench-wire.out

@@ -44,6 +44,18 @@
 // fields of the "binary" section from measured benchmarks, preserving the
 // replay_* fields that `dart-serve -replay -proto binary -json` maintains.
 //
+// -serve-baseline also gates the quantized dart tables against the "quant"
+// section of the same file: BenchmarkDartInferQuant (ns/op within tolerance,
+// allocs/op at most the recorded baseline) and BenchmarkQuantRowAccum — the
+// SIMD gather-accumulate micro-kernel, whose alloc baseline is zero, so a
+// single allocation on the quantized row hot path fails CI. Two
+// host-independent same-run checks ride along: quantized dart inference must
+// be strictly faster than float dart inference, and its reported
+// storage_bytes metric must be at least -min-quant-shrink times smaller
+// (default 4x, the int8 acceptance bar) — both sides measured seconds apart
+// on the same host. -write-quant rewrites the "quant" section from measured
+// benchmarks, preserving every other key in the file.
+//
 // -serve-baseline also gates the sharding tier against the "router" section
 // of the same file: BenchmarkRouterAccess and BenchmarkDirectAccess are
 // checked for ns/op regressions, and the same-run routed-vs-direct overhead
@@ -128,6 +140,18 @@ type binaryBaseline struct {
 	CodecAllocs      float64 `json:"codec_allocs"`
 	WireAccessNs     float64 `json:"wire_access_ns"`
 	WireAccessAllocs float64 `json:"wire_access_allocs"`
+}
+
+// quantBaseline is the "quant" section of BENCH_serve.json: the quantized
+// dart-table benchmarks. The storage field is recorded for visibility; the
+// shrink gate itself is same-run (quant vs float storage_bytes metrics), so
+// it cannot drift with the baseline file.
+type quantBaseline struct {
+	DartInferQuantNs     float64 `json:"dart_infer_quant_ns"`
+	DartInferQuantAllocs float64 `json:"dart_infer_quant_allocs"`
+	DartQuantStorage     float64 `json:"dart_quant_storage_bytes"`
+	QuantRowNs           float64 `json:"quant_row_ns"`
+	QuantRowAllocs       float64 `json:"quant_row_allocs"`
 }
 
 // routerBaseline is the "router" section of BENCH_serve.json: the sharding
@@ -407,6 +431,87 @@ func binaryChecks(servePath string, got map[string]float64, tolerance, minWireSp
 	return checks, missing, true
 }
 
+// quantChecks gates the quantized dart tables against the "quant" section of
+// the serve baseline file: ns/op within tolerance, allocs/op at most the
+// recorded baseline with no tolerance (the QuantRowAccum baseline is zero —
+// the SIMD row kernel's zero-alloc guarantee), plus the two host-independent
+// same-run ratios against the float dart row: quantized inference must be
+// strictly faster, and its storage_bytes metric at least minShrink times
+// smaller. Both sides of each ratio ran seconds apart on the same host, so
+// no tolerance applies.
+func quantChecks(servePath string, got map[string]float64, tolerance, minShrink float64, out io.Writer) (checks []check, missing []string, ok bool) {
+	raw, err := os.ReadFile(servePath)
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return nil, nil, false
+	}
+	var doc struct {
+		Quant *quantBaseline `json:"quant"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fmt.Fprintf(out, "benchcheck: parsing %s: %v\n", servePath, err)
+		return nil, nil, false
+	}
+	if doc.Quant == nil {
+		fmt.Fprintf(out, "benchcheck: %s has no \"quant\" section (run `make bench-update`)\n", servePath)
+		return nil, nil, false
+	}
+	q := *doc.Quant
+	addNs := func(name string, baseNs float64) {
+		if baseNs <= 0 {
+			missing = append(missing, name)
+			return
+		}
+		ns, measured := got[name]
+		if !measured {
+			missing = append(missing, name)
+			return
+		}
+		limit := baseNs * tolerance
+		checks = append(checks, check{name: name, measured: ns, limit: limit, ok: ns <= limit})
+	}
+	addAllocs := func(name string, baseAllocs float64) {
+		allocs, measured := got[name]
+		if !measured {
+			missing = append(missing, name)
+			return
+		}
+		checks = append(checks, check{name: name, measured: allocs, limit: baseAllocs, ok: allocs <= baseAllocs})
+	}
+	addNs("BenchmarkDartInferQuant", q.DartInferQuantNs)
+	addAllocs("BenchmarkDartInferQuant@allocs", q.DartInferQuantAllocs)
+	addNs("BenchmarkQuantRowAccum", q.QuantRowNs)
+	addAllocs("BenchmarkQuantRowAccum@allocs", q.QuantRowAllocs)
+	type rel struct {
+		name, num, den string
+		limit          float64
+		strict         bool // ratio must exceed (not just meet) the limit
+	}
+	for _, r := range []rel{
+		{"speedup(quant vs float dart infer, same run)", "BenchmarkDartInfer", "BenchmarkDartInferQuant", 1, true},
+		{"shrink(quant vs float dart storage_bytes)", "BenchmarkDartInfer@storage_bytes", "BenchmarkDartInferQuant@storage_bytes", minShrink, false},
+	} {
+		num, ok1 := got[r.num]
+		den, ok2 := got[r.den]
+		if !ok1 {
+			missing = append(missing, r.num)
+		}
+		if !ok2 {
+			missing = append(missing, r.den)
+		}
+		if !ok1 || !ok2 {
+			continue
+		}
+		ratio := num / den
+		pass := ratio >= r.limit
+		if r.strict {
+			pass = ratio > r.limit
+		}
+		checks = append(checks, check{name: r.name, measured: ratio, limit: r.limit, ok: pass})
+	}
+	return checks, missing, true
+}
+
 // routerChecks gates the sharding tier against the "router" section of the
 // serve baseline file: the routed and direct access benchmarks for ns/op
 // regressions like any other benchmark, plus the host-independent same-run
@@ -574,6 +679,56 @@ func writeBinary(servePath string, got map[string]float64, out io.Writer) int {
 	return 0
 }
 
+// writeQuant rewrites the "quant" section of the serve baseline file from the
+// measured benchmarks, preserving every other key in the file.
+func writeQuant(servePath string, got map[string]float64, out io.Writer) int {
+	for _, name := range []string{
+		"BenchmarkDartInferQuant", "BenchmarkDartInferQuant@allocs",
+		"BenchmarkDartInferQuant@storage_bytes",
+		"BenchmarkQuantRowAccum", "BenchmarkQuantRowAccum@allocs",
+	} {
+		if _, ok := got[name]; !ok {
+			fmt.Fprintf(out, "benchcheck: input has no %s result (need -benchmem); not updating %s\n", name, servePath)
+			return 2
+		}
+	}
+	raw, err := os.ReadFile(servePath)
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fmt.Fprintf(out, "benchcheck: parsing %s: %v\n", servePath, err)
+		return 2
+	}
+	sec, err := json.Marshal(quantBaseline{
+		DartInferQuantNs:     got["BenchmarkDartInferQuant"],
+		DartInferQuantAllocs: got["BenchmarkDartInferQuant@allocs"],
+		DartQuantStorage:     got["BenchmarkDartInferQuant@storage_bytes"],
+		QuantRowNs:           got["BenchmarkQuantRowAccum"],
+		QuantRowAllocs:       got["BenchmarkQuantRowAccum@allocs"],
+	})
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	doc["quant"] = sec
+	updated, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	if err := os.WriteFile(servePath, append(updated, '\n'), 0o644); err != nil {
+		fmt.Fprintf(out, "benchcheck: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(out, "benchcheck: %s quant section updated (infer %.0f ns / %.0f storage_bytes, row %.1f ns / %.0f allocs)\n",
+		servePath, got["BenchmarkDartInferQuant"], got["BenchmarkDartInferQuant@storage_bytes"],
+		got["BenchmarkQuantRowAccum"], got["BenchmarkQuantRowAccum@allocs"])
+	return 0
+}
+
 // writeOnline rewrites the "online" section of the serve baseline file from
 // the measured benchmarks, leaving every other key untouched.
 func writeOnline(servePath string, got map[string]float64, out io.Writer) int {
@@ -634,7 +789,7 @@ func writeOnline(servePath string, got map[string]float64, out io.Writer) int {
 }
 
 // run executes the gate and returns the process exit code.
-func run(baselinePath, servePath, updateOnline, updateBinary, updateRouter string, tolerance, minSpeedup, minWireSpeedup, maxRouterOverhead float64, in io.Reader, out io.Writer) int {
+func run(baselinePath, servePath, updateOnline, updateBinary, updateRouter, updateQuant string, tolerance, minSpeedup, minWireSpeedup, maxRouterOverhead, minQuantShrink float64, in io.Reader, out io.Writer) int {
 	got, err := parseBench(in)
 	if err != nil {
 		fmt.Fprintf(out, "benchcheck: %v\n", err)
@@ -652,6 +807,9 @@ func run(baselinePath, servePath, updateOnline, updateBinary, updateRouter strin
 	}
 	if updateRouter != "" {
 		return writeRouter(updateRouter, got, out)
+	}
+	if updateQuant != "" {
+		return writeQuant(updateQuant, got, out)
 	}
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -681,6 +839,19 @@ func run(baselinePath, servePath, updateOnline, updateBinary, updateRouter strin
 			return 2
 		}
 		checks = append(checks, sChecks...)
+		qChecks, qMissing, ok := quantChecks(servePath, got, tolerance, minQuantShrink, out)
+		if !ok {
+			return 2
+		}
+		if len(qMissing) > 0 {
+			// Same fail-closed rule: the quant gate carries the int8 acceptance
+			// bars (quant beats float, >=4x shrink, zero-alloc row kernel), and
+			// a benchmark dropped from bench-ci would silently stop enforcing
+			// them.
+			fmt.Fprintf(out, "benchcheck: quant benchmarks missing from input or baseline: %v\n", qMissing)
+			return 2
+		}
+		checks = append(checks, qChecks...)
 		bChecks, bMissing, ok := binaryChecks(servePath, got, tolerance, minWireSpeedup, out)
 		if !ok {
 			return 2
@@ -739,10 +910,12 @@ func main() {
 	updateOnline := flag.String("write-online", "", "update mode: rewrite this file's \"online\" section from the measured benchmarks")
 	updateBinary := flag.String("write-binary", "", "update mode: rewrite this file's \"binary\" codec/access fields from the measured benchmarks")
 	updateRouter := flag.String("write-router", "", "update mode: rewrite this file's \"router\" ns fields from the measured benchmarks")
+	updateQuant := flag.String("write-quant", "", "update mode: rewrite this file's \"quant\" section from the measured benchmarks")
 	tolerance := flag.Float64("tolerance", 1.5, "allowed slowdown vs baseline")
 	minSpeedup := flag.Float64("min-speedup", 2.0, "required same-run speedup of par w4 over serial")
 	minWireSpeedup := flag.Float64("min-wire-speedup", 5.0, "required recorded speedup of binary replay over json replay")
 	maxRouterOverhead := flag.Float64("max-router-overhead", 3.0, "allowed same-run overhead of routed access over direct access")
+	minQuantShrink := flag.Float64("min-quant-shrink", 4.0, "required same-run shrink of quantized over float dart storage_bytes")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -755,5 +928,5 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	os.Exit(run(*baselinePath, *servePath, *updateOnline, *updateBinary, *updateRouter, *tolerance, *minSpeedup, *minWireSpeedup, *maxRouterOverhead, in, os.Stdout))
+	os.Exit(run(*baselinePath, *servePath, *updateOnline, *updateBinary, *updateRouter, *updateQuant, *tolerance, *minSpeedup, *minWireSpeedup, *maxRouterOverhead, *minQuantShrink, in, os.Stdout))
 }

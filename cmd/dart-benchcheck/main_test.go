@@ -67,7 +67,7 @@ func writeBaseline(t *testing.T) string {
 
 func TestGatePassesWithinTolerance(t *testing.T) {
 	var out strings.Builder
-	code := run(writeBaseline(t), "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(sampleBench), &out)
+	code := run(writeBaseline(t), "", "", "", "", "", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -82,7 +82,7 @@ func TestGateFailsOnRegression(t *testing.T) {
 		"BenchmarkMatMul/par/n512/w4-1    10  11200000 ns/op",
 		"BenchmarkMatMul/par/n512/w4-1    10  33000000 ns/op", 1)
 	var out strings.Builder
-	code := run(writeBaseline(t), "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(slow), &out)
+	code := run(writeBaseline(t), "", "", "", "", "", 1.5, 2.0, 5, 3, 4, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -99,7 +99,7 @@ func TestGateFailsOnLostSpeedup(t *testing.T) {
 BenchmarkMatMul/par/n512/w4-1 2 9000000 ns/op
 `
 	var out strings.Builder
-	code := run(writeBaseline(t), "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(in), &out)
+	code := run(writeBaseline(t), "", "", "", "", "", 1.5, 2.0, 5, 3, 4, strings.NewReader(in), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -132,7 +132,7 @@ BenchmarkMatMul/par/n64/w4-1 40 24000 ns/op
 BenchmarkHierarchyQueryBatch-1 100 1700000 ns/op
 `
 	var out strings.Builder
-	code := run(writeBaseline(t), "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(small), &out)
+	code := run(writeBaseline(t), "", "", "", "", "", 1.5, 2.0, 5, 3, 4, strings.NewReader(small), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -148,7 +148,7 @@ func TestGateFailsClosedWhenNothingMatches(t *testing.T) {
 BenchmarkSomethingElse-1 5 12345 ns/op
 `
 	var out strings.Builder
-	if code := run(writeBaseline(t), "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(renamed), &out); code != 2 {
+	if code := run(writeBaseline(t), "", "", "", "", "", 1.5, 2.0, 5, 3, 4, strings.NewReader(renamed), &out); code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "no measured benchmark matched") {
@@ -158,14 +158,14 @@ BenchmarkSomethingElse-1 5 12345 ns/op
 
 func TestGateErrorsOnEmptyInput(t *testing.T) {
 	var out strings.Builder
-	if code := run(writeBaseline(t), "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader("no benchmarks here"), &out); code != 2 {
+	if code := run(writeBaseline(t), "", "", "", "", "", 1.5, 2.0, 5, 3, 4, strings.NewReader("no benchmarks here"), &out); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
 
 func TestGateErrorsOnMissingBaseline(t *testing.T) {
 	var out strings.Builder
-	if code := run(filepath.Join(t.TempDir(), "nope.json"), "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(sampleBench), &out); code != 2 {
+	if code := run(filepath.Join(t.TempDir(), "nope.json"), "", "", "", "", "", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleBench), &out); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
@@ -174,7 +174,7 @@ func TestGateErrorsOnMissingBaseline(t *testing.T) {
 // against drifting away from the schema the gate reads.
 func TestRealBaselineParses(t *testing.T) {
 	var out strings.Builder
-	code := run("../../BENCH_par.json", "", "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(sampleBench), &out)
+	code := run("../../BENCH_par.json", "", "", "", "", "", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleBench), &out)
 	// sampleBench numbers are far below the real baseline, so this passes
 	// unless the JSON fails to parse (exit 2).
 	if code == 2 {
@@ -197,6 +197,11 @@ const sampleServeBaseline = `{
     "codec_ns": 2100, "codec_allocs": 0,
     "wire_access_ns": 520, "wire_access_allocs": 0
   },
+  "quant": {
+    "dart_infer_quant_ns": 160000, "dart_infer_quant_allocs": 980,
+    "dart_quant_storage_bytes": 1995,
+    "quant_row_ns": 30, "quant_row_allocs": 0
+  },
   "router": {
     "router_access_ns": 5900, "direct_access_ns": 2950,
     "replay_throughput": 300000
@@ -210,6 +215,8 @@ BenchmarkTeacherInfer-1  434  553897 ns/op  44032 storage_bytes
 BenchmarkStudentInfer-1  712  321442 ns/op  13952 storage_bytes
 BenchmarkDistillCycle-1  84  3096250 ns/op
 BenchmarkDartInfer-1  951  249812 ns/op  7982 storage_bytes
+BenchmarkDartInferQuant-1  1500  161234 ns/op  1995 storage_bytes  84000 B/op  980 allocs/op
+BenchmarkQuantRowAccum-1  40000000  29.8 ns/op  0 B/op  0 allocs/op
 BenchmarkTabularSwap-1  200000  5100 ns/op
 BenchmarkPolicyDecision-1  50000000  21.7 ns/op  0 B/op  0 allocs/op
 BenchmarkWireCodec-1  550000  2156 ns/op  0 B/op  0 allocs/op
@@ -231,7 +238,7 @@ func writeServeBaseline(t *testing.T, content string) string {
 func TestOnlineGatePassesWithinTolerance(t *testing.T) {
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -247,7 +254,7 @@ func TestOnlineGateFailsOnRegression(t *testing.T) {
 		"BenchmarkFeedbackIngest-1  1000000  95.0 ns/op", 1)
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(slow), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -261,7 +268,7 @@ func TestOnlineGateFailsClosedOnMissingBenchmark(t *testing.T) {
 	// gate must error rather than degrade to a warning.
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(sampleBench), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleBench), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -273,7 +280,7 @@ func TestOnlineGateFailsClosedOnMissingBenchmark(t *testing.T) {
 func TestOnlineGateFailsClosedWithoutSection(t *testing.T) {
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, `{"report": {}}`), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -285,7 +292,7 @@ func TestOnlineGateFailsClosedWithoutSection(t *testing.T) {
 func TestWriteOnlinePreservesOtherKeys(t *testing.T) {
 	path := writeServeBaseline(t, sampleServeBaseline)
 	var out strings.Builder
-	code := run("", "", path, "", "", 1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+	code := run("", "", path, "", "", "", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -303,7 +310,7 @@ func TestWriteOnlinePreservesOtherKeys(t *testing.T) {
 		}
 	}
 	// The refreshed file must pass its own gate.
-	code = run(writeBaseline(t), path, "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+	code = run(writeBaseline(t), path, "", "", "", "", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("self-gate exit %d:\n%s", code, out.String())
 	}
@@ -330,7 +337,7 @@ func TestStudentGateFailsWhenNotFaster(t *testing.T) {
 		"BenchmarkStudentInfer-1  712  560000 ns/op  13952 storage_bytes", 1)
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		2.0, 2.0, 5, 3, strings.NewReader(slow), &out)
+		"", 2.0, 2.0, 5, 3, 4, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -348,7 +355,7 @@ func TestDartGateFailsWhenNotFasterThanStudent(t *testing.T) {
 		"BenchmarkDartInfer-1  951  330000 ns/op  7982 storage_bytes", 1)
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		2.0, 2.0, 5, 3, strings.NewReader(slow), &out)
+		"", 2.0, 2.0, 5, 3, 4, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -363,7 +370,7 @@ func TestStudentGateFailsWhenNotSmaller(t *testing.T) {
 		"BenchmarkStudentInfer-1  712  321442 ns/op  44032 storage_bytes", 1)
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(bloated), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(bloated), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -379,7 +386,7 @@ func TestStudentGateFailsClosedOnMissingStudentBench(t *testing.T) {
 		"BenchmarkStudentInfer-1  712  321442 ns/op  13952 storage_bytes\n", "", 1)
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(noStudent), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(noStudent), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -389,7 +396,7 @@ func TestWriteOnlineRefusesPartialInput(t *testing.T) {
 	path := writeServeBaseline(t, sampleServeBaseline)
 	var out strings.Builder
 	// Missing BenchmarkModelSwap: must refuse rather than zero the baseline.
-	code := run("", "", path, "", "", 1.5, 2.0, 5, 3,
+	code := run("", "", path, "", "", "", 1.5, 2.0, 5, 3, 4,
 		strings.NewReader("BenchmarkFeedbackIngest-1 100 20 ns/op\n"), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
@@ -405,7 +412,7 @@ func TestPolicyGateFailsOnSingleAlloc(t *testing.T) {
 		"BenchmarkPolicyDecision-1  50000000  21.7 ns/op  48 B/op  1 allocs/op", 1)
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(leaky), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(leaky), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -421,7 +428,7 @@ func TestPolicyGateFailsClosedOnMissingBench(t *testing.T) {
 		"BenchmarkPolicyDecision-1  50000000  21.7 ns/op  0 B/op  0 allocs/op\n", "", 1)
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(noPolicy), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(noPolicy), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -456,7 +463,7 @@ func TestParseBenchAllocsMetric(t *testing.T) {
 func TestBinaryGatePassesAtBaseline(t *testing.T) {
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -477,7 +484,7 @@ func TestBinaryGateFailsOnNsRegression(t *testing.T) {
 		"BenchmarkWireCodec-1  550000  9000 ns/op  0 B/op  0 allocs/op", 1)
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(slow), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -494,7 +501,7 @@ func TestBinaryGateFailsOnSingleAlloc(t *testing.T) {
 		"BenchmarkWireAccessBinary-1  2000000  529.2 ns/op  48 B/op  1 allocs/op", 1)
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(leaky), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(leaky), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -510,7 +517,7 @@ func TestBinaryGateFailsClosedOnMissingWireBench(t *testing.T) {
 		"BenchmarkWireCodec-1  550000  2156 ns/op  0 B/op  0 allocs/op\n", "", 1)
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(noWire), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(noWire), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -532,7 +539,7 @@ func TestBinaryGateFailsClosedWithoutSection(t *testing.T) {
 	}
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, noBinary), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -547,7 +554,7 @@ func TestWireSpeedupGateFailsBelowBar(t *testing.T) {
 		`"replay_throughput": 3900000`, `"replay_throughput": 1920000`, 1)
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, slow), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -563,7 +570,7 @@ func TestWireSpeedupFailsClosedWithoutRecordedThroughput(t *testing.T) {
 		`"replay_throughput": 3900000, "replay_batch": 64,`, "", 1)
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, noReplay), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -575,7 +582,7 @@ func TestWireSpeedupFailsClosedWithoutRecordedThroughput(t *testing.T) {
 func TestWriteBinaryPreservesReplayAndOtherKeys(t *testing.T) {
 	path := writeServeBaseline(t, sampleServeBaseline)
 	var out strings.Builder
-	code := run("", "", "", path, "", 1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+	code := run("", "", "", path, "", "", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -594,7 +601,7 @@ func TestWriteBinaryPreservesReplayAndOtherKeys(t *testing.T) {
 		}
 	}
 	// The refreshed file must pass its own gate.
-	code = run(writeBaseline(t), path, "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+	code = run(writeBaseline(t), path, "", "", "", "", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("self-gate exit %d:\n%s", code, out.String())
 	}
@@ -603,7 +610,7 @@ func TestWriteBinaryPreservesReplayAndOtherKeys(t *testing.T) {
 func TestRouterGatePassesAtBaseline(t *testing.T) {
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -625,7 +632,7 @@ func TestRouterGateFailsOnOverhead(t *testing.T) {
 		"BenchmarkRouterAccess-1  200000  12100 ns/op  120 B/op  3 allocs/op", 1)
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		5.0, 2.0, 5, 3, strings.NewReader(slow), &out)
+		"", 5.0, 2.0, 5, 3, 4, strings.NewReader(slow), &out)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
@@ -641,7 +648,7 @@ func TestRouterGateFailsClosedOnMissingBench(t *testing.T) {
 		"BenchmarkRouterAccess-1  200000  6012 ns/op  120 B/op  3 allocs/op\n", "", 1)
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(noRouter), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(noRouter), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -661,7 +668,7 @@ func TestRouterGateFailsClosedWithoutSection(t *testing.T) {
 	}
 	var out strings.Builder
 	code := run(writeBaseline(t), writeServeBaseline(t, noSection), "", "", "",
-		1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -673,7 +680,7 @@ func TestRouterGateFailsClosedWithoutSection(t *testing.T) {
 func TestWriteRouterPreservesReplayAndOtherKeys(t *testing.T) {
 	path := writeServeBaseline(t, sampleServeBaseline)
 	var out strings.Builder
-	code := run("", "", "", "", path, 1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+	code := run("", "", "", "", path, "", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
@@ -691,7 +698,7 @@ func TestWriteRouterPreservesReplayAndOtherKeys(t *testing.T) {
 		}
 	}
 	// The refreshed file must pass its own gate.
-	code = run(writeBaseline(t), path, "", "", "", 1.5, 2.0, 5, 3, strings.NewReader(sampleOnlineBench), &out)
+	code = run(writeBaseline(t), path, "", "", "", "", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
 	if code != 0 {
 		t.Fatalf("self-gate exit %d:\n%s", code, out.String())
 	}
@@ -701,7 +708,7 @@ func TestWriteRouterRefusesPartialInput(t *testing.T) {
 	path := writeServeBaseline(t, sampleServeBaseline)
 	var out strings.Builder
 	// Missing BenchmarkDirectAccess: must refuse rather than gut the section.
-	code := run("", "", "", "", path, 1.5, 2.0, 5, 3,
+	code := run("", "", "", "", path, "", 1.5, 2.0, 5, 3, 4,
 		strings.NewReader("BenchmarkRouterAccess-1 100 6012 ns/op\n"), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
@@ -714,7 +721,7 @@ func TestWriteBinaryRefusesWithoutBenchmem(t *testing.T) {
 	// Wire benchmarks measured without -benchmem: no allocs columns, so the
 	// update must refuse rather than zero the alloc baselines.
 	in := "BenchmarkWireCodec-1 550000 2156 ns/op\nBenchmarkWireAccessBinary-1 2000000 529.2 ns/op\n"
-	code := run("", "", "", path, "", 1.5, 2.0, 5, 3, strings.NewReader(in), &out)
+	code := run("", "", "", path, "", "", 1.5, 2.0, 5, 3, 4, strings.NewReader(in), &out)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 	}
@@ -745,10 +752,160 @@ func TestWriteRouterBadBaselineFile(t *testing.T) {
 				}
 			}
 			var out strings.Builder
-			code := run("", "", "", "", path, 1.5, 2.0, 5, 3, strings.NewReader(in), &out)
+			code := run("", "", "", "", path, "", 1.5, 2.0, 5, 3, 4, strings.NewReader(in), &out)
 			if code != 2 {
 				t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
 			}
 		})
+	}
+}
+
+func TestQuantGatePassesAtBaseline(t *testing.T) {
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"BenchmarkDartInferQuant", "BenchmarkQuantRowAccum@allocs",
+		"speedup(quant vs float dart infer, same run)",
+		"shrink(quant vs float dart storage_bytes)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("quant gate %q not checked:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestQuantGateFailsWhenNotFasterThanFloat(t *testing.T) {
+	// Quantized inference as slow as the float tables: absolute baselines may
+	// pass under a loose tolerance, but the same-run quant-beats-float check
+	// — the tentpole's acceptance bar — must fail.
+	slow := strings.Replace(sampleOnlineBench,
+		"BenchmarkDartInferQuant-1  1500  161234 ns/op  1995 storage_bytes  84000 B/op  980 allocs/op",
+		"BenchmarkDartInferQuant-1  1500  260000 ns/op  1995 storage_bytes  84000 B/op  980 allocs/op", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		"", 2.0, 2.0, 5, 3, 4, strings.NewReader(slow), &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL speedup(quant vs float dart infer") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestQuantGateFailsBelowShrink(t *testing.T) {
+	// Quantized storage only 3.2x below float (e.g. a float64 side table crept
+	// into the quantized hierarchy): below the 4x bar.
+	bloated := strings.Replace(sampleOnlineBench,
+		"161234 ns/op  1995 storage_bytes",
+		"161234 ns/op  2500 storage_bytes", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(bloated), &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL shrink(quant vs float dart storage_bytes)") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestQuantGateFailsOnRowKernelAlloc(t *testing.T) {
+	// The gather-accumulate row kernel picking up a single allocation fails
+	// against its zero baseline with no tolerance, even with ns/op unchanged.
+	leaky := strings.Replace(sampleOnlineBench,
+		"BenchmarkQuantRowAccum-1  40000000  29.8 ns/op  0 B/op  0 allocs/op",
+		"BenchmarkQuantRowAccum-1  40000000  29.8 ns/op  64 B/op  1 allocs/op", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(leaky), &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkQuantRowAccum@allocs") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestQuantGateFailsClosedOnMissingBench(t *testing.T) {
+	// The quantized benchmarks vanishing from bench-ci's input must error,
+	// not silently stop enforcing the int8 acceptance bars.
+	noQuant := strings.Replace(sampleOnlineBench,
+		"BenchmarkDartInferQuant-1  1500  161234 ns/op  1995 storage_bytes  84000 B/op  980 allocs/op\n", "", 1)
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, sampleServeBaseline), "", "", "",
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(noQuant), &out)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "quant benchmarks missing") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestQuantGateFailsClosedWithoutSection(t *testing.T) {
+	noSection := strings.Replace(sampleServeBaseline, `"quant": {
+    "dart_infer_quant_ns": 160000, "dart_infer_quant_allocs": 980,
+    "dart_quant_storage_bytes": 1995,
+    "quant_row_ns": 30, "quant_row_allocs": 0
+  },
+  `, "", 1)
+	if noSection == sampleServeBaseline {
+		t.Fatal("fixture replace failed")
+	}
+	var out strings.Builder
+	code := run(writeBaseline(t), writeServeBaseline(t, noSection), "", "", "",
+		"", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), `"quant"`) {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestWriteQuantPreservesOtherKeys(t *testing.T) {
+	path := writeServeBaseline(t, sampleServeBaseline)
+	var out strings.Builder
+	code := run("", "", "", "", "", path, 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	updated, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(updated)
+	for _, want := range []string{
+		`"dart_infer_quant_ns": 161234`, `"dart_quant_storage_bytes": 1995`,
+		`"quant_row_ns": 29.8`, `"quant_row_allocs": 0`,
+		`"feedback_ingest_ns": 20`, `"codec_ns": 2100`, `"Throughput": 640000`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("updated file missing %q:\n%s", want, s)
+		}
+	}
+	// The refreshed file must pass its own gate.
+	code = run(writeBaseline(t), path, "", "", "", "", 1.5, 2.0, 5, 3, 4, strings.NewReader(sampleOnlineBench), &out)
+	if code != 0 {
+		t.Fatalf("self-gate exit %d:\n%s", code, out.String())
+	}
+}
+
+func TestWriteQuantRefusesWithoutBenchmem(t *testing.T) {
+	path := writeServeBaseline(t, sampleServeBaseline)
+	var out strings.Builder
+	// Quant benchmarks measured without -benchmem: no allocs columns, so the
+	// update must refuse rather than zero the alloc baselines.
+	in := "BenchmarkDartInferQuant-1 1500 161234 ns/op 1995 storage_bytes\nBenchmarkQuantRowAccum-1 40000000 29.8 ns/op\n"
+	code := run("", "", "", "", "", path, 1.5, 2.0, 5, 3, 4, strings.NewReader(in), &out)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "-benchmem") {
+		t.Fatalf("output:\n%s", out.String())
 	}
 }

@@ -398,10 +398,11 @@ func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration, s
 		// spec-driven kernel (or a configured candidate) overrides it.
 		cfg.Dart = true
 		cfg.TabularizeInterval = tabularizeInterval
-		if chosen != nil || spec.Kernel != "" || spec.K > 0 || spec.C > 0 {
+		if chosen != nil || spec.Kernel != "" || spec.K > 0 || spec.C > 0 || spec.Bits > 0 {
 			tab := online.DefaultTabularConfig()
 			if chosen != nil {
 				tab.Kernel.K, tab.Kernel.C = chosen.Table.K, chosen.Table.C
+				tab.Kernel.DataBits = chosen.Table.DataBits
 			}
 			if spec.Kernel != "" {
 				kind, err := tabular.ParseEncoderKind(spec.Kernel)
@@ -415,6 +416,9 @@ func buildLearner(art *core.Artifacts, dir string, swapInterval time.Duration, s
 			}
 			if spec.C > 0 {
 				tab.Kernel.C = spec.C
+			}
+			if spec.Bits > 0 {
+				tab.Kernel.DataBits = spec.Bits
 			}
 			cfg.Tabular = tab
 		}

@@ -144,6 +144,7 @@ func distillServeStudent(art *core.Artifacts, epochs int, out string, spec confi
 			DOut: smodel.DO, Heads: smodel.H, Layers: smodel.L,
 		}
 		tabCfg.Kernel.K, tabCfg.Kernel.C = cand.Table.K, cand.Table.C
+		tabCfg.Kernel.DataBits = cand.Table.DataBits
 	}
 	if spec.Kernel != "" {
 		kind, err := tabular.ParseEncoderKind(spec.Kernel)
@@ -157,6 +158,9 @@ func distillServeStudent(art *core.Artifacts, epochs int, out string, spec confi
 	}
 	if spec.C > 0 {
 		tabCfg.Kernel.C = spec.C
+	}
+	if spec.Bits > 0 {
+		tabCfg.Kernel.DataBits = spec.Bits
 	}
 	// Seed 13 matches dart-serve's student factory so recovered checkpoints
 	// restore into an identically-shaped network.

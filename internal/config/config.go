@@ -47,24 +47,35 @@ func TabularLatency(m ModelConfig, t TableConfig) int {
 	return lat
 }
 
-// TabularStorageBits is Eq. 23: total table storage of the model.
+// TabularStorageBits is Eq. 23: total table storage of the model. It prices
+// candidates the way the built kernels report Cost(): entries at the width
+// they are actually stored (float64 for any non-quantized request, the
+// quantized width plus per-row affine metadata for 8/16 bits), and layer
+// norms, the sigmoid LUT, and attention denominator tables always in
+// float64. The model used to charge a nominal 32 bits the float tables never
+// stored, which made every storage-budget admission decision roughly 2x
+// optimistic.
 func TabularStorageBits(m ModelConfig, t TableConfig) int {
 	d := t.DataBits
-	if d == 0 {
-		d = 32
+	rowMeta := 0 // per-table quantization metadata: scale + zero per row
+	if d == 8 || d == 16 {
+		rowMeta = t.K * t.C * (64 + 32)
+	} else {
+		d = 64
 	}
-	sln := tabular.LayerNormStorageBits(m.DA, d)
-	s := 2*tabular.LinearStorageBits(m.T, m.DA, t.K, t.C, d) + // input linear
+	den := t.K * t.C * 64 // attention denominator table stays float64
+	sln := tabular.LayerNormStorageBits(m.DA, 64)
+	s := 2*(tabular.LinearStorageBits(m.T, m.DA, t.K, t.C, d)+rowMeta) + // input linear
 		sln +
-		tabular.LinearStorageBits(m.T, m.DO, t.K, t.C, d) + // output linear
-		tabular.SigmoidStorageBits(d)
+		tabular.LinearStorageBits(m.T, m.DO, t.K, t.C, d) + rowMeta + // output linear
+		tabular.SigmoidStorageBits(64)
 	perLayer := 2*sln +
-		tabular.LinearStorageBits(m.T, 3*m.H*(m.DA/m.H), t.K, t.C, d) + // QKV projection
-		tabular.AttentionStorageBits(m.T, m.DA, t.K, t.C, d) +
-		tabular.LinearStorageBits(m.T, m.DA, t.K, t.C, d) + // MSA output projection
+		tabular.LinearStorageBits(m.T, 3*m.H*(m.DA/m.H), t.K, t.C, d) + rowMeta + // QKV projection
+		tabular.AttentionStorageBits(m.T, m.DA, t.K, t.C, d) + den + 2*rowMeta +
+		tabular.LinearStorageBits(m.T, m.DA, t.K, t.C, d) + rowMeta + // MSA output projection
 		sln +
-		tabular.LinearStorageBits(m.T, m.DF, t.K, t.C, d) + // FFN hidden
-		tabular.LinearStorageBits(m.T, m.DA, t.K, t.C, d) // FFN output
+		tabular.LinearStorageBits(m.T, m.DF, t.K, t.C, d) + rowMeta + // FFN hidden
+		tabular.LinearStorageBits(m.T, m.DA, t.K, t.C, d) + rowMeta // FFN output
 	return s + m.L*perLayer
 }
 
@@ -186,8 +197,16 @@ func Evaluate(m ModelConfig, t TableConfig) Candidate {
 
 // DefaultSpace enumerates the predefined design list of Sec. VI-C2 for the
 // given input/output dimensions: L ∈ {1, 2}, D_A ∈ {16, 32, 64} (D_F = 4D_A),
-// H ∈ {2, 4}, K ∈ {16 … 1024}, C ∈ {1, 2, 4}.
+// H ∈ {2, 4}, K ∈ {16 … 1024}, C ∈ {1, 2, 4}, at the default float64 entry
+// width.
 func DefaultSpace(t, di, do int) []Candidate {
+	return DefaultSpaceBits(t, di, do, 64)
+}
+
+// DefaultSpaceBits is DefaultSpace at an explicit stored entry width: 8 or
+// 16 price quantized tables (including their per-row affine metadata), any
+// other value prices float64 tables.
+func DefaultSpaceBits(t, di, do, bits int) []Candidate {
 	var out []Candidate
 	for _, l := range []int{1, 2} {
 		for _, da := range []int{16, 32, 64} {
@@ -198,7 +217,7 @@ func DefaultSpace(t, di, do int) []Candidate {
 				m := ModelConfig{T: t, DI: di, DA: da, DF: 4 * da, DO: do, H: h, L: l}
 				for _, k := range []int{16, 32, 64, 128, 256, 512, 1024} {
 					for _, c := range []int{1, 2, 4} {
-						out = append(out, Evaluate(m, TableConfig{K: k, C: c, DataBits: 32}))
+						out = append(out, Evaluate(m, TableConfig{K: k, C: c, DataBits: bits}))
 					}
 				}
 			}

@@ -18,12 +18,26 @@ func TestTabularLatencyBallparkTableV(t *testing.T) {
 }
 
 func TestTabularStorageBallparkTableV(t *testing.T) {
-	// Paper Table V: DART storage 864.4 KB. Accept ±25% given unspecified
-	// sequence length and bitmap width.
-	bits := TabularStorageBits(dartModel(), TableConfig{K: 128, C: 2, DataBits: 32})
+	// Paper Table V: DART storage 864.4 KB at the paper's nominal 32-bit
+	// entry width. Our tables store float64, so the model prices the same
+	// structure at double the entry bits: accept 2x 864.4 KB ±25% (the
+	// non-entry terms — index bits, layer norms, denominators — keep the
+	// ratio slightly under 2).
+	bits := TabularStorageBits(dartModel(), TableConfig{K: 128, C: 2})
 	kb := float64(bits) / 8 / 1024
-	if kb < 640 || kb > 1100 {
-		t.Fatalf("DART storage %.1f KB outside 864±25%%", kb)
+	if kb < 1296 || kb > 2161 {
+		t.Fatalf("DART float storage %.1f KB outside 1728±25%%", kb)
+	}
+	// Quantization must recover the deployable sizes: int8 at least 4x
+	// below float (the entry payload is 8x smaller; metadata and the
+	// float64 denominator/LN terms eat part of it), int16 in between.
+	i8 := TabularStorageBits(dartModel(), TableConfig{K: 128, C: 2, DataBits: 8})
+	i16 := TabularStorageBits(dartModel(), TableConfig{K: 128, C: 2, DataBits: 16})
+	if float64(bits)/float64(i8) < 4 {
+		t.Fatalf("int8 model %d bits not >=4x below float %d", i8, bits)
+	}
+	if !(i8 < i16 && i16 < bits) {
+		t.Fatalf("width ordering violated: int8 %d, int16 %d, float %d", i8, i16, bits)
 	}
 }
 
@@ -72,7 +86,7 @@ func TestDARTReductionVersusStudent(t *testing.T) {
 func TestConfigureRespectsConstraints(t *testing.T) {
 	space := DefaultSpace(8, 10, 64)
 	for _, cons := range []Constraints{
-		{LatencyCycles: 60, StorageBytes: 30 << 10},
+		{LatencyCycles: 60, StorageBytes: 48 << 10},
 		{LatencyCycles: 100, StorageBytes: 1 << 20},
 		{LatencyCycles: 200, StorageBytes: 4 << 20},
 	} {
@@ -121,6 +135,23 @@ func TestConfigureFallsBackToLowerLatency(t *testing.T) {
 	}
 }
 
+func TestQuantizedSpaceUnlocksTightBudgets(t *testing.T) {
+	// The DART-S budget of 30 KB is infeasible under honest float64 table
+	// pricing at tau=60 — it only ever looked feasible while the model
+	// undercounted entry width. The int8 space satisfies it.
+	cons := Constraints{LatencyCycles: 60, StorageBytes: 30 << 10}
+	if _, err := Configure(cons, DefaultSpace(8, 10, 64)); err == nil {
+		t.Fatal("30 KB at tau=60 should be infeasible with float64 tables")
+	}
+	got, err := Configure(cons, DefaultSpaceBits(8, 10, 64, 8))
+	if err != nil {
+		t.Fatalf("int8 space should satisfy the DART-S budget: %v", err)
+	}
+	if got.Table.DataBits != 8 || got.StorageBytes > cons.StorageBytes {
+		t.Fatalf("int8 configure picked %+v", got)
+	}
+}
+
 func TestConfigureInfeasible(t *testing.T) {
 	if _, err := Configure(Constraints{LatencyCycles: 1, StorageBytes: 1}, DefaultSpace(8, 10, 64)); err == nil {
 		t.Fatal("expected infeasibility error")
@@ -131,7 +162,7 @@ func TestTableVIIIConstraintsProduceGrowingConfigs(t *testing.T) {
 	// Table VIII: looser constraints must yield higher-latency, larger
 	// predictors (DART-S < DART < DART-L).
 	space := DefaultSpace(8, 10, 64)
-	s, err := Configure(Constraints{LatencyCycles: 60, StorageBytes: 30 << 10}, space)
+	s, err := Configure(Constraints{LatencyCycles: 60, StorageBytes: 48 << 10}, space)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,7 @@ type PolicySpec struct {
 	Kernel string // kernel=  "lsh" (hashing encoder) or "linear" (exact nearest-prototype)
 	K      int    // k=       prototypes per subspace
 	C      int    // c=       subspaces
+	Bits   int    // bits=    stored table entry width: 8/16 quantized, 64 float (default)
 }
 
 // ParsePolicySpec parses the comma-separated key=value -policy-spec syntax,
@@ -91,6 +92,8 @@ func ParsePolicySpec(s string) (PolicySpec, error) {
 			spec.K, err = strconv.Atoi(val)
 		case "c":
 			spec.C, err = strconv.Atoi(val)
+		case "bits":
+			spec.Bits, err = strconv.Atoi(val)
 		default:
 			return spec, fmt.Errorf("config: unknown policy spec key %q", key)
 		}
@@ -132,6 +135,11 @@ func (s PolicySpec) Validate() error {
 	default:
 		return fmt.Errorf("config: policy kernel=%q (want lsh or linear)", s.Kernel)
 	}
+	switch s.Bits {
+	case 0, 8, 16, 64:
+	default:
+		return fmt.Errorf("config: policy bits=%d (want 8, 16, or 64)", s.Bits)
+	}
 	if (s.StudentLatency > 0) != (s.StudentStorage > 0) {
 		return fmt.Errorf("config: student budget needs both student-latency and student-storage")
 	}
@@ -158,7 +166,11 @@ func (s PolicySpec) ConfigureStudent(t, di, do int) (Candidate, error) {
 	if !s.HasDartBudget() {
 		cons = Constraints{LatencyCycles: s.StudentLatency, StorageBytes: s.StudentStorage}
 	}
-	space := DefaultSpace(t, di, do)
+	bits := s.Bits
+	if bits == 0 {
+		bits = 64
+	}
+	space := DefaultSpaceBits(t, di, do, bits)
 	if s.K > 0 || s.C > 0 {
 		var narrowed []Candidate
 		for _, c := range space {

@@ -1,0 +1,64 @@
+package mat
+
+// Quantized-row micro-kernels for the tabular serving path: a prototype row
+// stored as int8/int16 with an affine (scale, zero) pair is reconstructed or
+// accumulated into a float64 output row. The AVX2 variants are bit-identical
+// to the scalar loops on every input: the integer subtract and the
+// int32→float64 conversion are exact in both, and the vector code uses
+// separate multiply and add instructions (no FMA), so each element sees
+// exactly the same two roundings as the scalar expression. Results are
+// therefore identical across architectures with the same useVectorKernel
+// answer and across any worker count.
+
+// DequantRowInt8 writes dst[i] = float64(int32(q[i])-zero) * scale.
+// len(q) must be >= len(dst).
+func DequantRowInt8(dst []float64, q []int8, zero int32, scale float64) {
+	n := len(dst)
+	i := 0
+	if useVectorKernel && n >= 8 {
+		i = n &^ 7
+		dequantRowInt8AVX(&dst[0], &q[0], i, zero, scale)
+	}
+	for ; i < n; i++ {
+		dst[i] = float64(int32(q[i])-zero) * scale
+	}
+}
+
+// AccumRowInt8 adds dst[i] += float64(int32(q[i])-zero) * scale.
+func AccumRowInt8(dst []float64, q []int8, zero int32, scale float64) {
+	n := len(dst)
+	i := 0
+	if useVectorKernel && n >= 8 {
+		i = n &^ 7
+		accumRowInt8AVX(&dst[0], &q[0], i, zero, scale)
+	}
+	for ; i < n; i++ {
+		dst[i] += float64(int32(q[i])-zero) * scale
+	}
+}
+
+// DequantRowInt16 writes dst[i] = float64(int32(q[i])-zero) * scale.
+func DequantRowInt16(dst []float64, q []int16, zero int32, scale float64) {
+	n := len(dst)
+	i := 0
+	if useVectorKernel && n >= 8 {
+		i = n &^ 7
+		dequantRowInt16AVX(&dst[0], &q[0], i, zero, scale)
+	}
+	for ; i < n; i++ {
+		dst[i] = float64(int32(q[i])-zero) * scale
+	}
+}
+
+// AccumRowInt16 adds dst[i] += float64(int32(q[i])-zero) * scale.
+func AccumRowInt16(dst []float64, q []int16, zero int32, scale float64) {
+	n := len(dst)
+	i := 0
+	if useVectorKernel && n >= 8 {
+		i = n &^ 7
+		accumRowInt16AVX(&dst[0], &q[0], i, zero, scale)
+	}
+	for ; i < n; i++ {
+		dst[i] += float64(int32(q[i])-zero) * scale
+	}
+}

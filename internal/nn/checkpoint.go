@@ -54,6 +54,10 @@ type CheckpointMeta struct {
 	Examples uint64  // cumulative training examples consumed (kernel-fitting examples for tables)
 	Steps    uint64  // cumulative optimizer steps taken
 	Loss     float64 // online loss EWMA at save time
+	// DataBits is the stored table entry width for tabularized hierarchies
+	// (8/16 quantized, 64 float). Zero on parameter checkpoints and on table
+	// checkpoints written before quantization existed (read as float64).
+	DataBits int
 }
 
 // SaveCheckpoint writes a CRC-validated parameter snapshot with a metadata

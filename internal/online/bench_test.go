@@ -123,6 +123,13 @@ func BenchmarkDistillCycle(b *testing.B) {
 // tier's serving kernel (LSH, K=8, C=1 — dart-serve's default), the
 // configuration BenchmarkDartInfer gates.
 func servingHierarchy(b *testing.B) *tabular.Hierarchy {
+	return servingHierarchyBits(b, 0)
+}
+
+// servingHierarchyBits is servingHierarchy at an explicit stored entry width
+// (0 keeps the float64 default) — same student, fit data, and kernel seeds,
+// so the float and quantized benchmarks measure the identical structure.
+func servingHierarchyBits(b *testing.B, bits int) *tabular.Hierarchy {
 	b.Helper()
 	data, tcfg := benchTeacherCfg()
 	student := nn.NewTransformerPredictor(nn.StudentConfig(tcfg), rand.New(rand.NewSource(13)))
@@ -131,17 +138,17 @@ func servingHierarchy(b *testing.B) *tabular.Hierarchy {
 	for i := range fit.Data {
 		fit.Data[i] = rng.NormFloat64()
 	}
-	res := tabular.Tabularize(student, fit, DefaultTabularConfig())
+	cfg := DefaultTabularConfig()
+	cfg.Kernel.DataBits = bits
+	res := tabular.Tabularize(student, fit, cfg)
 	return res.Hierarchy
 }
 
-// BenchmarkDartInfer is the number the paper's deployment argument rests on:
-// one admission-batcher-sized QueryBatch through the tabularized student
-// must be strictly faster than the student's own forward pass (same-run CI
-// check), with the table's analytic storage reported as the storage_bytes
-// metric.
-func BenchmarkDartInfer(b *testing.B) {
-	h := servingHierarchy(b)
+// benchDartInfer measures one admission-batcher-sized QueryBatch through the
+// tabularized student at the given stored width, reporting the table's
+// analytic storage as the storage_bytes metric.
+func benchDartInfer(b *testing.B, bits int) {
+	h := servingHierarchyBits(b, bits)
 	data, _ := benchTeacherCfg()
 	const batch = 16
 	in := mat.NewTensor(batch, data.History, data.InputDim())
@@ -155,6 +162,43 @@ func BenchmarkDartInfer(b *testing.B) {
 		h.QueryBatch(in)
 	}
 	b.ReportMetric(float64(h.Cost().StorageBytes()), "storage_bytes")
+}
+
+// BenchmarkDartInfer is the number the paper's deployment argument rests on:
+// one admission-batcher-sized QueryBatch through the tabularized student
+// must be strictly faster than the student's own forward pass (same-run CI
+// check), with the table's analytic storage reported as the storage_bytes
+// metric.
+func BenchmarkDartInfer(b *testing.B) {
+	benchDartInfer(b, 0)
+}
+
+// BenchmarkDartInferQuant is the int8 deployment artifact's number: the
+// quantized tables must be at least as fast as the float tables same-run
+// (the integer payload is cache-smaller and the row kernels vectorize), and
+// the reported storage_bytes must come in >= 4x under the float row — both
+// gated by dart-benchcheck against the "quant" section of BENCH_serve.json.
+func BenchmarkDartInferQuant(b *testing.B) {
+	benchDartInfer(b, 8)
+}
+
+// BenchmarkQuantRowAccum gates the dequantize-free hot path itself: one
+// quantized-row accumulate (the inner loop of every quantized table query)
+// must stay allocation-free — the allocs/op column is gated at zero, like
+// the wire codec and the policy decision path.
+func BenchmarkQuantRowAccum(b *testing.B) {
+	const n = 64
+	q := make([]int8, n)
+	rng := rand.New(rand.NewSource(5))
+	for i := range q {
+		q[i] = int8(rng.Intn(256) - 128)
+	}
+	dst := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.AccumRowInt8(dst, q, -3, 0.017)
+	}
 }
 
 // BenchmarkTabularSwap measures table hot-swap latency: TableStore.Publish

@@ -37,11 +37,29 @@ func MarshalEncoder(e Encoder) (any, error) {
 	}
 }
 
+// validDims rejects encoder states whose dimensions cannot describe a real
+// encoder before any constructor runs: the constructors panic on invalid
+// decompositions (their callers fit fresh encoders from code, where a bad
+// shape is a programming error), but serialized state is attacker- and
+// corruption-facing input, so a crafted D/C/K must surface as an error.
+func (st encoderState) validDims() error {
+	if st.D <= 0 || st.C <= 0 || st.K <= 0 || st.D%st.C != 0 {
+		return fmt.Errorf("pq: encoder state dims D=%d C=%d K=%d invalid", st.D, st.C, st.K)
+	}
+	if st.Kind == "lsh" && st.K&(st.K-1) != 0 {
+		return fmt.Errorf("pq: lsh encoder state K=%d is not a power of two", st.K)
+	}
+	return nil
+}
+
 // UnmarshalEncoder reconstructs an encoder from MarshalEncoder's state.
 func UnmarshalEncoder(state any) (Encoder, error) {
 	st, ok := state.(encoderState)
 	if !ok {
 		return nil, fmt.Errorf("pq: bad encoder state type %T", state)
+	}
+	if err := st.validDims(); err != nil {
+		return nil, err
 	}
 	switch st.Kind {
 	case "kmeans":

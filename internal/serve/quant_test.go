@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"dart/internal/dataprep"
+	"dart/internal/mat"
+	"dart/internal/nn"
+	"dart/internal/tabular"
+)
+
+// quantMatrixHierarchy tabularizes one deterministic transformer predictor at
+// the given stored width: identical network, fit set, and kernel seeds across
+// calls, so a float64 and an int8 hierarchy from this helper differ only in
+// how their tables store entries.
+func quantMatrixHierarchy(t testing.TB, data dataprep.Config, bits int) *tabular.Hierarchy {
+	t.Helper()
+	tcfg := nn.TransformerConfig{
+		T: data.History, DIn: data.InputDim(),
+		DModel: 8, DFF: 16, DOut: data.OutputDim(), Heads: 2, Layers: 1,
+	}
+	net := nn.NewTransformerPredictor(tcfg, rand.New(rand.NewSource(11)))
+	rng := rand.New(rand.NewSource(23))
+	fit := mat.NewTensor(32, data.History, data.InputDim())
+	for i := range fit.Data {
+		fit.Data[i] = rng.NormFloat64()
+	}
+	cfg := tabular.Config{
+		Kernel: tabular.KernelConfig{K: 4, C: 1, Kind: tabular.EncoderLSH, DataBits: bits},
+		Seed:   17,
+	}
+	return tabular.Tabularize(net, fit, cfg).Hierarchy
+}
+
+// TestQuantizedMatrixAccuracyWithinEpsilon is the end-to-end acceptance bar
+// for quantization: the same mixed-tenant scenario matrix replayed against a
+// float64 dart table and against its int8 twin must land within a fixed
+// prefetch-accuracy epsilon on every dart tenant. Both engines serve a
+// static Model (no learner), so each replay is deterministic — the engine's
+// core contract pins served results bit-identical to offline simulation —
+// and the comparison cannot flake on training timing. The classical-baseline
+// tenant doubles as a control: its sessions never touch the model, so its
+// merged result must be bit-identical between the two runs.
+func TestQuantizedMatrixAccuracyWithinEpsilon(t *testing.T) {
+	data := dataprep.Default()
+	twoLevel := twoLevelTestCfg()
+	tenants := []TenantSpec{
+		{Name: "batch", Workload: "milc", Class: "stride", N: 600},
+		{Name: "svc", Workload: "chase", Class: "dart", Sessions: 2, N: 600, Weight: 2},
+		{Name: "kv", Workload: "zipf", Class: "dart", N: 600, SimCfg: &twoLevel},
+		{Name: "adv", Workload: "phase", Class: "dart", N: 600, Seed: 5},
+	}
+	run := func(h *tabular.Hierarchy) MatrixReport {
+		e := NewEngine(Config{
+			SimCfg: smallSimCfg(), MaxBatch: 8,
+			Model: h, Data: data,
+			ModelLatency: 37, ModelStorage: h.Cost().StorageBytes(),
+		})
+		rep, err := ReplayMatrix(ReplaySpec{Engine: e, Batch: 32, Tenants: tenants})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Complete {
+			t.Fatalf("matrix incomplete: %+v", rep)
+		}
+		return rep
+	}
+
+	hf := quantMatrixHierarchy(t, data, 0)
+	hq := quantMatrixHierarchy(t, data, 8)
+	// Sanity that the comparison is between genuinely different widths. (The
+	// >=4x shrink gate runs in dart-benchcheck at the serving config, where
+	// the table payload dominates; this tiny fixture carries proportionally
+	// more float64 layernorm/sigmoid overhead.)
+	if fb, qb := hf.Cost().StorageBytes(), hq.Cost().StorageBytes(); qb*2 > fb {
+		t.Fatalf("int8 hierarchy %d B not >=2x below float %d B", qb, fb)
+	}
+	repF := run(hf)
+	repQ := run(hq)
+
+	const eps = 0.02
+	for i := range repF.Tenants {
+		tf, tq := repF.Tenants[i], repQ.Tenants[i]
+		if tf.Class != "dart" {
+			if tf.Merged != tq.Merged {
+				t.Fatalf("control tenant %q diverged between runs:\nfloat %+v\nint8  %+v",
+					tf.Tenant, tf.Merged, tq.Merged)
+			}
+			continue
+		}
+		if tf.Merged.PrefetchIssued == 0 || tq.Merged.PrefetchIssued == 0 {
+			t.Fatalf("dart tenant %q issued no prefetches (float %d, int8 %d) — epsilon check vacuous",
+				tf.Tenant, tf.Merged.PrefetchIssued, tq.Merged.PrefetchIssued)
+		}
+		af, aq := tf.Merged.Accuracy(), tq.Merged.Accuracy()
+		if d := af - aq; d > eps || d < -eps {
+			t.Fatalf("dart tenant %q: prefetch accuracy %.4f (float) vs %.4f (int8), |delta| > %.2f",
+				tf.Tenant, af, aq, eps)
+		}
+	}
+}

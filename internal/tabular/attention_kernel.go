@@ -43,6 +43,12 @@ type AttentionKernel struct {
 	qkvTable   []float64  // [Ct][K][K]: numerator (shared) or folded softmax (per-subspace)
 	denTable   []float64  // [Ct][K]: shared-mode denominator partial sums
 	expShift   float64    // global shift keeping exp() in range
+
+	// Quantized forms of qkTable/qkvTable when DataBits is 8/16 (either both
+	// are set and the float slices are nil, or neither). denTable stays
+	// float64: it is K·C entries of reciprocal mass whose relative error
+	// would multiply every output.
+	qkQuant, qkvQuant *quantTable
 }
 
 // AttentionTrainingSet carries the kernel-fitting activations: the Q, K, V
@@ -80,6 +86,12 @@ func NewAttentionKernel(ts AttentionTrainingSet, cfg KernelConfig, mode SoftmaxM
 			}
 		}
 	}
+	if cfg.DataBits == 8 || cfg.DataBits == 16 {
+		// Quantize before fitting the secondary stage: encS must train on
+		// the score rows the quantized table will actually produce.
+		a.qkQuant = quantizeTable(a.qkTable, ck*kk, kk, cfg.DataBits)
+		a.qkTable = nil
+	}
 
 	// Approximate score rows for the training set via the QK table (the
 	// secondary quantization trains on what the query will actually see).
@@ -102,7 +114,7 @@ func NewAttentionKernel(ts AttentionTrainingSet, cfg KernelConfig, mode SoftmaxM
 				ik := ikByRow[t2]
 				var sum float64
 				for c := 0; c < ck; c++ {
-					sum += a.qkTable[(c*kk+iq[c])*kk+ik[c]]
+					sum += a.qkAt(c*kk+iq[c], ik[c])
 				}
 				row[t2] = sum
 			}
@@ -126,7 +138,20 @@ func NewAttentionKernel(ts AttentionTrainingSet, cfg KernelConfig, mode SoftmaxM
 	a.encV.Fit(vcols)
 
 	a.buildQKVTable()
+	if cfg.DataBits == 8 || cfg.DataBits == 16 {
+		ct, ks := a.encS.C(), a.encS.K()
+		a.qkvQuant = quantizeTable(a.qkvTable, ct*ks, ks, cfg.DataBits)
+		a.qkvTable = nil
+	}
 	return a
+}
+
+// qkAt reads one QK-table cell through whichever representation is live.
+func (a *AttentionKernel) qkAt(r, j int) float64 {
+	if a.qkQuant != nil {
+		return a.qkQuant.at(r, j)
+	}
+	return a.qkTable[r*a.encQ.K()+j]
 }
 
 // buildQKVTable folds scaling and softmax into the second-stage table.
@@ -181,6 +206,9 @@ func (a *AttentionKernel) Query(q, k, v *mat.Matrix) *mat.Matrix {
 	t := a.T
 	if q.Rows != t || q.Cols != a.Dk {
 		panic(fmt.Sprintf("tabular: attention query shape %dx%d, want %dx%d", q.Rows, q.Cols, t, a.Dk))
+	}
+	if a.qkQuant != nil {
+		return a.queryQuant(q, k, v)
 	}
 	ck, kk := a.encQ.C(), a.encQ.K()
 	// Round 1: scores from the QK table (Eq. 13).
@@ -243,14 +271,99 @@ func (a *AttentionKernel) Query(q, k, v *mat.Matrix) *mat.Matrix {
 	return out
 }
 
-// Cost reports Eqs. 17, 19, 21 for this kernel.
+// queryQuant runs both lookup rounds against the quantized tables. The many
+// per-sample index and score buffers of the float path collapse into two
+// flat scratch allocations, so the quantized kernel allocates a constant
+// three slices per sample regardless of T and Dk.
+func (a *AttentionKernel) queryQuant(q, k, v *mat.Matrix) *mat.Matrix {
+	t := a.T
+	ck, kk := a.encQ.C(), a.encQ.K()
+	ct, ks := a.encS.C(), a.encS.K()
+	ints := make([]int, ck+t*ck+a.Dk*ct+ct)
+	iq := ints[:ck]
+	ik := ints[ck : ck+t*ck]
+	ivs := ints[ck+t*ck : ck+t*ck+a.Dk*ct]
+	is := ints[len(ints)-ct:]
+	fl := make([]float64, t*t+t)
+	scores := fl[:t*t]
+	col := fl[t*t:]
+
+	// Round 1: scores from the quantized QK table (Eq. 13).
+	for r := 0; r < t; r++ {
+		a.encK.EncodeRow(k.Row(r), ik[r*ck:(r+1)*ck])
+	}
+	for t1 := 0; t1 < t; t1++ {
+		a.encQ.EncodeRow(q.Row(t1), iq)
+		row := scores[t1*t : (t1+1)*t]
+		for t2 := 0; t2 < t; t2++ {
+			ikr := ik[t2*ck : (t2+1)*ck]
+			var sum float64
+			for c := 0; c < ck; c++ {
+				sum += a.qkQuant.at(c*kk+iq[c], ikr[c])
+			}
+			row[t2] = sum
+		}
+	}
+	// Round 2: quantized QKV lookups with the float64 denominator (Eq. 15).
+	for d := 0; d < a.Dk; d++ {
+		for tt := 0; tt < t; tt++ {
+			col[tt] = v.At(tt, d)
+		}
+		a.encV.EncodeRow(col, ivs[d*ct:(d+1)*ct])
+	}
+	out := mat.New(t, a.Dk)
+	for t1 := 0; t1 < t; t1++ {
+		a.encS.EncodeRow(scores[t1*t:(t1+1)*t], is)
+		var den float64
+		if a.mode == SoftmaxShared {
+			for c, i := range is {
+				den += a.denTable[c*ks+i]
+			}
+			if den == 0 {
+				den = 1
+			}
+		}
+		orow := out.Row(t1)
+		for d := 0; d < a.Dk; d++ {
+			ivd := ivs[d*ct : (d+1)*ct]
+			var num float64
+			for c, i := range is {
+				num += a.qkvQuant.at(c*ks+i, ivd[c])
+			}
+			if a.mode == SoftmaxShared {
+				num /= den
+			}
+			orow[d] = num
+		}
+	}
+	return out
+}
+
+// Cost reports Eqs. 17, 19, 21 for this kernel. As with the linear kernel,
+// the storage term prices the actual stored entry width (64-bit float64 or
+// the quantized width plus affine metadata); the always-float64 denominator
+// table, which Eq. 19's 2K²·C·d term does not cover, is added explicitly.
 func (a *AttentionKernel) Cost() Cost {
-	k, c, d := a.cfg.K, a.encQ.C(), a.cfg.DataBits
+	k, c := a.cfg.K, a.encQ.C()
+	d, overhead := 64, 0
+	if a.qkQuant != nil {
+		d = a.qkQuant.bits
+		overhead = a.qkQuant.overheadBits() + a.qkvQuant.overheadBits()
+	}
 	return Cost{
 		LatencyCycles: AttentionLatency(k, c),
-		StorageBits:   AttentionStorageBits(a.T, a.Dk, k, c, d),
+		StorageBits:   AttentionStorageBits(a.T, a.Dk, k, c, d) + len(a.denTable)*64 + overhead,
 		Ops:           AttentionOps(a.T, a.Dk, k, c),
 	}
+}
+
+// TableBytes is the measured footprint of the stored tables.
+func (a *AttentionKernel) TableBytes() int {
+	b := len(a.denTable) * 8
+	if a.qkQuant != nil {
+		return b + a.qkQuant.storedBytes() + a.qkvQuant.storedBytes()
+	}
+	return b + (len(a.qkTable)+len(a.qkvTable))*8
 }
 
 // Name identifies the kernel.

@@ -24,9 +24,11 @@ import (
 const hierarchyModelName = "tabular.Hierarchy"
 
 // SaveCheckpoint writes a CRC-validated hierarchy snapshot with a metadata
-// header. meta.Format and meta.Model are filled in by this function.
+// header. meta.Format, meta.Model, and meta.DataBits are filled in by this
+// function.
 func SaveCheckpoint(w io.Writer, h *Hierarchy, meta nn.CheckpointMeta) error {
 	meta.Model = hierarchyModelName
+	meta.DataBits = h.DataBits()
 	st, err := marshalLayers(h.Layers)
 	if err != nil {
 		return err

@@ -36,12 +36,19 @@ const (
 	EncoderLSH
 )
 
-// String names the encoder kind for configs, stats, and logs.
+// String names the encoder kind for configs, stats, and logs. It
+// round-trips exactly with ParseEncoderKind for every defined kind; values
+// outside the enum get a distinct label instead of masquerading as "linear"
+// (a corrupted or future-versioned config should be visible in logs, not
+// silently renamed to a kind it is not).
 func (k EncoderKind) String() string {
-	if k == EncoderLSH {
+	switch k {
+	case EncoderKMeans:
+		return "linear"
+	case EncoderLSH:
 		return "lsh"
 	}
-	return "linear"
+	return fmt.Sprintf("encoderkind(%d)", int(k))
 }
 
 // ParseEncoderKind maps operator-facing kernel names onto encoder kinds:
@@ -61,16 +68,20 @@ func ParseEncoderKind(s string) (EncoderKind, error) {
 // KernelConfig carries the per-layer table configuration ⟨K, C⟩ of Table II
 // plus the encoder choice and fitting parameters.
 type KernelConfig struct {
-	K        int         // prototypes per subspace
-	C        int         // subspaces
-	Kind     EncoderKind // encoder implementation
-	DataBits int         // stored entry width d in bits (paper uses d); default 32
+	K    int         // prototypes per subspace
+	C    int         // subspaces
+	Kind EncoderKind // encoder implementation
+	// DataBits is the stored entry width d in bits: 8 or 16 build quantized
+	// tables with per-row affine (scale, zero) metadata; anything else
+	// (default 64) keeps float64 tables. Cost reporting always reflects the
+	// width actually stored, never this request verbatim.
+	DataBits int
 }
 
 // withDefaults normalises zero fields.
 func (c KernelConfig) withDefaults() KernelConfig {
 	if c.DataBits == 0 {
-		c.DataBits = 32
+		c.DataBits = 64
 	}
 	if c.K == 0 {
 		c.K = 16

@@ -186,7 +186,7 @@ func TestAttentionKernelModesDiffer(t *testing.T) {
 }
 
 func TestSigmoidLUTAccuracy(t *testing.T) {
-	lut := NewSigmoidLUT(32)
+	lut := NewSigmoidLUT()
 	for x := -10.0; x <= 10.0; x += 0.01 {
 		want := 1 / (1 + math.Exp(-x))
 		if got := lut.Lookup(x); math.Abs(got-want) > 0.01 {
@@ -207,7 +207,7 @@ func TestLayerNormTabMatchesNN(t *testing.T) {
 	ln := nn.NewLayerNorm("ln", 6)
 	ln.Gamma.W.Randn(rng, 1)
 	ln.Beta.W.Randn(rng, 1)
-	tab := NewLayerNormTab(ln, 32)
+	tab := NewLayerNormTab(ln)
 	x := clusteredTensor(rng, 4, 3, 6, 2)
 	want := ln.Forward(x.Clone())
 	for s := 0; s < 4; s++ {

@@ -22,7 +22,10 @@ type LinearKernel struct {
 	// Prototype-major layout: one encoded index selects a contiguous
 	// Out-wide slice, so query aggregation is sequential adds (a straight
 	// copy for C == 1) instead of a K-strided gather per output dim.
+	// Exactly one of table and quant is set: DataBits 8/16 replaces the
+	// float64 table with the quantized form at construction time.
 	table []float64
+	quant *quantTable
 	cfg   KernelConfig
 	seqT  int // nominal sequence length for cost reporting
 }
@@ -63,6 +66,14 @@ func NewLinearKernel(l *nn.Linear, train *mat.Tensor, cfg KernelConfig, rng *ran
 			}
 		}
 	}
+	if cfg.DataBits == 8 || cfg.DataBits == 16 {
+		// Quantize at build time, before downstream kernels fit their
+		// prototypes: later layers train on the activations this table
+		// actually produces (quantization-aware tabularization), and the
+		// fine-tuning pass has already run on the source nn.Linear.
+		k.quant = quantizeTable(k.table, C*K, l.Out, cfg.DataBits)
+		k.table = nil
+	}
 	return k
 }
 
@@ -73,6 +84,9 @@ func NewLinearKernel(l *nn.Linear, train *mat.Tensor, cfg KernelConfig, rng *ran
 func (k *LinearKernel) Query(x *mat.Matrix) *mat.Matrix {
 	if x.Cols != k.In {
 		panic(fmt.Sprintf("tabular: linear kernel query dim %d != %d", x.Cols, k.In))
+	}
+	if k.quant != nil {
+		return k.queryQuant(x)
 	}
 	C, K := k.enc.C(), k.enc.K()
 	out := mat.New(x.Rows, k.Out)
@@ -92,14 +106,59 @@ func (k *LinearKernel) Query(x *mat.Matrix) *mat.Matrix {
 	return out
 }
 
-// Cost reports Eqs. 16, 18, 20 for this kernel.
+// queryQuant is the quantized fast path: rows are encoded one at a time into
+// a stack buffer (no batch-encode scratch allocations), subspace 0
+// reconstructs straight into the output row, and the remaining subspaces
+// accumulate on top — each table row's scale is applied exactly once.
+func (k *LinearKernel) queryQuant(x *mat.Matrix) *mat.Matrix {
+	C, K := k.enc.C(), k.enc.K()
+	out := mat.New(x.Rows, k.Out)
+	var ibuf [maxStackSubspaces]int
+	idx := ibuf[:C]
+	if C > maxStackSubspaces {
+		idx = make([]int, C)
+	}
+	for t := 0; t < x.Rows; t++ {
+		k.enc.EncodeRow(x.Row(t), idx)
+		orow := out.Row(t)
+		k.quant.dequantRow(idx[0], orow)
+		for c := 1; c < C; c++ {
+			k.quant.accumRow(c*K+idx[c], orow)
+		}
+	}
+	return out
+}
+
+// maxStackSubspaces bounds the encoded-index buffer the quantized query path
+// keeps on the stack; serving configs use C of 1-4.
+const maxStackSubspaces = 16
+
+// Cost reports Eqs. 16, 18, 20 for this kernel. The storage term prices the
+// width entries are actually stored at — 64-bit float64 or the 8/16-bit
+// quantized payload plus its per-row affine metadata — rather than echoing
+// KernelConfig.DataBits, which older configs set to widths the tables never
+// used.
 func (k *LinearKernel) Cost() Cost {
-	K, C, d := k.cfg.K, k.enc.C(), k.cfg.DataBits
+	K, C := k.cfg.K, k.enc.C()
+	d, overhead := 64, 0
+	if k.quant != nil {
+		d = k.quant.bits
+		overhead = k.quant.overheadBits()
+	}
 	return Cost{
 		LatencyCycles: LinearLatency(K, C),
-		StorageBits:   LinearStorageBits(k.seqT, k.Out, K, C, d),
+		StorageBits:   LinearStorageBits(k.seqT, k.Out, K, C, d) + overhead,
 		Ops:           LinearOps(k.seqT, k.Out, K, C),
 	}
+}
+
+// TableBytes is the measured footprint of the stored table (payload plus any
+// quantization metadata).
+func (k *LinearKernel) TableBytes() int {
+	if k.quant != nil {
+		return k.quant.storedBytes()
+	}
+	return len(k.table) * 8
 }
 
 // Name identifies the layer.

@@ -16,20 +16,15 @@ type LayerNormTab struct {
 	Gamma []float64
 	Beta  []float64
 	Eps   float64
-	bits  int
 }
 
 // NewLayerNormTab copies the parameters of a trained layer norm.
-func NewLayerNormTab(ln *nn.LayerNorm, dataBits int) *LayerNormTab {
-	if dataBits == 0 {
-		dataBits = 32
-	}
+func NewLayerNormTab(ln *nn.LayerNorm) *LayerNormTab {
 	return &LayerNormTab{
 		D:     ln.D,
 		Gamma: append([]float64(nil), ln.Gamma.W.Data...),
 		Beta:  append([]float64(nil), ln.Beta.W.Data...),
 		Eps:   ln.Eps,
-		bits:  dataBits,
 	}
 }
 
@@ -58,9 +53,11 @@ func (l *LayerNormTab) Query(x *mat.Matrix) *mat.Matrix {
 	return out
 }
 
-// Cost reports the layer-norm constants of Eq. 22/23.
+// Cost reports the layer-norm constants of Eq. 22/23. The parameters are
+// kept as float64, so storage is priced at 64 bits per entry — the
+// passthroughs used to echo a configured width their slices never had.
 func (l *LayerNormTab) Cost() Cost {
-	return Cost{LatencyCycles: LayerNormLatency, StorageBits: LayerNormStorageBits(l.D, l.bits)}
+	return Cost{LatencyCycles: LayerNormLatency, StorageBits: LayerNormStorageBits(l.D, 64)}
 }
 
 // Name identifies the layer.
@@ -71,15 +68,11 @@ func (l *LayerNormTab) Name() string { return fmt.Sprintf("layernorm(%d)", l.D) 
 type SigmoidLUT struct {
 	Range   float64
 	Entries []float64
-	bits    int
 }
 
 // NewSigmoidLUT builds the standard 1024-entry table over [-8, 8].
-func NewSigmoidLUT(dataBits int) *SigmoidLUT {
-	if dataBits == 0 {
-		dataBits = 32
-	}
-	l := &SigmoidLUT{Range: 8, Entries: make([]float64, SigmoidLUTEntries), bits: dataBits}
+func NewSigmoidLUT() *SigmoidLUT {
+	l := &SigmoidLUT{Range: 8, Entries: make([]float64, SigmoidLUTEntries)}
 	for i := range l.Entries {
 		x := -l.Range + 2*l.Range*float64(i)/float64(len(l.Entries)-1)
 		l.Entries[i] = 1 / (1 + math.Exp(-x))
@@ -108,9 +101,10 @@ func (l *SigmoidLUT) Query(x *mat.Matrix) *mat.Matrix {
 	return out
 }
 
-// Cost reports the sigmoid constants of Eq. 22/23.
+// Cost reports the sigmoid constants of Eq. 22/23; the LUT entries are
+// float64, so they are priced at their stored 64-bit width.
 func (l *SigmoidLUT) Cost() Cost {
-	return Cost{LatencyCycles: SigmoidLatency, StorageBits: SigmoidStorageBits(l.bits)}
+	return Cost{LatencyCycles: SigmoidLatency, StorageBits: SigmoidStorageBits(64)}
 }
 
 // Name identifies the layer.
@@ -161,28 +155,39 @@ func (MeanPoolTab) Cost() Cost { return Cost{LatencyCycles: 2} }
 func (MeanPoolTab) Name() string { return "meanpool" }
 
 // PosEmbedTab adds the trained positional embedding, a constant per-position
-// vector addition with no multiplications.
+// vector addition with no multiplications. The embedding is a stored table
+// of the deployment artifact, so it quantizes with the kernel tables: at 8
+// or 16 bits each position row carries its own affine pair and the add goes
+// through the same accumulate kernels as the lookup tables.
 type PosEmbedTab struct {
-	T, D int
-	Emb  []float64 // [T*D], row-major
-	bits int
+	T, D  int
+	Emb   []float64   // [T*D], row-major; nil when quant is set
+	quant *quantTable // per-position quantized rows; nil for float64
 }
 
-// NewPosEmbedTab copies a trained positional embedding.
-func NewPosEmbedTab(p *nn.PositionalEmbedding, dataBits int) *PosEmbedTab {
-	if dataBits == 0 {
-		dataBits = 32
-	}
-	return &PosEmbedTab{
+// NewPosEmbedTab copies a trained positional embedding, quantizing it when
+// bits is 8 or 16 (any other value keeps float64).
+func NewPosEmbedTab(p *nn.PositionalEmbedding, bits int) *PosEmbedTab {
+	t := &PosEmbedTab{
 		T: p.T, D: p.D,
-		Emb:  append([]float64(nil), p.Emb.W.Data...),
-		bits: dataBits,
+		Emb: append([]float64(nil), p.Emb.W.Data...),
 	}
+	if bits == 8 || bits == 16 {
+		t.quant = quantizeTable(t.Emb, t.T, t.D, bits)
+		t.Emb = nil
+	}
+	return t
 }
 
 // Query adds the embedding row-wise.
 func (p *PosEmbedTab) Query(x *mat.Matrix) *mat.Matrix {
 	out := x.Clone()
+	if p.quant != nil {
+		for t := 0; t < x.Rows && t < p.T; t++ {
+			p.quant.accumRow(t, out.Row(t))
+		}
+		return out
+	}
 	for t := 0; t < x.Rows && t < p.T; t++ {
 		row := out.Row(t)
 		for d := range row {
@@ -192,9 +197,14 @@ func (p *PosEmbedTab) Query(x *mat.Matrix) *mat.Matrix {
 	return out
 }
 
-// Cost is one parallel add plus the stored table.
+// Cost is one parallel add plus the embedding table at the width it is
+// actually stored: the quantized payload with its per-row affine metadata,
+// or 64 bits per float64 entry.
 func (p *PosEmbedTab) Cost() Cost {
-	return Cost{LatencyCycles: 1, StorageBits: p.T * p.D * p.bits}
+	if p.quant != nil {
+		return Cost{LatencyCycles: 1, StorageBits: p.T*p.D*p.quant.bits + p.quant.overheadBits()}
+	}
+	return Cost{LatencyCycles: 1, StorageBits: p.T * p.D * 64}
 }
 
 // Name identifies the layer.

@@ -1,0 +1,190 @@
+package tabular
+
+import (
+	"fmt"
+
+	"dart/internal/mat"
+	"dart/internal/pq"
+)
+
+// quantTable stores a prototype-major lookup table as int8/int16 codes with a
+// per-row affine (scale, zero) pair. A "row" is the contiguous slice one
+// encoded prototype index selects — Out entries for a linear kernel, K
+// entries for the attention tables — so queries aggregate quantized rows in
+// integer form and apply each row's scale exactly once. Row reconstruction
+// goes through the mat quantized-row kernels, which are bit-identical between
+// their scalar and vector forms.
+type quantTable struct {
+	bits   int // 8 or 16
+	rowLen int
+	q8     []int8
+	q16    []int16
+	scale  []float64 // per row
+	zero   []int32   // per row
+}
+
+// quantizeTable converts a float64 table of rows x rowLen entries to the
+// given stored width, fitting one affine pair per row.
+func quantizeTable(src []float64, rows, rowLen, bits int) *quantTable {
+	if bits != 8 && bits != 16 {
+		panic(fmt.Sprintf("tabular: unsupported quantized width %d bits (want 8 or 16)", bits))
+	}
+	if len(src) != rows*rowLen {
+		panic(fmt.Sprintf("tabular: quantizeTable %d entries != %d rows x %d", len(src), rows, rowLen))
+	}
+	qt := &quantTable{
+		bits:   bits,
+		rowLen: rowLen,
+		scale:  make([]float64, rows),
+		zero:   make([]int32, rows),
+	}
+	if bits == 8 {
+		qt.q8 = make([]int8, len(src))
+	} else {
+		qt.q16 = make([]int16, len(src))
+	}
+	for r := 0; r < rows; r++ {
+		row := src[r*rowLen : (r+1)*rowLen]
+		rq := pq.FitRowQuant(row, bits)
+		qt.scale[r], qt.zero[r] = rq.Scale, rq.Zero
+		for j, v := range row {
+			code := rq.Quantize(v, bits)
+			if bits == 8 {
+				qt.q8[r*rowLen+j] = int8(code)
+			} else {
+				qt.q16[r*rowLen+j] = int16(code)
+			}
+		}
+	}
+	return qt
+}
+
+func (qt *quantTable) rows() int { return len(qt.scale) }
+
+// dequantRow reconstructs row r into dst (len(dst) == rowLen).
+func (qt *quantTable) dequantRow(r int, dst []float64) {
+	base := r * qt.rowLen
+	if qt.bits == 8 {
+		mat.DequantRowInt8(dst, qt.q8[base:base+qt.rowLen], qt.zero[r], qt.scale[r])
+	} else {
+		mat.DequantRowInt16(dst, qt.q16[base:base+qt.rowLen], qt.zero[r], qt.scale[r])
+	}
+}
+
+// accumRow adds row r into dst.
+func (qt *quantTable) accumRow(r int, dst []float64) {
+	base := r * qt.rowLen
+	if qt.bits == 8 {
+		mat.AccumRowInt8(dst, qt.q8[base:base+qt.rowLen], qt.zero[r], qt.scale[r])
+	} else {
+		mat.AccumRowInt16(dst, qt.q16[base:base+qt.rowLen], qt.zero[r], qt.scale[r])
+	}
+}
+
+// at reconstructs the single entry (r, j) — the attention score path reads
+// individual pairwise-product cells rather than whole rows.
+func (qt *quantTable) at(r, j int) float64 {
+	var code int32
+	if qt.bits == 8 {
+		code = int32(qt.q8[r*qt.rowLen+j])
+	} else {
+		code = int32(qt.q16[r*qt.rowLen+j])
+	}
+	return float64(code-qt.zero[r]) * qt.scale[r]
+}
+
+// storedBytes is the measured footprint: the integer payload plus the affine
+// metadata (float64 scale and int32 zero per row).
+func (qt *quantTable) storedBytes() int {
+	meta := len(qt.scale)*8 + len(qt.zero)*4
+	if qt.bits == 8 {
+		return len(qt.q8) + meta
+	}
+	return len(qt.q16)*2 + meta
+}
+
+// overheadBits is the modelled cost of the affine metadata, added on top of
+// the paper's storage equations (which only count the d-bit entries).
+func (qt *quantTable) overheadBits() int { return len(qt.scale) * (64 + 32) }
+
+// MeasuredStorageBytes reports the bytes a layer's stored tables and
+// parameters actually occupy: lookup-table payloads, quantization metadata,
+// and native-form parameter vectors. Encoder internals (hash planes,
+// centroids) are excluded to match the scope of the Sec. V-C storage model,
+// which prices stored table entries and encoded indices only. This is the
+// ground truth the modelled Cost().StorageBits is regression-tested against.
+func MeasuredStorageBytes(l Layer) int {
+	switch v := l.(type) {
+	case *LinearKernel:
+		return v.TableBytes()
+	case *MSAKernel:
+		b := v.WQ.TableBytes() + v.WK.TableBytes() + v.WV.TableBytes() + v.WO.TableBytes()
+		for _, h := range v.Heads {
+			b += h.TableBytes()
+		}
+		return b
+	case *LayerNormTab:
+		return (len(v.Gamma) + len(v.Beta)) * 8
+	case *SigmoidLUT:
+		return len(v.Entries) * 8
+	case *PosEmbedTab:
+		if v.quant != nil {
+			return v.quant.storedBytes()
+		}
+		return len(v.Emb) * 8
+	case *ResidualTab:
+		var b int
+		for _, inner := range v.Inner {
+			b += MeasuredStorageBytes(inner)
+		}
+		return b
+	default:
+		return 0
+	}
+}
+
+// MeasuredStorageBytes sums the measured footprint of every layer.
+func (h *Hierarchy) MeasuredStorageBytes() int {
+	var b int
+	for _, l := range h.Layers {
+		b += MeasuredStorageBytes(l)
+	}
+	return b
+}
+
+// DataBits reports the stored entry width of the hierarchy's lookup tables:
+// 8 or 16 when the table kernels are quantized, 64 for float64 tables. It is
+// stamped into checkpoint metadata so operators can read a table store's
+// width without decoding its body.
+func (h *Hierarchy) DataBits() int {
+	for _, l := range h.Layers {
+		if d := layerDataBits(l); d != 0 {
+			return d
+		}
+	}
+	return 64
+}
+
+func layerDataBits(l Layer) int {
+	switch v := l.(type) {
+	case *LinearKernel:
+		if v.quant != nil {
+			return v.quant.bits
+		}
+		return 64
+	case *MSAKernel:
+		return layerDataBits(v.WQ)
+	case *PosEmbedTab:
+		if v.quant != nil {
+			return v.quant.bits
+		}
+		return 64
+	case *ResidualTab:
+		for _, inner := range v.Inner {
+			if d := layerDataBits(inner); d != 0 {
+				return d
+			}
+		}
+	}
+	return 0
+}

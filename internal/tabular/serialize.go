@@ -17,12 +17,16 @@ type hierarchyState struct {
 type layerState struct {
 	Kind string // "linear" | "msa" | "layernorm" | "sigmoid" | "relu" | "meanpool" | "posembed" | "residual"
 
-	// linear kernel
+	// linear kernel: exactly one of Table (float64) and Quant is set.
+	// Checkpoints written before quantization existed carry only Table and
+	// decode Quant as nil, so old float tables keep loading unchanged.
+	// (posembed states reuse Quant the same way, against Emb below.)
 	In, Out int
 	SeqT    int
 	Cfg     KernelConfig
 	Enc     any
 	Table   []float64
+	Quant   *quantState
 
 	// msa kernel
 	D, H, Dh       int
@@ -52,6 +56,62 @@ type attnState struct {
 	QKVTable []float64
 	DenTable []float64
 	ExpShift float64
+	// Quantized forms of the QK/QKV tables; nil in float checkpoints.
+	QKQuant  *quantState
+	QKVQuant *quantState
+}
+
+// quantState is the serialized form of a quantTable: the integer payload at
+// its stored width plus the per-row affine metadata.
+type quantState struct {
+	Bits   int
+	RowLen int
+	Q8     []int8
+	Q16    []int16
+	Scale  []float64
+	Zero   []int32
+}
+
+func marshalQuant(qt *quantTable) *quantState {
+	if qt == nil {
+		return nil
+	}
+	return &quantState{
+		Bits: qt.bits, RowLen: qt.rowLen,
+		Q8: qt.q8, Q16: qt.q16, Scale: qt.scale, Zero: qt.zero,
+	}
+}
+
+// unmarshalQuant validates internal consistency before reconstructing: a
+// payload whose length disagrees with its row geometry, mismatched metadata
+// lengths, or an undefined width would otherwise surface as an index panic
+// on the first query.
+func unmarshalQuant(st *quantState) (*quantTable, error) {
+	if st == nil {
+		return nil, nil
+	}
+	rows := len(st.Scale)
+	if rows == 0 || st.RowLen <= 0 || len(st.Zero) != rows {
+		return nil, fmt.Errorf("tabular: quantized table rows=%d rowLen=%d zeros=%d invalid",
+			rows, st.RowLen, len(st.Zero))
+	}
+	want := rows * st.RowLen
+	switch st.Bits {
+	case 8:
+		if len(st.Q8) != want || len(st.Q16) != 0 {
+			return nil, fmt.Errorf("tabular: int8 quantized payload %d entries, want %d", len(st.Q8), want)
+		}
+	case 16:
+		if len(st.Q16) != want || len(st.Q8) != 0 {
+			return nil, fmt.Errorf("tabular: int16 quantized payload %d entries, want %d", len(st.Q16), want)
+		}
+	default:
+		return nil, fmt.Errorf("tabular: quantized table width %d bits unsupported", st.Bits)
+	}
+	return &quantTable{
+		bits: st.Bits, rowLen: st.RowLen,
+		q8: st.Q8, q16: st.Q16, scale: st.Scale, zero: st.Zero,
+	}, nil
 }
 
 func init() {
@@ -102,7 +162,7 @@ func marshalLayer(l Layer) (layerState, error) {
 		}
 		return layerState{
 			Kind: "linear", In: v.In, Out: v.Out, SeqT: v.seqT,
-			Cfg: v.cfg, Enc: enc, Table: v.table,
+			Cfg: v.cfg, Enc: enc, Table: v.table, Quant: marshalQuant(v.quant),
 		}, nil
 	case *MSAKernel:
 		wq, err := marshalLayer(v.WQ)
@@ -145,6 +205,7 @@ func marshalLayer(l Layer) (layerState, error) {
 				EncQ: encQ, EncK: encK, EncS: encS, EncV: encV,
 				QKTable: h.qkTable, QKVTable: h.qkvTable,
 				DenTable: h.denTable, ExpShift: h.expShift,
+				QKQuant: marshalQuant(h.qkQuant), QKVQuant: marshalQuant(h.qkvQuant),
 			})
 		}
 		return st, nil
@@ -157,7 +218,7 @@ func marshalLayer(l Layer) (layerState, error) {
 	case MeanPoolTab:
 		return layerState{Kind: "meanpool"}, nil
 	case *PosEmbedTab:
-		return layerState{Kind: "posembed", T: v.T, Dim: v.D, Emb: v.Emb}, nil
+		return layerState{Kind: "posembed", T: v.T, Dim: v.D, Emb: v.Emb, Quant: marshalQuant(v.quant)}, nil
 	case *ResidualTab:
 		inner, err := marshalLayers(v.Inner)
 		if err != nil {
@@ -188,9 +249,16 @@ func unmarshalLayer(st layerState) (Layer, error) {
 		if err != nil {
 			return nil, err
 		}
+		quant, err := unmarshalQuant(st.Quant)
+		if err != nil {
+			return nil, err
+		}
+		if (st.Table == nil) == (quant == nil) {
+			return nil, fmt.Errorf("tabular: linear kernel state needs exactly one of float table (%d entries) and quantized table", len(st.Table))
+		}
 		return &LinearKernel{
 			In: st.In, Out: st.Out, seqT: st.SeqT,
-			cfg: st.Cfg, enc: enc, table: st.Table,
+			cfg: st.Cfg, enc: enc, table: st.Table, quant: quant,
 		}, nil
 	case "msa":
 		wq, err := unmarshalLayer(*st.WQ)
@@ -229,24 +297,43 @@ func unmarshalLayer(st layerState) (Layer, error) {
 			if err != nil {
 				return nil, err
 			}
+			qkQuant, err := unmarshalQuant(hs.QKQuant)
+			if err != nil {
+				return nil, err
+			}
+			qkvQuant, err := unmarshalQuant(hs.QKVQuant)
+			if err != nil {
+				return nil, err
+			}
+			if (qkQuant == nil) != (qkvQuant == nil) {
+				return nil, fmt.Errorf("tabular: attention head quantizes only one of its QK/QKV tables")
+			}
 			m.Heads = append(m.Heads, &AttentionKernel{
 				T: hs.T, Dk: hs.Dk, mode: hs.Mode, cfg: hs.Cfg,
 				encQ: encQ, encK: encK, encS: encS, encV: encV,
 				qkTable: hs.QKTable, qkvTable: hs.QKVTable,
 				denTable: hs.DenTable, expShift: hs.ExpShift,
+				qkQuant: qkQuant, qkvQuant: qkvQuant,
 			})
 		}
 		return m, nil
 	case "layernorm":
-		return &LayerNormTab{D: st.Dim, Gamma: st.Gamma, Beta: st.Beta, Eps: st.Eps, bits: 32}, nil
+		return &LayerNormTab{D: st.Dim, Gamma: st.Gamma, Beta: st.Beta, Eps: st.Eps}, nil
 	case "sigmoid":
-		return NewSigmoidLUT(32), nil
+		return NewSigmoidLUT(), nil
 	case "relu":
 		return ReLUTab{}, nil
 	case "meanpool":
 		return MeanPoolTab{}, nil
 	case "posembed":
-		return &PosEmbedTab{T: st.T, D: st.Dim, Emb: st.Emb, bits: 32}, nil
+		quant, err := unmarshalQuant(st.Quant)
+		if err != nil {
+			return nil, err
+		}
+		if (st.Emb == nil) == (quant == nil) {
+			return nil, fmt.Errorf("tabular: posembed state needs exactly one of float embedding (%d entries) and quantized table", len(st.Emb))
+		}
+		return &PosEmbedTab{T: st.T, D: st.Dim, Emb: st.Emb, quant: quant}, nil
 	case "residual":
 		inner, err := unmarshalLayers(st.Inner)
 		if err != nil {

@@ -98,7 +98,7 @@ func (w *walker) layer(l nn.Layer, approx, exact *mat.Tensor) (*mat.Tensor, *mat
 		return w.msa(v, approx, exact)
 
 	case *nn.LayerNorm:
-		t := NewLayerNormTab(v, w.cfg.Kernel.DataBits)
+		t := NewLayerNormTab(v)
 		approxOut := apply(t, approx)
 		exactOut := v.Forward(exact)
 		w.record(t, approxOut, exactOut)
@@ -112,7 +112,7 @@ func (w *walker) layer(l nn.Layer, approx, exact *mat.Tensor) (*mat.Tensor, *mat
 		return approxOut, exactOut
 
 	case *nn.Sigmoid:
-		t := NewSigmoidLUT(w.cfg.Kernel.DataBits)
+		t := NewSigmoidLUT()
 		approxOut := apply(t, approx)
 		exactOut := v.Forward(exact)
 		w.record(t, approxOut, exactOut)
